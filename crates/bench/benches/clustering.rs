@@ -1,0 +1,36 @@
+//! Criterion benchmarks of NN-chain vs naive HAC scaling (the Fig. 2
+//! mechanism) and DBSCAN.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spechd_cluster::{dbscan, naive_hac, nn_chain, CondensedMatrix, DbscanParams, Linkage};
+use spechd_rng::{Rng, Xoshiro256StarStar};
+use std::hint::black_box;
+
+fn random_matrix(n: usize, seed: u64) -> CondensedMatrix {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    CondensedMatrix::from_fn(n, |_, _| rng.range_f64(1.0, 1000.0))
+}
+
+fn bench_hac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hac");
+    group.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let m = random_matrix(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("nn_chain", n), &m, |b, m| {
+            b.iter(|| black_box(nn_chain(black_box(m), Linkage::Complete)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &m, |b, m| {
+            b.iter(|| black_box(naive_hac(black_box(m), Linkage::Complete)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let m = random_matrix(400, 9);
+    c.bench_function("dbscan_n400", |b| {
+        b.iter(|| black_box(dbscan(black_box(&m), DbscanParams { eps: 300.0, min_pts: 2 })))
+    });
+}
+
+criterion_group!(benches, bench_hac, bench_dbscan);
+criterion_main!(benches);

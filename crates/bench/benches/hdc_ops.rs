@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks of the HDC primitives the FPGA kernels
+//! accelerate: encoding throughput, XOR binding and Hamming distance.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spechd_hdc::{distance, BinaryHypervector, EncoderConfig, IdLevelEncoder};
+use spechd_rng::{Rng, Xoshiro256StarStar};
+use std::hint::black_box;
+
+fn bench_encode(c: &mut Criterion) {
+    let encoder = IdLevelEncoder::new(EncoderConfig::default());
+    let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+    let peaks: Vec<(f64, f64)> = (0..50)
+        .map(|_| (rng.range_f64(200.0, 2000.0), rng.next_f64()))
+        .collect();
+    let mut group = c.benchmark_group("encode");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("id_level_50_peaks_d2048", |b| {
+        b.iter(|| black_box(encoder.encode(black_box(&peaks))))
+    });
+    group.finish();
+}
+
+fn bench_hamming(c: &mut Criterion) {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+    let mut group = c.benchmark_group("hamming");
+    for dim in [1024usize, 2048, 4096] {
+        let a = BinaryHypervector::random(dim, &mut rng);
+        let b = BinaryHypervector::random(dim, &mut rng);
+        group.throughput(Throughput::Bytes((dim / 8) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, _| {
+            bench.iter(|| black_box(black_box(&a).hamming(black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pairwise(c: &mut Criterion) {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+    let hvs: Vec<BinaryHypervector> =
+        (0..256).map(|_| BinaryHypervector::random(2048, &mut rng)).collect();
+    let mut group = c.benchmark_group("pairwise_condensed");
+    group.throughput(Throughput::Elements((256 * 255 / 2) as u64));
+    group.bench_function("n256_d2048", |b| {
+        b.iter(|| black_box(distance::pairwise_condensed(black_box(&hvs))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_hamming, bench_pairwise);
+criterion_main!(benches);

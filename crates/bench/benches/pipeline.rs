@@ -1,0 +1,28 @@
+//! Criterion benchmark of the full SpecHD pipeline on synthetic runs.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spechd_core::{SpecHd, SpecHdConfig};
+use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spechd_pipeline");
+    group.sample_size(10);
+    for n in [250usize, 1000] {
+        let ds = SyntheticGenerator::new(SyntheticConfig {
+            num_spectra: n,
+            num_peptides: n / 5,
+            seed: 5,
+            ..SyntheticConfig::default()
+        })
+        .generate();
+        let spechd = SpecHd::new(SpecHdConfig::default());
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
+            b.iter(|| black_box(spechd.run(black_box(ds))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

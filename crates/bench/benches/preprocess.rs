@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the preprocessing stages (filter, bitonic
+//! top-k, bucketing) the MSAS accelerator implements.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+use spechd_preprocess::{topk, PrecursorBucketer, SpectraFilter};
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let ds = SyntheticGenerator::new(SyntheticConfig {
+        num_spectra: 500,
+        num_peptides: 100,
+        seed: 4,
+        ..SyntheticConfig::default()
+    })
+    .generate();
+    let filter = SpectraFilter::default();
+    let mut group = c.benchmark_group("preprocess");
+    group.throughput(Throughput::Elements(ds.len() as u64));
+    group.bench_function("filter_500", |b| {
+        b.iter(|| {
+            for s in ds.spectra() {
+                black_box(filter.apply(black_box(s)));
+            }
+        })
+    });
+    group.bench_function("bucketize_500", |b| {
+        let bucketer = PrecursorBucketer::new(1.0);
+        b.iter(|| black_box(bucketer.bucketize(black_box(ds.spectra()))))
+    });
+    group.finish();
+
+    let peaks = ds.spectrum(0).peaks().to_vec();
+    let mut topk_group = c.benchmark_group("topk");
+    for k in [20usize, 50] {
+        topk_group.bench_with_input(BenchmarkId::new("bitonic", k), &k, |b, &k| {
+            b.iter(|| black_box(topk::bitonic_top_k(black_box(&peaks), k)))
+        });
+        topk_group.bench_with_input(BenchmarkId::new("quickselect", k), &k, |b, &k| {
+            b.iter(|| black_box(topk::select_top_k(black_box(&peaks), k)))
+        });
+    }
+    topk_group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,237 @@
+//! Lower-triangular (condensed) pairwise distance matrix.
+
+use std::fmt;
+
+/// A symmetric pairwise distance matrix storing only the strict lower
+/// triangle, exactly as the SpecHD FPGA kernel keeps it in HBM
+/// ("to conserve storage resources, only the lower triangular part of the
+/// distance matrix is retained", §III-C).
+///
+/// Entry `(i, j)` with `i > j` lives at condensed index
+/// `i·(i−1)/2 + j`; the diagonal is implicitly zero.
+///
+/// # Examples
+///
+/// ```
+/// use spechd_cluster::CondensedMatrix;
+/// let m = CondensedMatrix::from_fn(3, |i, j| (i + j) as f64);
+/// assert_eq!(m.get(2, 1), 3.0);
+/// assert_eq!(m.get(1, 2), 3.0); // symmetric access
+/// assert_eq!(m.get(1, 1), 0.0); // diagonal
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CondensedMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl CondensedMatrix {
+    /// Creates an all-zero matrix over `n` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "matrix needs at least one point");
+        Self { n, data: vec![0.0; n * (n - 1) / 2] }
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` for every pair `i > j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 1..n {
+            for j in 0..i {
+                let v = f(i, j);
+                m.data[i * (i - 1) / 2 + j] = v;
+            }
+        }
+        m
+    }
+
+    /// Wraps an existing condensed vector (length `n·(n−1)/2`, pair
+    /// `(i, j)`, `i > j`, at `i·(i−1)/2 + j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match `n` or `n == 0`.
+    pub fn from_condensed(n: usize, data: Vec<f64>) -> Self {
+        assert!(n > 0, "matrix needs at least one point");
+        assert_eq!(data.len(), n * (n - 1) / 2, "condensed length mismatch");
+        Self { n, data }
+    }
+
+    /// Ingests the 16-bit fixed-point condensed form produced by the
+    /// distance kernel (`spechd_hdc::distance::pairwise_condensed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match `n` or `n == 0`.
+    pub fn from_u16(n: usize, data: &[u16]) -> Self {
+        Self::from_condensed(n, data.iter().map(|&d| f64::from(d)).collect())
+    }
+
+    /// Number of points.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries, `n·(n−1)/2`.
+    pub fn condensed_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The raw condensed storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    #[inline]
+    fn index(i: usize, j: usize) -> usize {
+        debug_assert!(i > j);
+        i * (i - 1) / 2 + j
+    }
+
+    /// Returns the distance between `i` and `j` (0 on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        match i.cmp(&j) {
+            std::cmp::Ordering::Greater => self.data[Self::index(i, j)],
+            std::cmp::Ordering::Less => self.data[Self::index(j, i)],
+            std::cmp::Ordering::Equal => 0.0,
+        }
+    }
+
+    /// Sets the distance between `i` and `j` (symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds or `i == j`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        assert_ne!(i, j, "diagonal is implicitly zero");
+        let idx = if i > j { Self::index(i, j) } else { Self::index(j, i) };
+        self.data[idx] = value;
+    }
+
+    /// The minimum off-diagonal entry and its pair `(i, j)` with `i > j`,
+    /// or `None` for a single-point matrix.
+    pub fn min_pair(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 1..self.n {
+            for j in 0..i {
+                let d = self.data[Self::index(i, j)];
+                if best.map_or(true, |(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        best
+    }
+
+    /// Storage footprint if held as 16-bit fixed point, in bytes — the
+    /// quantity the paper's memory budgeting uses.
+    pub fn bytes_as_u16(&self) -> usize {
+        self.data.len() * 2
+    }
+}
+
+impl fmt::Debug for CondensedMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CondensedMatrix {{ n: {}, entries: {} }}", self.n, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape() {
+        let m = CondensedMatrix::zeros(5);
+        assert_eq!(m.n(), 5);
+        assert_eq!(m.condensed_len(), 10);
+        assert_eq!(m.get(3, 1), 0.0);
+    }
+
+    #[test]
+    fn from_fn_and_symmetry() {
+        let m = CondensedMatrix::from_fn(4, |i, j| (10 * i + j) as f64);
+        assert_eq!(m.get(3, 2), 32.0);
+        assert_eq!(m.get(2, 3), 32.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = CondensedMatrix::zeros(4);
+        m.set(2, 0, 7.5);
+        m.set(1, 3, 2.5); // reversed order
+        assert_eq!(m.get(0, 2), 7.5);
+        assert_eq!(m.get(3, 1), 2.5);
+    }
+
+    #[test]
+    fn condensed_index_formula() {
+        // n=4: pairs in order (1,0),(2,0),(2,1),(3,0),(3,1),(3,2).
+        let m = CondensedMatrix::from_condensed(4, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.get(2, 0), 2.0);
+        assert_eq!(m.get(2, 1), 3.0);
+        assert_eq!(m.get(3, 0), 4.0);
+        assert_eq!(m.get(3, 1), 5.0);
+        assert_eq!(m.get(3, 2), 6.0);
+    }
+
+    #[test]
+    fn from_u16_conversion() {
+        let m = CondensedMatrix::from_u16(3, &[100, 200, 300]);
+        assert_eq!(m.get(1, 0), 100.0);
+        assert_eq!(m.get(2, 1), 300.0);
+        assert_eq!(m.bytes_as_u16(), 6);
+    }
+
+    #[test]
+    fn min_pair_found() {
+        let m = CondensedMatrix::from_condensed(4, vec![9.0, 2.0, 8.0, 7.0, 1.5, 6.0]);
+        assert_eq!(m.min_pair(), Some((3, 1, 1.5)));
+    }
+
+    #[test]
+    fn min_pair_single_point() {
+        let m = CondensedMatrix::zeros(1);
+        assert!(m.min_pair().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_condensed_wrong_length() {
+        CondensedMatrix::from_condensed(4, vec![0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn set_diagonal_panics() {
+        CondensedMatrix::zeros(3).set(1, 1, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        CondensedMatrix::zeros(3).get(3, 0);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(format!("{:?}", CondensedMatrix::zeros(3)).contains("n: 3"));
+    }
+}

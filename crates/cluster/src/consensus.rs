@@ -1,0 +1,126 @@
+//! Consensus (medoid) selection.
+//!
+//! SpecHD's concluding kernel step "calculates a consensus cluster by
+//! evaluating the lowest average minimum distance to all other spectra
+//! within that cluster, based on the original distance matrix" (§III-C).
+//! The medoid spectrum then represents the cluster in downstream database
+//! searches.
+
+use crate::{ClusterAssignment, CondensedMatrix};
+
+/// Returns the medoid of `members`: the member with the lowest average
+/// distance (from the **original** matrix) to the other members. Ties
+/// resolve to the lowest index; a singleton's medoid is its only member.
+///
+/// # Panics
+///
+/// Panics if `members` is empty or contains an out-of-range index.
+///
+/// # Examples
+///
+/// ```
+/// use spechd_cluster::{medoid, CondensedMatrix};
+/// // Point 1 sits between 0 and 2.
+/// let m = CondensedMatrix::from_fn(3, |i, j| ((i - j) as f64).abs());
+/// assert_eq!(medoid(&m, &[0, 1, 2]), 1);
+/// ```
+pub fn medoid(matrix: &CondensedMatrix, members: &[usize]) -> usize {
+    assert!(!members.is_empty(), "cannot take the medoid of an empty cluster");
+    if members.len() == 1 {
+        assert!(members[0] < matrix.n(), "member index out of range");
+        return members[0];
+    }
+    let mut best = members[0];
+    let mut best_total = f64::INFINITY;
+    for &candidate in members {
+        assert!(candidate < matrix.n(), "member index out of range");
+        let total: f64 = members
+            .iter()
+            .filter(|&&other| other != candidate)
+            .map(|&other| matrix.get(candidate, other))
+            .sum();
+        if total < best_total {
+            best_total = total;
+            best = candidate;
+        }
+    }
+    best
+}
+
+/// Computes the medoid of every cluster of `assignment`, indexed by
+/// cluster label.
+///
+/// # Panics
+///
+/// Panics if the assignment length differs from the matrix size.
+pub fn medoid_all(matrix: &CondensedMatrix, assignment: &ClusterAssignment) -> Vec<usize> {
+    assert_eq!(assignment.len(), matrix.n(), "assignment/matrix size mismatch");
+    assignment
+        .clusters()
+        .iter()
+        .map(|members| medoid(matrix, members))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medoid_of_line_is_center() {
+        let m = CondensedMatrix::from_fn(5, |i, j| ((i as f64) - (j as f64)).abs());
+        assert_eq!(medoid(&m, &[0, 1, 2, 3, 4]), 2);
+    }
+
+    #[test]
+    fn medoid_of_pair_is_lower_index() {
+        let m = CondensedMatrix::from_fn(3, |_, _| 1.0);
+        assert_eq!(medoid(&m, &[2, 1]), 2, "first listed wins ties");
+        assert_eq!(medoid(&m, &[1, 2]), 1);
+    }
+
+    #[test]
+    fn singleton_medoid() {
+        let m = CondensedMatrix::zeros(3);
+        assert_eq!(medoid(&m, &[2]), 2);
+    }
+
+    #[test]
+    fn medoid_uses_subset_only() {
+        // Point 3 is globally central but not in the cluster.
+        let m = CondensedMatrix::from_fn(4, |i, j| {
+            if i == 3 || j == 3 {
+                0.1
+            } else {
+                ((i as f64) - (j as f64)).abs()
+            }
+        });
+        assert_eq!(medoid(&m, &[0, 1, 2]), 1);
+    }
+
+    #[test]
+    fn medoid_all_per_cluster() {
+        let m = CondensedMatrix::from_fn(6, |i, j| ((i as f64) - (j as f64)).abs());
+        let a = ClusterAssignment::from_raw_labels(&[0, 0, 0, 1, 1, 1]);
+        assert_eq!(medoid_all(&m, &a), vec![1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn empty_members_panics() {
+        medoid(&CondensedMatrix::zeros(2), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_member_panics() {
+        medoid(&CondensedMatrix::zeros(2), &[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn medoid_all_size_mismatch_panics() {
+        let a = ClusterAssignment::from_raw_labels(&[0, 0]);
+        medoid_all(&CondensedMatrix::zeros(3), &a);
+    }
+}

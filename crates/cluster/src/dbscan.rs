@@ -1,0 +1,211 @@
+//! DBSCAN over a precomputed distance matrix.
+//!
+//! HyperSpec's faster-but-lower-quality clustering flavour runs DBSCAN (via
+//! cuML); SpecHD compares against it in Figs. 9–10. This implementation
+//! operates on the same [`CondensedMatrix`] the HAC kernels use.
+
+use crate::{ClusterAssignment, CondensedMatrix};
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    /// Neighborhood radius.
+    pub eps: f64,
+    /// Minimum neighborhood size (including the point itself) for a core
+    /// point.
+    pub min_pts: usize,
+}
+
+impl Default for DbscanParams {
+    fn default() -> Self {
+        Self { eps: 0.2, min_pts: 2 }
+    }
+}
+
+/// DBSCAN output: an optional cluster id per point (`None` = noise).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbscanResult {
+    labels: Vec<Option<usize>>,
+    num_clusters: usize,
+}
+
+impl DbscanResult {
+    /// Cluster id per point; `None` marks noise.
+    pub fn labels(&self) -> &[Option<usize>] {
+        &self.labels
+    }
+
+    /// Number of clusters found (noise excluded).
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// Number of noise points.
+    pub fn noise_count(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_none()).count()
+    }
+
+    /// Converts to a flat assignment, giving each noise point its own
+    /// singleton cluster (the convention the quality metrics expect).
+    pub fn to_assignment(&self) -> ClusterAssignment {
+        let mut next = self.num_clusters;
+        let raw: Vec<usize> = self
+            .labels
+            .iter()
+            .map(|l| match l {
+                Some(id) => *id,
+                None => {
+                    next += 1;
+                    next - 1
+                }
+            })
+            .collect();
+        ClusterAssignment::from_raw_labels(&raw)
+    }
+}
+
+/// Runs DBSCAN.
+///
+/// # Panics
+///
+/// Panics if `min_pts == 0` or `eps` is negative/NaN.
+///
+/// # Examples
+///
+/// ```
+/// use spechd_cluster::{dbscan, CondensedMatrix, DbscanParams};
+/// // Two tight pairs and one far outlier.
+/// let m = CondensedMatrix::from_fn(5, |i, j| match (i, j) {
+///     (1, 0) => 0.1,
+///     (3, 2) => 0.1,
+///     _ => 9.0,
+/// });
+/// let r = dbscan(&m, DbscanParams { eps: 0.5, min_pts: 2 });
+/// assert_eq!(r.num_clusters(), 2);
+/// assert_eq!(r.noise_count(), 1);
+/// ```
+pub fn dbscan(matrix: &CondensedMatrix, params: DbscanParams) -> DbscanResult {
+    assert!(params.min_pts > 0, "min_pts must be positive");
+    assert!(params.eps >= 0.0 && !params.eps.is_nan(), "eps must be non-negative");
+    let n = matrix.n();
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut cluster = 0usize;
+
+    let neighbors = |p: usize| -> Vec<usize> {
+        (0..n).filter(|&q| q != p && matrix.get(p, q) <= params.eps).collect()
+    };
+
+    for p in 0..n {
+        if visited[p] {
+            continue;
+        }
+        visited[p] = true;
+        let nbrs = neighbors(p);
+        if nbrs.len() + 1 < params.min_pts {
+            continue; // noise (may later be claimed as border point)
+        }
+        // Expand a new cluster from core point p.
+        labels[p] = Some(cluster);
+        let mut queue: std::collections::VecDeque<usize> = nbrs.into();
+        while let Some(q) = queue.pop_front() {
+            if labels[q].is_none() {
+                labels[q] = Some(cluster);
+            }
+            if visited[q] {
+                continue;
+            }
+            visited[q] = true;
+            let q_nbrs = neighbors(q);
+            if q_nbrs.len() + 1 >= params.min_pts {
+                for r in q_nbrs {
+                    if !visited[r] || labels[r].is_none() {
+                        queue.push_back(r);
+                    }
+                }
+            }
+        }
+        cluster += 1;
+    }
+    DbscanResult { labels, num_clusters: cluster }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0-1-2 chained within eps, 3-4 pair, 5 isolated.
+    fn chain_matrix() -> CondensedMatrix {
+        CondensedMatrix::from_fn(6, |i, j| match (i, j) {
+            (1, 0) | (2, 1) => 0.1,
+            (2, 0) => 0.18,
+            (4, 3) => 0.1,
+            _ => 5.0,
+        })
+    }
+
+    #[test]
+    fn basic_two_clusters_one_noise() {
+        let r = dbscan(&chain_matrix(), DbscanParams { eps: 0.2, min_pts: 2 });
+        assert_eq!(r.num_clusters(), 2);
+        assert_eq!(r.noise_count(), 1);
+        assert_eq!(r.labels()[0], r.labels()[1]);
+        assert_eq!(r.labels()[1], r.labels()[2]);
+        assert_eq!(r.labels()[3], r.labels()[4]);
+        assert_ne!(r.labels()[0], r.labels()[3]);
+        assert_eq!(r.labels()[5], None);
+    }
+
+    #[test]
+    fn density_chaining_transitive() {
+        // With eps=0.15 the (2,0)=0.18 link is gone but 0-1-2 still chains
+        // through point 1.
+        let r = dbscan(&chain_matrix(), DbscanParams { eps: 0.15, min_pts: 2 });
+        assert_eq!(r.labels()[0], r.labels()[2]);
+    }
+
+    #[test]
+    fn min_pts_three_dissolves_pairs() {
+        let r = dbscan(&chain_matrix(), DbscanParams { eps: 0.2, min_pts: 3 });
+        // The 3-4 pair has only 2 members: noise. Chain 0-1-2: point 1 has
+        // two neighbors (0, 2) => core with min_pts=3.
+        assert_eq!(r.num_clusters(), 1);
+        assert_eq!(r.labels()[3], None);
+        assert_eq!(r.labels()[4], None);
+    }
+
+    #[test]
+    fn everything_noise_with_tiny_eps() {
+        let r = dbscan(&chain_matrix(), DbscanParams { eps: 0.01, min_pts: 2 });
+        assert_eq!(r.num_clusters(), 0);
+        assert_eq!(r.noise_count(), 6);
+    }
+
+    #[test]
+    fn everything_one_cluster_with_huge_eps() {
+        let r = dbscan(&chain_matrix(), DbscanParams { eps: 100.0, min_pts: 2 });
+        assert_eq!(r.num_clusters(), 1);
+        assert_eq!(r.noise_count(), 0);
+    }
+
+    #[test]
+    fn to_assignment_gives_noise_singletons() {
+        let r = dbscan(&chain_matrix(), DbscanParams { eps: 0.2, min_pts: 2 });
+        let a = r.to_assignment();
+        assert_eq!(a.num_clusters(), 3); // 2 clusters + 1 noise singleton
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.singleton_count(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = DbscanParams { eps: 0.2, min_pts: 2 };
+        assert_eq!(dbscan(&chain_matrix(), p), dbscan(&chain_matrix(), p));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_pts")]
+    fn zero_min_pts_panics() {
+        dbscan(&chain_matrix(), DbscanParams { eps: 0.1, min_pts: 0 });
+    }
+}

@@ -1,0 +1,155 @@
+//! Linkage criteria and Lance–Williams distance updates.
+
+/// Linkage criterion for hierarchical agglomerative clustering.
+///
+/// The SpecHD kernel is parameterized over the linkage ("our architecture
+/// is flexible and supports various linkage criteria, including Ward,
+/// single linkage, and complete linkage", §III-C); the paper's evaluation
+/// settles on **complete** linkage (Fig. 6a).
+///
+/// All four criteria are *reducible*, which is what makes the NN-chain
+/// algorithm produce the same dendrogram as naive greedy HAC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Linkage {
+    /// Minimum inter-cluster distance.
+    Single,
+    /// Maximum inter-cluster distance (SpecHD's default).
+    #[default]
+    Complete,
+    /// Size-weighted average distance (UPGMA).
+    Average,
+    /// Ward's minimum-variance criterion, applied to the provided
+    /// dissimilarities (the `ward.D` convention for precomputed matrices).
+    Ward,
+}
+
+impl Linkage {
+    /// All supported criteria, in the order used by reports.
+    pub const ALL: [Linkage; 4] =
+        [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward];
+
+    /// Lance–Williams update: the distance from the merged cluster
+    /// `A ∪ B` to an outside cluster `I`, given the prior distances
+    /// `d(A,I)`, `d(B,I)`, `d(A,B)` and the cluster sizes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spechd_cluster::Linkage;
+    /// assert_eq!(Linkage::Single.update(2.0, 5.0, 1.0, 1, 1, 1), 2.0);
+    /// assert_eq!(Linkage::Complete.update(2.0, 5.0, 1.0, 1, 1, 1), 5.0);
+    /// assert_eq!(Linkage::Average.update(2.0, 5.0, 1.0, 1, 3, 1), 4.25);
+    /// ```
+    pub fn update(
+        self,
+        d_ai: f64,
+        d_bi: f64,
+        d_ab: f64,
+        size_a: usize,
+        size_b: usize,
+        size_i: usize,
+    ) -> f64 {
+        match self {
+            Linkage::Single => d_ai.min(d_bi),
+            Linkage::Complete => d_ai.max(d_bi),
+            Linkage::Average => {
+                let (na, nb) = (size_a as f64, size_b as f64);
+                (na * d_ai + nb * d_bi) / (na + nb)
+            }
+            Linkage::Ward => {
+                let (na, nb, ni) = (size_a as f64, size_b as f64, size_i as f64);
+                let total = na + nb + ni;
+                ((na + ni) * d_ai + (nb + ni) * d_bi - ni * d_ab) / total
+            }
+        }
+    }
+
+    /// Short lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Linkage::Single => "single",
+            Linkage::Complete => "complete",
+            Linkage::Average => "average",
+            Linkage::Ward => "ward",
+        }
+    }
+}
+
+impl std::fmt::Display for Linkage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Linkage {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "single" => Ok(Linkage::Single),
+            "complete" => Ok(Linkage::Complete),
+            "average" | "upgma" => Ok(Linkage::Average),
+            "ward" => Ok(Linkage::Ward),
+            other => Err(format!("unknown linkage {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_complete_extremes() {
+        assert_eq!(Linkage::Single.update(3.0, 7.0, 1.0, 2, 5, 4), 3.0);
+        assert_eq!(Linkage::Complete.update(3.0, 7.0, 1.0, 2, 5, 4), 7.0);
+    }
+
+    #[test]
+    fn average_is_size_weighted() {
+        // (2*3 + 6*7)/8 = 6.0
+        assert_eq!(Linkage::Average.update(3.0, 7.0, 0.0, 2, 6, 1), 6.0);
+        // Equal sizes -> arithmetic mean.
+        assert_eq!(Linkage::Average.update(3.0, 7.0, 0.0, 4, 4, 1), 5.0);
+    }
+
+    #[test]
+    fn ward_formula() {
+        // na=1, nb=1, ni=1: ((2)*dai + (2)*dbi - dab) / 3.
+        let d = Linkage::Ward.update(3.0, 6.0, 1.5, 1, 1, 1);
+        assert!((d - (2.0 * 3.0 + 2.0 * 6.0 - 1.5) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn updates_between_bounds_for_single_complete() {
+        // For single/complete the update must lie within [min, max] of inputs.
+        for (dai, dbi) in [(1.0, 9.0), (4.0, 4.5), (0.0, 2.0)] {
+            let s = Linkage::Single.update(dai, dbi, 0.5, 3, 2, 1);
+            let c = Linkage::Complete.update(dai, dbi, 0.5, 3, 2, 1);
+            assert!(s <= c);
+            assert_eq!(s, dai.min(dbi));
+            assert_eq!(c, dai.max(dbi));
+        }
+    }
+
+    #[test]
+    fn average_between_inputs() {
+        let a = Linkage::Average.update(2.0, 8.0, 0.0, 3, 5, 1);
+        assert!(a > 2.0 && a < 8.0);
+    }
+
+    #[test]
+    fn names_and_parse() {
+        for l in Linkage::ALL {
+            assert_eq!(l.name().parse::<Linkage>().unwrap(), l);
+            assert_eq!(l.to_string(), l.name());
+        }
+        assert!("bogus".parse::<Linkage>().is_err());
+        assert_eq!("UPGMA".parse::<Linkage>().unwrap(), Linkage::Average);
+    }
+
+    #[test]
+    fn default_is_complete() {
+        assert_eq!(Linkage::default(), Linkage::Complete);
+    }
+}

@@ -1,0 +1,222 @@
+//! The Nearest-Neighbor-Chain HAC algorithm.
+
+use crate::{CondensedMatrix, Dendrogram, HacResult, HacStats, Linkage};
+
+/// Runs NN-chain hierarchical agglomerative clustering over a precomputed
+/// distance matrix.
+///
+/// The algorithm (§II-C of the SpecHD paper; Murtagh & Contreras 2011)
+/// grows a chain of successive nearest neighbors until it finds a
+/// *reciprocal nearest neighbor* (RNN) pair, merges it, updates the
+/// distance matrix with the Lance–Williams rule for the chosen
+/// [`Linkage`], and continues from the surviving chain — avoiding the full
+/// matrix re-scan per merge that makes classic HAC O(n³).
+///
+/// For the reducible linkages implemented here the result is identical to
+/// [`crate::naive_hac`] (up to tie-breaking on exactly equal distances);
+/// total work is O(n²) comparisons.
+///
+/// # Panics
+///
+/// Panics if the matrix contains NaN distances.
+///
+/// # Examples
+///
+/// ```
+/// use spechd_cluster::{nn_chain, CondensedMatrix, Linkage};
+/// let m = CondensedMatrix::from_condensed(3, vec![1.0, 4.0, 2.0]);
+/// let result = nn_chain(&m, Linkage::Complete);
+/// assert_eq!(result.dendrogram.merges().len(), 2);
+/// assert!(result.dendrogram.is_monotonic());
+/// ```
+pub fn nn_chain(matrix: &CondensedMatrix, linkage: Linkage) -> HacResult {
+    let n = matrix.n();
+    let mut stats = HacStats::default();
+    if n == 1 {
+        return HacResult { dendrogram: Dendrogram::from_raw_merges(1, vec![]), stats };
+    }
+    let mut d = matrix.clone();
+    let mut size = vec![1usize; n];
+    let mut active = vec![true; n];
+    let mut raw: Vec<(usize, usize, f64)> = Vec::with_capacity(n - 1);
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    let mut scan_from = 0usize;
+
+    while raw.len() < n - 1 {
+        if chain.is_empty() {
+            while !active[scan_from] {
+                scan_from += 1;
+            }
+            chain.push(scan_from);
+        }
+        loop {
+            let a = *chain.last().expect("chain is non-empty inside the loop");
+            let prev = if chain.len() >= 2 { Some(chain[chain.len() - 2]) } else { None };
+
+            // Nearest active neighbor of `a`; ties prefer the previous
+            // chain element so an RNN is detected and the loop terminates.
+            let (mut best, mut best_d) = match prev {
+                Some(p) => {
+                    stats.comparisons += 1;
+                    (p, d.get(a, p))
+                }
+                None => (usize::MAX, f64::INFINITY),
+            };
+            for j in 0..n {
+                if j == a || !active[j] || Some(j) == prev {
+                    continue;
+                }
+                stats.comparisons += 1;
+                let dj = d.get(a, j);
+                assert!(!dj.is_nan(), "distance matrix contains NaN");
+                if dj < best_d {
+                    best_d = dj;
+                    best = j;
+                }
+            }
+            debug_assert!(best != usize::MAX, "an active neighbor always exists");
+
+            if Some(best) == prev {
+                // Reciprocal nearest neighbors: merge `a` and `best`.
+                chain.pop();
+                chain.pop();
+                let b = best;
+                for k in 0..n {
+                    if !active[k] || k == a || k == b {
+                        continue;
+                    }
+                    let updated = linkage.update(
+                        d.get(a, k),
+                        d.get(b, k),
+                        best_d,
+                        size[a],
+                        size[b],
+                        size[k],
+                    );
+                    d.set(a, k, updated);
+                    stats.updates += 1;
+                }
+                size[a] += size[b];
+                active[b] = false;
+                raw.push((a, b, best_d));
+                stats.merges += 1;
+                break;
+            }
+            chain.push(best);
+        }
+    }
+    HacResult { dendrogram: Dendrogram::from_raw_merges(n, raw), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechd_rng::{Rng, Xoshiro256StarStar};
+
+    fn random_matrix(n: usize, seed: u64) -> CondensedMatrix {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        CondensedMatrix::from_fn(n, |_, _| rng.range_f64(0.1, 100.0))
+    }
+
+    #[test]
+    fn two_points() {
+        let m = CondensedMatrix::from_condensed(2, vec![3.5]);
+        let r = nn_chain(&m, Linkage::Complete);
+        assert_eq!(r.dendrogram.merges().len(), 1);
+        assert_eq!(r.dendrogram.merges()[0].height, 3.5);
+        assert_eq!(r.stats.merges, 1);
+    }
+
+    #[test]
+    fn single_point() {
+        let m = CondensedMatrix::zeros(1);
+        let r = nn_chain(&m, Linkage::Single);
+        assert!(r.dendrogram.merges().is_empty());
+    }
+
+    #[test]
+    fn well_separated_pairs_single_linkage() {
+        // {0,1} at 1.0, {2,3} at 1.5, inter-group 50.
+        let m = CondensedMatrix::from_fn(4, |i, j| {
+            if (i < 2) == (j < 2) {
+                if i < 2 { 1.0 } else { 1.5 }
+            } else {
+                50.0
+            }
+        });
+        for linkage in Linkage::ALL {
+            let dend = nn_chain(&m, linkage).dendrogram;
+            let cut = dend.cut(10.0);
+            assert_eq!(cut.num_clusters(), 2, "{linkage}");
+            assert_eq!(cut.labels()[0], cut.labels()[1]);
+            assert_eq!(cut.labels()[2], cut.labels()[3]);
+        }
+    }
+
+    #[test]
+    fn monotonic_for_all_linkages() {
+        for linkage in Linkage::ALL {
+            for seed in 0..5 {
+                let m = random_matrix(40, seed);
+                let r = nn_chain(&m, linkage);
+                assert!(r.dendrogram.is_monotonic(), "{linkage} seed {seed}");
+                assert_eq!(r.dendrogram.merges().len(), 39);
+            }
+        }
+    }
+
+    #[test]
+    fn comparisons_quadratic_not_cubic() {
+        // NN-chain on n points must do O(n^2) comparisons; allow a
+        // generous constant but reject n^3 growth.
+        let n = 120;
+        let m = random_matrix(n, 9);
+        let r = nn_chain(&m, Linkage::Complete);
+        let n_u64 = n as u64;
+        assert!(
+            r.stats.comparisons < 8 * n_u64 * n_u64,
+            "comparisons {} look super-quadratic",
+            r.stats.comparisons
+        );
+    }
+
+    #[test]
+    fn ties_terminate() {
+        // All-equal distances are the worst case for chain cycling.
+        let m = CondensedMatrix::from_fn(12, |_, _| 1.0);
+        let r = nn_chain(&m, Linkage::Average);
+        assert_eq!(r.dendrogram.merges().len(), 11);
+        assert!(r.dendrogram.heights().iter().all(|&h| h == 1.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = random_matrix(30, 3);
+        let a = nn_chain(&m, Linkage::Ward);
+        let b = nn_chain(&m, Linkage::Ward);
+        assert_eq!(a.dendrogram, b.dendrogram);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn complete_linkage_height_is_max_pairwise_within_cluster() {
+        // For complete linkage, cutting at threshold t guarantees every
+        // within-cluster pairwise distance <= the height of the top merge
+        // of that cluster; verify against the original matrix.
+        let m = random_matrix(25, 4);
+        let dend = nn_chain(&m, Linkage::Complete).dendrogram;
+        let t = dend.heights()[12]; // mid-tree threshold
+        let cut = dend.cut(t);
+        for cluster in cut.clusters() {
+            for (ai, &a) in cluster.iter().enumerate() {
+                for &b in &cluster[ai + 1..] {
+                    assert!(
+                        m.get(a, b) <= t + 1e-9,
+                        "pair ({a},{b}) = {} exceeds threshold {t}",
+                        m.get(a, b)
+                    );
+                }
+            }
+        }
+    }
+}

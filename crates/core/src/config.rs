@@ -1,0 +1,182 @@
+//! Pipeline configuration.
+
+use spechd_cluster::Linkage;
+use spechd_hdc::EncoderConfig;
+use spechd_preprocess::PreprocessConfig;
+
+/// Full SpecHD pipeline configuration.
+///
+/// Defaults follow the paper's deployed settings: `D = 2048`, complete
+/// linkage, 1-Da bucketing resolution, top-50 peaks.
+///
+/// # Examples
+///
+/// ```
+/// use spechd_core::{Linkage, SpecHdConfig};
+/// let config = SpecHdConfig::builder()
+///     .linkage(Linkage::Ward)
+///     .distance_threshold_fraction(0.25)
+///     .resolution(0.5)
+///     .build();
+/// assert_eq!(config.linkage, Linkage::Ward);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecHdConfig {
+    /// HDC encoder settings (dimensionality, item memories, seed).
+    pub encoder: EncoderConfig,
+    /// Preprocessing settings (filter, top-k, normalization).
+    pub preprocess: PreprocessConfig,
+    /// Eq. (1) bucketing resolution in Dalton (paper: 0.05–1).
+    pub resolution: f64,
+    /// HAC linkage criterion (paper default: complete).
+    pub linkage: Linkage,
+    /// Cluster-cut threshold as a fraction of the hypervector
+    /// dimensionality: clusters merge while the linkage distance is at
+    /// most `fraction × D` Hamming bits.
+    pub distance_threshold_fraction: f64,
+    /// Number of worker threads for bucket-parallel clustering (models
+    /// the paper's 5 parallel clustering kernels; 0 = all available).
+    pub threads: usize,
+}
+
+impl Default for SpecHdConfig {
+    fn default() -> Self {
+        Self {
+            encoder: EncoderConfig::default(),
+            preprocess: PreprocessConfig::default(),
+            resolution: 1.0,
+            linkage: Linkage::Complete,
+            distance_threshold_fraction: 0.32,
+            threads: 5,
+        }
+    }
+}
+
+impl SpecHdConfig {
+    /// Starts a builder with default settings.
+    pub fn builder() -> SpecHdConfigBuilder {
+        SpecHdConfigBuilder { config: Self::default() }
+    }
+
+    /// The absolute Hamming threshold in bits.
+    pub fn distance_threshold_bits(&self) -> f64 {
+        self.distance_threshold_fraction * self.encoder.dim as f64
+    }
+
+    /// Validates invariants; called by the pipeline constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate settings (non-positive resolution or a
+    /// threshold fraction outside `[0, 1]`).
+    pub fn validate(&self) {
+        assert!(
+            self.resolution.is_finite() && self.resolution > 0.0,
+            "resolution must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.distance_threshold_fraction),
+            "threshold fraction must be in [0, 1]"
+        );
+    }
+}
+
+/// Builder for [`SpecHdConfig`] (non-consuming chain, terminal `build`).
+#[derive(Debug, Clone)]
+pub struct SpecHdConfigBuilder {
+    config: SpecHdConfig,
+}
+
+impl SpecHdConfigBuilder {
+    /// Sets the encoder configuration.
+    pub fn encoder(&mut self, encoder: EncoderConfig) -> &mut Self {
+        self.config.encoder = encoder;
+        self
+    }
+
+    /// Sets the preprocessing configuration.
+    pub fn preprocess(&mut self, preprocess: PreprocessConfig) -> &mut Self {
+        self.config.preprocess = preprocess;
+        self
+    }
+
+    /// Sets the bucketing resolution in Dalton.
+    pub fn resolution(&mut self, resolution: f64) -> &mut Self {
+        self.config.resolution = resolution;
+        self
+    }
+
+    /// Sets the linkage criterion.
+    pub fn linkage(&mut self, linkage: Linkage) -> &mut Self {
+        self.config.linkage = linkage;
+        self
+    }
+
+    /// Sets the cut threshold as a fraction of `D`.
+    pub fn distance_threshold_fraction(&mut self, fraction: f64) -> &mut Self {
+        self.config.distance_threshold_fraction = fraction;
+        self
+    }
+
+    /// Sets the worker thread count (0 = all available).
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SpecHdConfig::validate`]).
+    pub fn build(&self) -> SpecHdConfig {
+        self.config.validate();
+        self.config.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SpecHdConfig::default();
+        assert_eq!(c.encoder.dim, 2048);
+        assert_eq!(c.linkage, Linkage::Complete);
+        assert_eq!(c.resolution, 1.0);
+        assert_eq!(c.threads, 5);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = SpecHdConfig::builder()
+            .resolution(0.5)
+            .linkage(Linkage::Single)
+            .distance_threshold_fraction(0.2)
+            .threads(2)
+            .build();
+        assert_eq!(c.resolution, 0.5);
+        assert_eq!(c.linkage, Linkage::Single);
+        assert_eq!(c.threads, 2);
+    }
+
+    #[test]
+    fn threshold_bits() {
+        let c = SpecHdConfig::builder().distance_threshold_fraction(0.25).build();
+        assert!((c.distance_threshold_bits() - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold fraction")]
+    fn invalid_threshold_panics() {
+        SpecHdConfig::builder().distance_threshold_fraction(1.5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn invalid_resolution_panics() {
+        SpecHdConfig::builder().resolution(-1.0).build();
+    }
+}

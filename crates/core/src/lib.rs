@@ -1,0 +1,52 @@
+//! # SpecHD — hyperdimensional mass-spectrometry clustering
+//!
+//! Reproduction of *"SpecHD: Hyperdimensional Computing Framework for
+//! FPGA-based Mass Spectrometry Clustering"* (DATE 2024). This crate is
+//! the paper's primary contribution: the end-to-end pipeline
+//!
+//! ```text
+//! spectra ──preprocess──▶ buckets ──ID-Level encode──▶ hypervectors
+//!         ──pairwise Hamming──▶ NN-chain HAC ──cut──▶ clusters ──▶ medoids
+//! ```
+//!
+//! The functional pipeline runs bit-exactly on the host (results are real,
+//! not simulated); the FPGA *performance* of the same dataflow is modelled
+//! by [`spechd_fpga`], reachable through [`SpecHd::estimate_fpga_timeline`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spechd_core::{SpecHd, SpecHdConfig};
+//! use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+//!
+//! // A small labelled synthetic run.
+//! let dataset = SyntheticGenerator::new(SyntheticConfig {
+//!     num_spectra: 300, num_peptides: 60, seed: 7, ..SyntheticConfig::default()
+//! }).generate();
+//!
+//! let spechd = SpecHd::new(SpecHdConfig::default());
+//! let outcome = spechd.run(&dataset);
+//! let eval = outcome.evaluate(&dataset);
+//! assert!(eval.clustered_ratio > 0.1);
+//! assert!(eval.incorrect_ratio < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compression;
+mod config;
+mod pipeline;
+mod result;
+
+pub use compression::CompressionReport;
+pub use config::{SpecHdConfig, SpecHdConfigBuilder};
+pub use pipeline::SpecHd;
+pub use result::{RunStats, SpecHdOutcome};
+
+// Re-export the workspace components a downstream user needs alongside the
+// pipeline, so `spechd-core` works as a single entry point.
+pub use spechd_cluster::{ClusterAssignment, Linkage};
+pub use spechd_hdc::{BinaryHypervector, EncoderConfig};
+pub use spechd_metrics::ClusteringEval;
+pub use spechd_preprocess::PreprocessConfig;

@@ -1,0 +1,333 @@
+//! The SpecHD pipeline.
+
+use crate::{CompressionReport, RunStats, SpecHdConfig, SpecHdOutcome};
+use spechd_cluster::{medoid, nn_chain, ClusterAssignment, CondensedMatrix, HacStats};
+use spechd_fpga::{SystemConfig, SystemModel, Timeline, WorkloadShape};
+use spechd_hdc::{distance, BinaryHypervector, IdLevelEncoder};
+use spechd_ms::SpectrumDataset;
+use spechd_preprocess::{bucket_stats, PrecursorBucketer, PreprocessPipeline};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The SpecHD clustering engine (Fig. 3's dataflow, executed on the host).
+///
+/// Construction allocates the encoder item memories once; [`SpecHd::run`]
+/// can then be applied to any number of datasets — which is precisely the
+/// paper's "one-time preprocessing and subsequent updates" usage model
+/// (§IV-B): hypervectors are deterministic for a fixed config, so encoded
+/// archives remain valid across re-clustering runs.
+#[derive(Debug)]
+pub struct SpecHd {
+    config: SpecHdConfig,
+    encoder: IdLevelEncoder,
+    preprocess: PreprocessPipeline,
+    bucketer: PrecursorBucketer,
+}
+
+impl SpecHd {
+    /// Builds the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: SpecHdConfig) -> Self {
+        config.validate();
+        let encoder = IdLevelEncoder::new(config.encoder);
+        let preprocess = PreprocessPipeline::new(config.preprocess);
+        let bucketer = PrecursorBucketer::new(config.resolution);
+        Self { config, encoder, preprocess, bucketer }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SpecHdConfig {
+        &self.config
+    }
+
+    /// The (deterministic) encoder, exposed for pre-encoding workflows.
+    pub fn encoder(&self) -> &IdLevelEncoder {
+        &self.encoder
+    }
+
+    /// Runs the full pipeline: preprocess → bucket → encode → NN-chain →
+    /// consensus.
+    pub fn run(&self, dataset: &SpectrumDataset) -> SpecHdOutcome {
+        let start = std::time::Instant::now();
+        let pre = self.preprocess.run(dataset);
+        let preprocess_s = start.elapsed().as_secs_f64();
+
+        let t_encode = std::time::Instant::now();
+        let hvs = self.encode_dataset(&pre.dataset);
+        let encode_s = t_encode.elapsed().as_secs_f64();
+
+        let t_cluster = std::time::Instant::now();
+        let buckets = self.bucketer.bucketize(pre.dataset.spectra());
+        let bstats = bucket_stats(&buckets);
+        let (assignment, consensus_local, hac) = self.cluster_buckets(&buckets, &hvs);
+        let cluster_s = t_cluster.elapsed().as_secs_f64();
+
+        // Consensus indices in the ORIGINAL dataset's index space.
+        let consensus: Vec<usize> = consensus_local.iter().map(|&i| pre.kept[i]).collect();
+        let compression =
+            CompressionReport::new(dataset.approx_bytes(), hvs.len(), self.config.encoder.dim);
+
+        SpecHdOutcome::new(
+            assignment,
+            pre.kept,
+            consensus,
+            hvs,
+            RunStats {
+                preprocess: pre.stats,
+                buckets: bstats,
+                hac,
+                preprocess_s,
+                encode_s,
+                cluster_s,
+                total_s: start.elapsed().as_secs_f64(),
+            },
+            compression,
+        )
+    }
+
+    /// Encodes every spectrum of a (preprocessed) dataset into
+    /// hypervectors — the standalone encoding stage.
+    pub fn encode_dataset(&self, dataset: &SpectrumDataset) -> Vec<BinaryHypervector> {
+        let peak_lists: Vec<Vec<(f64, f64)>> =
+            dataset.spectra().iter().map(|s| s.relative_peaks()).collect();
+        self.encoder.encode_batch(&peak_lists)
+    }
+
+    /// Clusters pre-encoded hypervectors whose bucket memberships are
+    /// already known — the paper's standalone-clustering scenario (Fig. 8:
+    /// "concentrating exclusively on standalone clustering of pre-encoded
+    /// vectors").
+    ///
+    /// Returns the flat assignment over the hypervector indices, the
+    /// medoid index per cluster, and aggregate HAC work counters.
+    pub fn cluster_encoded(
+        &self,
+        buckets: &[spechd_preprocess::Bucket],
+        hvs: &[BinaryHypervector],
+    ) -> (ClusterAssignment, Vec<usize>, HacStats) {
+        self.cluster_buckets(buckets, hvs)
+    }
+
+    fn cluster_buckets(
+        &self,
+        buckets: &[spechd_preprocess::Bucket],
+        hvs: &[BinaryHypervector],
+    ) -> (ClusterAssignment, Vec<usize>, HacStats) {
+        let threshold = self.config.distance_threshold_bits();
+        let linkage = self.config.linkage;
+
+        // Per-bucket results, merged in bucket order for determinism.
+        struct BucketOutcome {
+            bucket_idx: usize,
+            labels: Vec<usize>, // local cluster ids per member
+            medoids: Vec<usize>, // hv index per local cluster
+            stats: HacStats,
+        }
+
+        let worker_count = if self.config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.config.threads
+        }
+        .min(buckets.len().max(1));
+
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<BucketOutcome>> = Mutex::new(Vec::with_capacity(buckets.len()));
+
+        std::thread::scope(|scope| {
+            for _ in 0..worker_count {
+                scope.spawn(|| loop {
+                    let bucket_idx = next.fetch_add(1, Ordering::Relaxed);
+                    if bucket_idx >= buckets.len() {
+                        break;
+                    }
+                    let bucket = &buckets[bucket_idx];
+                    let outcome = cluster_one_bucket(bucket, hvs, linkage, threshold);
+                    results.lock().expect("no panics hold the lock").push(BucketOutcome {
+                        bucket_idx,
+                        labels: outcome.0,
+                        medoids: outcome.1,
+                        stats: outcome.2,
+                    });
+                });
+            }
+        });
+
+        let mut per_bucket = results.into_inner().expect("threads joined");
+        per_bucket.sort_by_key(|r| r.bucket_idx);
+
+        let total: usize = buckets.iter().map(|b| b.len()).sum();
+        let mut raw_labels = vec![0usize; total];
+        let mut medoid_by_raw: Vec<usize> = Vec::new();
+        let mut stats = HacStats::default();
+        let mut next_cluster = 0usize;
+        for outcome in per_bucket {
+            let bucket = &buckets[outcome.bucket_idx];
+            let cluster_count = outcome.medoids.len();
+            for (&member, &local_label) in bucket.members.iter().zip(&outcome.labels) {
+                raw_labels[member] = next_cluster + local_label;
+            }
+            medoid_by_raw.extend(outcome.medoids);
+            next_cluster += cluster_count;
+            stats.comparisons += outcome.stats.comparisons;
+            stats.updates += outcome.stats.updates;
+            stats.merges += outcome.stats.merges;
+        }
+        // Dense renumbering follows first appearance in *item* order, which
+        // interleaves buckets; re-align the per-cluster medoids with the
+        // dense labels.
+        let assignment = ClusterAssignment::from_raw_labels(&raw_labels);
+        let mut consensus = vec![usize::MAX; assignment.num_clusters()];
+        for (item, &dense) in assignment.labels().iter().enumerate() {
+            consensus[dense] = medoid_by_raw[raw_labels[item]];
+        }
+        debug_assert!(consensus.iter().all(|&c| c != usize::MAX));
+        (assignment, consensus, stats)
+    }
+
+    /// Predicts the FPGA timeline for running this configuration on a
+    /// workload of the given shape (see [`spechd_fpga::SystemModel`]).
+    pub fn estimate_fpga_timeline(&self, shape: &WorkloadShape) -> Timeline {
+        let mut cfg = SystemConfig::default();
+        cfg.num_cluster_kernels = self.config.threads.max(1);
+        SystemModel::new(cfg).end_to_end(shape)
+    }
+}
+
+/// Clusters one bucket: distance matrix → NN-chain → threshold cut →
+/// per-cluster medoid. Returns (local labels, medoid hv-indices, stats).
+fn cluster_one_bucket(
+    bucket: &spechd_preprocess::Bucket,
+    hvs: &[BinaryHypervector],
+    linkage: spechd_cluster::Linkage,
+    threshold: f64,
+) -> (Vec<usize>, Vec<usize>, HacStats) {
+    let n = bucket.len();
+    if n == 1 {
+        return (vec![0], vec![bucket.members[0]], HacStats::default());
+    }
+    let members: Vec<&BinaryHypervector> = bucket.members.iter().map(|&i| &hvs[i]).collect();
+    // 16-bit lower-triangular matrix, exactly as the FPGA stores it.
+    let owned: Vec<BinaryHypervector> = members.iter().map(|&h| h.clone()).collect();
+    let condensed_u16 = distance::pairwise_condensed(&owned);
+    let matrix = CondensedMatrix::from_u16(n, &condensed_u16);
+    let result = nn_chain(&matrix, linkage);
+    let cut = result.dendrogram.cut(threshold);
+    let medoids: Vec<usize> = cut
+        .clusters()
+        .iter()
+        .map(|cluster| bucket.members[medoid(&matrix, cluster)])
+        .collect();
+    (cut.labels().to_vec(), medoids, result.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+
+    fn dataset(n: usize, seed: u64) -> SpectrumDataset {
+        SyntheticGenerator::new(SyntheticConfig {
+            num_spectra: n,
+            num_peptides: n / 5,
+            seed,
+            ..SyntheticConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn run_produces_consistent_outcome() {
+        let ds = dataset(300, 1);
+        let outcome = SpecHd::new(SpecHdConfig::default()).run(&ds);
+        assert_eq!(outcome.assignment().len(), outcome.kept().len());
+        assert_eq!(outcome.consensus().len(), outcome.assignment().num_clusters());
+        // Consensus indices refer to the original dataset.
+        for &c in outcome.consensus() {
+            assert!(c < ds.len());
+        }
+        assert!(outcome.stats().total_s > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_thread_counts() {
+        let ds = dataset(250, 2);
+        let a = SpecHd::new(SpecHdConfig::default()).run(&ds);
+        let b = SpecHd::new(SpecHdConfig::default()).run(&ds);
+        assert_eq!(a.assignment(), b.assignment());
+        assert_eq!(a.consensus(), b.consensus());
+        let mut cfg = SpecHdConfig::default();
+        cfg.threads = 1;
+        let c = SpecHd::new(cfg).run(&ds);
+        assert_eq!(a.assignment(), c.assignment());
+        assert_eq!(a.consensus(), c.consensus());
+    }
+
+    #[test]
+    fn quality_is_sane_on_synthetic_data() {
+        let ds = dataset(600, 3);
+        let outcome = SpecHd::new(SpecHdConfig::default()).run(&ds);
+        let eval = outcome.evaluate(&ds);
+        assert!(eval.clustered_ratio > 0.15, "clustered {:.3}", eval.clustered_ratio);
+        assert!(eval.incorrect_ratio < 0.08, "icr {:.3}", eval.incorrect_ratio);
+        assert!(eval.completeness > 0.5, "completeness {:.3}", eval.completeness);
+    }
+
+    #[test]
+    fn tighter_threshold_clusters_less() {
+        let ds = dataset(300, 4);
+        let loose = SpecHd::new(
+            SpecHdConfig::builder().distance_threshold_fraction(0.4).build(),
+        )
+        .run(&ds);
+        let tight = SpecHd::new(
+            SpecHdConfig::builder().distance_threshold_fraction(0.1).build(),
+        )
+        .run(&ds);
+        assert!(
+            tight.assignment().clustered_ratio() <= loose.assignment().clustered_ratio()
+        );
+    }
+
+    #[test]
+    fn members_of_one_cluster_share_bucket() {
+        // Bucketed clustering can never join spectra from different
+        // precursor-mass buckets.
+        let ds = dataset(300, 5);
+        let engine = SpecHd::new(SpecHdConfig::default());
+        let outcome = engine.run(&ds);
+        let pre = PreprocessPipeline::new(engine.config().preprocess).run(&ds);
+        let bucketer = PrecursorBucketer::new(engine.config().resolution);
+        for cluster in outcome.assignment().clusters() {
+            let keys: std::collections::HashSet<i64> = cluster
+                .iter()
+                .map(|&i| bucketer.bucket_of(&pre.dataset.spectra()[i]))
+                .collect();
+            assert_eq!(keys.len(), 1, "cluster spans buckets");
+        }
+    }
+
+    #[test]
+    fn encode_then_cluster_matches_run() {
+        let ds = dataset(200, 6);
+        let engine = SpecHd::new(SpecHdConfig::default());
+        let full = engine.run(&ds);
+        // Manual staging.
+        let pre = PreprocessPipeline::new(engine.config().preprocess).run(&ds);
+        let hvs = engine.encode_dataset(&pre.dataset);
+        let buckets =
+            PrecursorBucketer::new(engine.config().resolution).bucketize(pre.dataset.spectra());
+        let (assignment, _, _) = engine.cluster_encoded(&buckets, &hvs);
+        assert_eq!(assignment, *full.assignment());
+    }
+
+    #[test]
+    fn fpga_estimate_smoke() {
+        let engine = SpecHd::new(SpecHdConfig::default());
+        let t = engine.estimate_fpga_timeline(&WorkloadShape::pxd001468());
+        assert!(t.total_s > 0.0 && t.total_s < 100.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Pipeline outcome types.
+
+use crate::CompressionReport;
+use spechd_cluster::{ClusterAssignment, HacStats};
+use spechd_hdc::BinaryHypervector;
+use spechd_metrics::ClusteringEval;
+use spechd_ms::SpectrumDataset;
+use spechd_preprocess::{BucketStats, PreprocessStats};
+
+/// Work and timing statistics of one pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Preprocessing volume counters.
+    pub preprocess: PreprocessStats,
+    /// Bucketization statistics.
+    pub buckets: BucketStats,
+    /// Aggregate HAC work counters across buckets.
+    pub hac: HacStats,
+    /// Host seconds spent preprocessing.
+    pub preprocess_s: f64,
+    /// Host seconds spent encoding.
+    pub encode_s: f64,
+    /// Host seconds spent clustering (distances + NN-chain + consensus).
+    pub cluster_s: f64,
+    /// Total host seconds.
+    pub total_s: f64,
+}
+
+/// The result of [`crate::SpecHd::run`].
+#[derive(Debug, Clone)]
+pub struct SpecHdOutcome {
+    assignment: ClusterAssignment,
+    kept: Vec<usize>,
+    consensus: Vec<usize>,
+    hvs: Vec<BinaryHypervector>,
+    stats: RunStats,
+    compression: CompressionReport,
+}
+
+impl SpecHdOutcome {
+    pub(crate) fn new(
+        assignment: ClusterAssignment,
+        kept: Vec<usize>,
+        consensus: Vec<usize>,
+        hvs: Vec<BinaryHypervector>,
+        stats: RunStats,
+        compression: CompressionReport,
+    ) -> Self {
+        debug_assert_eq!(assignment.len(), kept.len());
+        debug_assert_eq!(consensus.len(), assignment.num_clusters());
+        Self { assignment, kept, consensus, hvs, stats, compression }
+    }
+
+    /// Flat clusters over the *kept* (preprocessed) spectra; index `i`
+    /// corresponds to original spectrum `kept()[i]`.
+    pub fn assignment(&self) -> &ClusterAssignment {
+        &self.assignment
+    }
+
+    /// Original dataset indices of the spectra that survived
+    /// preprocessing, in output order.
+    pub fn kept(&self) -> &[usize] {
+        &self.kept
+    }
+
+    /// Consensus (medoid) spectrum per cluster, as an index into the
+    /// *original* dataset; entry `c` represents cluster `c`.
+    pub fn consensus(&self) -> &[usize] {
+        &self.consensus
+    }
+
+    /// The spectrum hypervectors, parallel to [`SpecHdOutcome::kept`] —
+    /// the compressed archive the paper proposes storing for later
+    /// re-analysis.
+    pub fn hypervectors(&self) -> &[BinaryHypervector] {
+        &self.hvs
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Compression accounting (Fig. 6b quantity).
+    pub fn compression(&self) -> &CompressionReport {
+        &self.compression
+    }
+
+    /// Expands the assignment to the full original dataset: spectra
+    /// discarded by preprocessing become singletons (the convention the
+    /// paper's clustered-spectra ratio uses).
+    pub fn assignment_full(&self, original_len: usize) -> ClusterAssignment {
+        let mut raw = vec![usize::MAX; original_len];
+        for (out_idx, &orig_idx) in self.kept.iter().enumerate() {
+            raw[orig_idx] = self.assignment.labels()[out_idx];
+        }
+        // Give each discarded spectrum a fresh singleton id.
+        let mut next = self.assignment.num_clusters();
+        for slot in raw.iter_mut() {
+            if *slot == usize::MAX {
+                *slot = next;
+                next += 1;
+            }
+        }
+        ClusterAssignment::from_raw_labels(&raw)
+    }
+
+    /// Evaluates clustering quality against the dataset's ground-truth
+    /// labels (discarded spectra count as singletons).
+    pub fn evaluate(&self, dataset: &SpectrumDataset) -> ClusteringEval {
+        let full = self.assignment_full(dataset.len());
+        ClusteringEval::compute(full.labels(), dataset.labels())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpecHd, SpecHdConfig};
+    use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+
+    fn outcome_and_dataset() -> (SpecHdOutcome, SpectrumDataset) {
+        let ds = SyntheticGenerator::new(SyntheticConfig {
+            num_spectra: 200,
+            num_peptides: 40,
+            seed: 9,
+            ..SyntheticConfig::default()
+        })
+        .generate();
+        let outcome = SpecHd::new(SpecHdConfig::default()).run(&ds);
+        (outcome, ds)
+    }
+
+    #[test]
+    fn assignment_full_covers_all_spectra() {
+        let (outcome, ds) = outcome_and_dataset();
+        let full = outcome.assignment_full(ds.len());
+        assert_eq!(full.len(), ds.len());
+        // Discarded spectra are singletons: cluster count grows by the
+        // number of discarded spectra.
+        let discarded = ds.len() - outcome.kept().len();
+        assert_eq!(
+            full.num_clusters(),
+            outcome.assignment().num_clusters() + discarded
+        );
+    }
+
+    #[test]
+    fn full_assignment_preserves_kept_partition() {
+        let (outcome, ds) = outcome_and_dataset();
+        let full = outcome.assignment_full(ds.len());
+        let labels = outcome.assignment().labels();
+        for (i, &a) in outcome.kept().iter().enumerate() {
+            for (j, &b) in outcome.kept().iter().enumerate() {
+                let same_before = labels[i] == labels[j];
+                let same_after = full.labels()[a] == full.labels()[b];
+                assert_eq!(same_before, same_after);
+            }
+        }
+    }
+
+    #[test]
+    fn hypervectors_parallel_to_kept() {
+        let (outcome, _) = outcome_and_dataset();
+        assert_eq!(outcome.hypervectors().len(), outcome.kept().len());
+        for hv in outcome.hypervectors() {
+            assert_eq!(hv.dim(), 2048);
+        }
+    }
+
+    #[test]
+    fn evaluate_returns_populated_metrics() {
+        let (outcome, ds) = outcome_and_dataset();
+        let eval = outcome.evaluate(&ds);
+        assert_eq!(eval.num_items, ds.len());
+        assert!(eval.num_identified > 0);
+    }
+
+    #[test]
+    fn compression_report_positive() {
+        let (outcome, _) = outcome_and_dataset();
+        assert!(outcome.compression().factor() > 1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Calibration constants for the analytic models.
+//!
+//! Every constant in this module is documented with the SpecHD paper
+//! sentence or table it reproduces. Changing one constant moves exactly
+//! one experimental knob, which keeps the model auditable.
+
+/// Kernel clock frequency in Hz. HLS designs on the Alveo U280 close
+/// timing at 300 MHz for wide bitwise datapaths (the paper's XOR/popcount
+/// modules are "parameterized for Dhv bits").
+pub const KERNEL_CLOCK_HZ: f64 = 300e6;
+
+/// Effective MSAS preprocessing bandwidth in bytes/second.
+/// Table I implies 5.6 GB/1.79 s ≈ 25 GB/8.22 s ≈ … ≈ 131 GB/43.38 s,
+/// i.e. ≈3.02 GB/s on every row.
+pub const MSAS_BANDWIDTH_BPS: f64 = 3.02e9;
+
+/// MSAS + SSD active power in watts. Table I implies
+/// 382.62 J / 43.38 s ≈ 8.8 W up to 17.38 J / 1.79 s ≈ 9.7 W; the model
+/// uses the energy-weighted mean.
+pub const MSAS_POWER_W: f64 = 9.1;
+
+/// Fixed MSAS job setup time in seconds (firmware command submission and
+/// accelerator configuration); explains the slightly super-linear small-
+/// dataset rows of Table I.
+pub const MSAS_SETUP_S: f64 = 0.05;
+
+/// PCIe peer-to-peer bandwidth from NVMe to HBM in bytes/second
+/// (Gen3 x4 SSD ceiling; the paper's P2P path "eliminates intermediary
+/// host memory interactions").
+pub const P2P_BANDWIDTH_BPS: f64 = 3.2e9;
+
+/// Host-mediated NVMe→DRAM→device bandwidth in bytes/second; the bounce
+/// path P2P avoids. Used by the DSE to quantify the P2P advantage.
+pub const HOST_BOUNCE_BANDWIDTH_BPS: f64 = 2.2e9;
+
+/// HBM2 aggregate bandwidth in bytes/second (U280 datasheet: 460 GB/s).
+pub const HBM_BANDWIDTH_BPS: f64 = 460e9;
+
+/// HBM capacity in bytes (U280: 8 GB).
+pub const HBM_CAPACITY_BYTES: u64 = 8_000_000_000;
+
+/// Fraction of peak HBM bandwidth sustained by streaming kernels.
+pub const HBM_EFFICIENCY: f64 = 0.80;
+
+/// Peaks processed per cycle by one encoder kernel after pipeline fill
+/// ("loop unrolling … ensures parallel processing across peak_count";
+/// initiation interval 1 with the ID/Level arrays partitioned).
+pub const ENCODER_PEAKS_PER_CYCLE: f64 = 1.0;
+
+/// Cycles to binarize and write back one spectrum hypervector
+/// (majority + HBM store of D bits over a 512-bit AXI port: D/512).
+pub const ENCODER_WRITEBACK_CYCLES: f64 = 4.0;
+
+/// Hypervector pairs compared per cycle by one distance unit: the fully
+/// unrolled XOR + popcount tree consumes a whole `Dhv`-bit pair each cycle.
+pub const DISTANCE_PAIRS_PER_CYCLE: f64 = 1.0;
+
+/// Parallel lanes of the NN-chain minimum scan (the distance-matrix row
+/// is partitioned across BRAM banks, "memory partitioning and pipelining").
+pub const NNCHAIN_SCAN_LANES: f64 = 8.0;
+
+/// Parallel lanes of the Lance–Williams row update after a merge.
+pub const NNCHAIN_UPDATE_LANES: f64 = 8.0;
+
+/// NN-chain comparisons per n² (measured from `spechd-cluster`: the chain
+/// walk visits each pair ~3 times on random data).
+pub const NNCHAIN_COMPARISONS_PER_N2: f64 = 3.0;
+
+/// Lance–Williams updates per n² (one row per merge: Σ sizes ≈ n²/2).
+pub const NNCHAIN_UPDATES_PER_N2: f64 = 0.5;
+
+/// Consensus (medoid) distance accumulations per n² within a bucket.
+pub const CONSENSUS_OPS_PER_N2: f64 = 1.0;
+
+/// Load-balance efficiency of LPT scheduling buckets over the clustering
+/// kernels (a handful of oversized buckets straggle).
+pub const KERNEL_LOAD_BALANCE: f64 = 0.92;
+
+/// Host-side orchestration overhead per spectrum in seconds: XRT kernel
+/// launches, buffer bookkeeping and result collection. Calibrated so the
+/// PXD000561 end-to-end lands at the paper's "just 5 minutes" while the
+/// standalone clustering phase stays at Fig. 8's 80 s.
+pub const HOST_OVERHEAD_PER_SPECTRUM_S: f64 = 6.0e-6;
+
+/// Fixed per-run FPGA bring-up seconds: bitstream programming plus XRT
+/// context/buffer initialization (measured U280 deployments take on the
+/// order of ten seconds). Dominant for the small Table-I datasets, which
+/// is why the paper's Fig. 7 speedups *grow* with dataset size
+/// (31× on PXD001511 → 54× on PXD000561 against GLEAMS).
+pub const FPGA_SETUP_S: f64 = 12.0;
+
+/// U280 board power while kernels are active, in watts (XRT power reports
+/// for HBM designs; the source of the paper's energy-efficiency edge).
+pub const FPGA_ACTIVE_W: f64 = 45.0;
+
+/// U280 board idle power in watts.
+pub const FPGA_IDLE_W: f64 = 10.0;
+
+/// Host CPU package power under load (Intel RAPL, 12-core server), watts.
+pub const CPU_ACTIVE_W: f64 = 120.0;
+
+/// Host power attributable to SpecHD's orchestration, watts. The host
+/// mostly sleeps on DMA completions, so RAPL attributes only a small
+/// increment above idle; keeping this low is what yields the paper's
+/// 14–31× end-to-end energy advantage (Fig. 9a).
+pub const HOST_ORCHESTRATION_W: f64 = 15.0;
+
+/// NVIDIA RTX 3090 sustained compute power (nvidia-smi), watts.
+pub const GPU_ACTIVE_W: f64 = 320.0;
+
+/// Post-top-k bytes per spectrum shipped over P2P: k peaks × (8 B m/z +
+/// 4 B intensity) + header. With k = 50 this is ≈ 616 B.
+pub fn preprocessed_bytes_per_spectrum(top_k: usize) -> f64 {
+    (top_k * 12 + 16) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msas_bandwidth_reproduces_table1_rows() {
+        // (bytes, seconds) from Table I.
+        let rows: [(f64, f64); 5] = [
+            (5.6e9, 1.79),
+            (25e9, 8.22),
+            (54e9, 18.44),
+            (87e9, 28.53),
+            (131e9, 43.38),
+        ];
+        for (bytes, secs) in rows {
+            let model_t = MSAS_SETUP_S + bytes / MSAS_BANDWIDTH_BPS;
+            let err = (model_t - secs).abs() / secs;
+            assert!(err < 0.08, "{bytes} B: model {model_t:.2}s vs paper {secs}s");
+        }
+    }
+
+    #[test]
+    fn msas_power_reproduces_table1_energy() {
+        let rows: [(f64, f64); 5] =
+            [(1.79, 17.38), (8.22, 77.27), (18.44, 166.53), (28.53, 268.22), (43.38, 382.62)];
+        for (secs, joules) in rows {
+            let model_e = MSAS_POWER_W * secs;
+            let err = (model_e - joules).abs() / joules;
+            assert!(err < 0.08, "{secs}s: model {model_e:.1}J vs paper {joules}J");
+        }
+    }
+
+    #[test]
+    fn preprocessed_bytes_sane() {
+        let b = preprocessed_bytes_per_spectrum(50);
+        assert!(b > 500.0 && b < 1000.0);
+    }
+
+    #[test]
+    fn p2p_beats_host_bounce() {
+        assert!(P2P_BANDWIDTH_BPS > HOST_BOUNCE_BANDWIDTH_BPS);
+    }
+}

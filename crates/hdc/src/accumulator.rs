@@ -1,0 +1,285 @@
+//! Pointwise majority bundling (Eq. 2 of the SpecHD paper).
+
+use crate::BinaryHypervector;
+
+/// Accumulates bound hypervectors and binarizes with a pointwise majority.
+///
+/// The SpecHD encoder XORs an `ID` vector with a `Level` vector for every
+/// peak and sums the results per dimension; the final spectrum hypervector
+/// sets each bit to the majority vote of the accumulated terms. In hardware
+/// this is an array of small signed counters next to the encoding pipeline;
+/// here it is a `Vec<i32>` holding `#ones − #zeros` per dimension.
+///
+/// Ties (possible when an even number of vectors was accumulated) are broken
+/// deterministically towards zero, matching the `>` comparator the HLS
+/// kernel synthesizes.
+///
+/// # Examples
+///
+/// ```
+/// use spechd_hdc::{BinaryHypervector, MajorityAccumulator};
+///
+/// let a = BinaryHypervector::from_fn(8, |i| i < 6); // 11111100
+/// let b = BinaryHypervector::from_fn(8, |i| i < 4); // 11110000
+/// let c = BinaryHypervector::from_fn(8, |i| i < 2); // 11000000
+/// let mut acc = MajorityAccumulator::new(8);
+/// acc.add(&a);
+/// acc.add(&b);
+/// acc.add(&c);
+/// let hv = acc.finalize();
+/// // Majority of three: bits 0..4 set (>=2 votes), bits 4..8 clear.
+/// assert_eq!(hv, BinaryHypervector::from_fn(8, |i| i < 4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MajorityAccumulator {
+    counters: Vec<i32>,
+    count: usize,
+}
+
+impl MajorityAccumulator {
+    /// Creates an empty accumulator for hypervectors of dimensionality `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "accumulator dimensionality must be positive");
+        Self { counters: vec![0; dim], count: 0 }
+    }
+
+    /// Dimensionality of the accumulated vectors.
+    pub fn dim(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Number of hypervectors accumulated so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether nothing has been accumulated yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Adds one hypervector: each set bit votes `+1`, each clear bit `−1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensionalities differ.
+    pub fn add(&mut self, hv: &BinaryHypervector) {
+        self.add_weighted(hv, 1);
+    }
+
+    /// Adds one hypervector with an integer weight (each set bit votes
+    /// `+w`, each clear bit `−w`). Weighted bundling is used by consensus
+    /// construction where larger clusters should dominate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensionalities differ or `weight <= 0`.
+    pub fn add_weighted(&mut self, hv: &BinaryHypervector, weight: i32) {
+        assert_eq!(hv.dim(), self.counters.len(), "dimensionality mismatch");
+        assert!(weight > 0, "weight must be positive");
+        for (word_idx, word) in hv.words().iter().enumerate() {
+            let base = word_idx * 64;
+            let lanes = (self.counters.len() - base).min(64);
+            for bit in 0..lanes {
+                if (word >> bit) & 1 == 1 {
+                    self.counters[base + bit] += weight;
+                } else {
+                    self.counters[base + bit] -= weight;
+                }
+            }
+        }
+        self.count += weight as usize;
+    }
+
+    /// Raw per-dimension counters (`#ones − #zeros`).
+    pub fn counters(&self) -> &[i32] {
+        &self.counters
+    }
+
+    /// Binarizes: bit `i` is set iff `counters[i] > 0` (ties → 0).
+    pub fn finalize(&self) -> BinaryHypervector {
+        BinaryHypervector::from_fn(self.counters.len(), |i| self.counters[i] > 0)
+    }
+
+    /// Resets the accumulator for reuse without reallocating.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechd_rng::{Rng, Xoshiro256StarStar};
+
+    #[test]
+    fn single_vector_majority_is_identity() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let hv = BinaryHypervector::random(256, &mut rng);
+        let mut acc = MajorityAccumulator::new(256);
+        acc.add(&hv);
+        assert_eq!(acc.finalize(), hv);
+    }
+
+    #[test]
+    fn empty_accumulator_finalizes_to_zeros() {
+        let acc = MajorityAccumulator::new(64);
+        assert!(acc.is_empty());
+        assert_eq!(acc.finalize(), BinaryHypervector::zeros(64));
+    }
+
+    #[test]
+    fn majority_of_identical_vectors_is_that_vector() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let hv = BinaryHypervector::random(128, &mut rng);
+        let mut acc = MajorityAccumulator::new(128);
+        for _ in 0..7 {
+            acc.add(&hv);
+        }
+        assert_eq!(acc.finalize(), hv);
+    }
+
+    #[test]
+    fn ties_break_to_zero() {
+        let ones = BinaryHypervector::ones(16);
+        let zeros = BinaryHypervector::zeros(16);
+        let mut acc = MajorityAccumulator::new(16);
+        acc.add(&ones);
+        acc.add(&zeros);
+        assert_eq!(acc.finalize(), zeros, "even split must resolve to 0 bits");
+    }
+
+    #[test]
+    fn majority_is_closer_to_members_than_random() {
+        // The bundled vector must be more similar to each of its members
+        // than to an unrelated random vector — the key HDC property SpecHD
+        // relies on for clustering quality.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let dim = 2048;
+        let members: Vec<BinaryHypervector> =
+            (0..5).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+        let mut acc = MajorityAccumulator::new(dim);
+        for m in &members {
+            acc.add(m);
+        }
+        let bundle = acc.finalize();
+        let outsider = BinaryHypervector::random(dim, &mut rng);
+        let outsider_d = bundle.hamming(&outsider);
+        for m in &members {
+            assert!(
+                bundle.hamming(m) < outsider_d,
+                "bundle should stay close to members"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_add_dominates() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let a = BinaryHypervector::random(512, &mut rng);
+        let b = BinaryHypervector::random(512, &mut rng);
+        let mut acc = MajorityAccumulator::new(512);
+        acc.add_weighted(&a, 5);
+        acc.add(&b);
+        assert_eq!(acc.finalize(), a, "weight-5 member must win every lane");
+    }
+
+    #[test]
+    fn count_tracks_weights() {
+        let hv = BinaryHypervector::zeros(8);
+        let mut acc = MajorityAccumulator::new(8);
+        acc.add(&hv);
+        acc.add_weighted(&hv, 3);
+        assert_eq!(acc.count(), 4);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let hv = BinaryHypervector::random(64, &mut rng);
+        let mut acc = MajorityAccumulator::new(64);
+        acc.add(&hv);
+        acc.clear();
+        assert!(acc.is_empty());
+        assert_eq!(acc.finalize(), BinaryHypervector::zeros(64));
+    }
+
+    #[test]
+    fn counters_are_bounded_by_count() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        let mut acc = MajorityAccumulator::new(128);
+        for _ in 0..9 {
+            let hv = BinaryHypervector::random(128, &mut rng);
+            acc.add(&hv);
+        }
+        for &c in acc.counters() {
+            assert!(c.unsigned_abs() as usize <= 9 && (c % 2 != 0), "counter {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn add_dim_mismatch_panics() {
+        let hv = BinaryHypervector::zeros(32);
+        let mut acc = MajorityAccumulator::new(64);
+        acc.add(&hv);
+    }
+
+    #[test]
+    fn majority_noise_filtering() {
+        // Bundling noisy copies of a prototype recovers the prototype
+        // almost exactly: per-bit error for 9 copies at 10% flip rate is
+        // the tail of Binomial(9, 0.1) ≥ 5, about 1e-3.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let dim = 2048;
+        let proto = BinaryHypervector::random(dim, &mut rng);
+        let mut acc = MajorityAccumulator::new(dim);
+        for _ in 0..9 {
+            let mut noisy = proto.clone();
+            let flips = (0.10 * dim as f64) as usize;
+            noisy.flip_random_bits(flips, &mut rng);
+            acc.add(&noisy);
+        }
+        let recovered = acc.finalize();
+        let err = recovered.hamming(&proto);
+        assert!(err < dim as u32 / 100, "error {err} out of {dim}");
+    }
+
+    #[test]
+    fn deterministic_for_same_input_order() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(8);
+        let hvs: Vec<_> = (0..4).map(|_| BinaryHypervector::random(96, &mut rng)).collect();
+        let run = |hvs: &[BinaryHypervector]| {
+            let mut acc = MajorityAccumulator::new(96);
+            for h in hvs {
+                acc.add(h);
+            }
+            acc.finalize()
+        };
+        assert_eq!(run(&hvs), run(&hvs));
+    }
+
+    #[test]
+    fn order_invariance() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let mut hvs: Vec<_> =
+            (0..5).map(|_| BinaryHypervector::random(96, &mut rng)).collect();
+        let mut acc1 = MajorityAccumulator::new(96);
+        for h in &hvs {
+            acc1.add(h);
+        }
+        // Reverse order must give the same bundle (addition commutes).
+        hvs.reverse();
+        let mut acc2 = MajorityAccumulator::new(96);
+        for h in &hvs {
+            acc2.add(h);
+        }
+        assert_eq!(acc1.finalize(), acc2.finalize());
+        let _ = rng.next_u64();
+    }
+}

@@ -1,0 +1,170 @@
+//! Batch Hamming-distance helpers used by the clustering front end.
+//!
+//! The FPGA distance kernel streams encoded spectra out of HBM and fills the
+//! lower-triangular distance matrix with XOR + popcount results; these
+//! helpers are the bit-exact software equivalents.
+
+use crate::BinaryHypervector;
+
+/// Computes all pairwise Hamming distances among `hvs`, returned as a
+/// condensed lower-triangular vector: entry for pair `(i, j)` with `i > j`
+/// lives at `i * (i - 1) / 2 + j`.
+///
+/// Distances fit `u16` whenever `dim <= 65535`, matching the paper's 16-bit
+/// fixed-point storage choice.
+///
+/// # Panics
+///
+/// Panics if hypervectors have inconsistent dimensionality or if
+/// `dim > u16::MAX as usize`.
+///
+/// # Examples
+///
+/// ```
+/// use spechd_hdc::{distance, BinaryHypervector};
+/// let hvs = vec![
+///     BinaryHypervector::zeros(64),
+///     BinaryHypervector::ones(64),
+///     BinaryHypervector::from_fn(64, |i| i < 32),
+/// ];
+/// let d = distance::pairwise_condensed(&hvs);
+/// assert_eq!(d, vec![64, 32, 32]); // (1,0), (2,0), (2,1)
+/// ```
+pub fn pairwise_condensed(hvs: &[BinaryHypervector]) -> Vec<u16> {
+    if hvs.is_empty() {
+        return Vec::new();
+    }
+    let dim = hvs[0].dim();
+    assert!(dim <= u16::MAX as usize, "dim {dim} exceeds 16-bit distance range");
+    let n = hvs.len();
+    let mut out = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 1..n {
+        for j in 0..i {
+            out.push(hvs[i].hamming(&hvs[j]) as u16);
+        }
+    }
+    out
+}
+
+/// Distances from one query to every element of `hvs`.
+///
+/// # Panics
+///
+/// Panics if dimensionalities differ.
+pub fn one_to_many(query: &BinaryHypervector, hvs: &[BinaryHypervector]) -> Vec<u32> {
+    hvs.iter().map(|h| query.hamming(h)).collect()
+}
+
+/// Index and distance of the nearest neighbor of `query` in `hvs`,
+/// excluding `skip` (pass `usize::MAX` to exclude nothing).
+///
+/// Returns `None` if there is no eligible element.
+pub fn nearest_neighbor(
+    query: &BinaryHypervector,
+    hvs: &[BinaryHypervector],
+    skip: usize,
+) -> Option<(usize, u32)> {
+    hvs.iter()
+        .enumerate()
+        .filter(|&(i, _)| i != skip)
+        .map(|(i, h)| (i, query.hamming(h)))
+        .min_by_key(|&(_, d)| d)
+}
+
+/// Mean pairwise normalized Hamming distance of a set — a cheap dispersion
+/// statistic used by diagnostics and tests.
+///
+/// Returns 0 for sets with fewer than two elements.
+pub fn mean_pairwise_distance(hvs: &[BinaryHypervector]) -> f64 {
+    let n = hvs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let dim = hvs[0].dim() as f64;
+    let mut total = 0.0;
+    for i in 1..n {
+        for j in 0..i {
+            total += hvs[i].hamming(&hvs[j]) as f64 / dim;
+        }
+    }
+    total / (n * (n - 1) / 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechd_rng::Xoshiro256StarStar;
+
+    fn random_set(n: usize, dim: usize, seed: u64) -> Vec<BinaryHypervector> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        (0..n).map(|_| BinaryHypervector::random(dim, &mut rng)).collect()
+    }
+
+    #[test]
+    fn condensed_length_and_indexing() {
+        let hvs = random_set(10, 128, 1);
+        let d = pairwise_condensed(&hvs);
+        assert_eq!(d.len(), 45);
+        // Spot-check the canonical index formula.
+        for i in 1..10usize {
+            for j in 0..i {
+                let idx = i * (i - 1) / 2 + j;
+                assert_eq!(u32::from(d[idx]), hvs[i].hamming(&hvs[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn condensed_empty_and_singleton() {
+        assert!(pairwise_condensed(&[]).is_empty());
+        assert!(pairwise_condensed(&random_set(1, 64, 2)).is_empty());
+    }
+
+    #[test]
+    fn one_to_many_matches_pairwise() {
+        let hvs = random_set(6, 256, 3);
+        let d = one_to_many(&hvs[0], &hvs[1..]);
+        for (k, dist) in d.iter().enumerate() {
+            assert_eq!(*dist, hvs[0].hamming(&hvs[k + 1]));
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_finds_planted_match() {
+        let mut hvs = random_set(8, 1024, 4);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let mut near = hvs[3].clone();
+        near.flip_random_bits(10, &mut rng);
+        hvs.push(near);
+        let (idx, d) = nearest_neighbor(&hvs[3], &hvs, 3).unwrap();
+        assert_eq!(idx, 8);
+        assert_eq!(d, 10);
+    }
+
+    #[test]
+    fn nearest_neighbor_skip_self() {
+        let hvs = random_set(3, 64, 6);
+        let (idx, _) = nearest_neighbor(&hvs[1], &hvs, 1).unwrap();
+        assert_ne!(idx, 1);
+    }
+
+    #[test]
+    fn nearest_neighbor_empty_returns_none() {
+        let hvs: Vec<BinaryHypervector> = Vec::new();
+        let q = BinaryHypervector::zeros(8);
+        assert!(nearest_neighbor(&q, &hvs, usize::MAX).is_none());
+    }
+
+    #[test]
+    fn mean_pairwise_distance_random_near_half() {
+        let hvs = random_set(12, 2048, 7);
+        let m = mean_pairwise_distance(&hvs);
+        assert!((0.45..0.55).contains(&m), "mean {m}");
+    }
+
+    #[test]
+    fn mean_pairwise_distance_degenerate() {
+        assert_eq!(mean_pairwise_distance(&[]), 0.0);
+        assert_eq!(mean_pairwise_distance(&random_set(1, 64, 8)), 0.0);
+    }
+}

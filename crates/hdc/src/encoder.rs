@@ -1,0 +1,278 @@
+//! The ID-Level spectrum encoder (Eq. 2 of the SpecHD paper).
+
+use crate::{
+    BinaryHypervector, IntensityQuantizer, IntensityScale, ItemMemory, LevelMemory,
+    MajorityAccumulator, MzQuantizer,
+};
+
+/// Configuration for [`IdLevelEncoder`].
+///
+/// The paper's deployed configuration is `dim = 2048`; `mz_bins` (`f`) and
+/// `intensity_levels` (`q`) control the two item memories held in
+/// partitioned on-chip RAM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncoderConfig {
+    /// Hypervector dimensionality `D` (paper: 2048).
+    pub dim: usize,
+    /// Number of m/z quantization bins `f` (size of the ID memory).
+    pub mz_bins: usize,
+    /// Number of intensity quantization levels `q` (size of the Level memory).
+    pub intensity_levels: usize,
+    /// The m/z range covered by the ID memory; values outside clamp.
+    pub mz_range: (f64, f64),
+    /// Seed for the two item memories.
+    pub seed: u64,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        Self {
+            dim: 2048,
+            mz_bins: 2048,
+            intensity_levels: 64,
+            mz_range: (200.0, 2000.0),
+            seed: 0x5BEC_0CD5,
+        }
+    }
+}
+
+/// Encodes peak lists into binary hypervectors with the ID-Level scheme.
+///
+/// For each peak `(mz, intensity)` the encoder looks up `ID[bin(mz)]` and
+/// `L[level(intensity)]`, XORs them, and accumulates the bound vectors into
+/// per-dimension counters; a pointwise majority binarizes the result
+/// (Eq. 2):
+///
+/// ```text
+/// spectra_i = majority( Σ_peaks ID[f(mz)] ⊕ L[g(intensity)] )
+/// ```
+///
+/// The encoder is deterministic for a given [`EncoderConfig`]; two encoders
+/// built from the same config produce identical hypervectors, which is what
+/// lets SpecHD store HVs once and re-cluster later ("one-time
+/// preprocessing", §IV-B of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use spechd_hdc::{EncoderConfig, IdLevelEncoder};
+/// let encoder = IdLevelEncoder::new(EncoderConfig::default());
+/// let hv = encoder.encode(&[(500.0, 1.0), (600.5, 0.3)]);
+/// assert_eq!(hv.dim(), 2048);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdLevelEncoder {
+    config: EncoderConfig,
+    id_memory: ItemMemory,
+    level_memory: LevelMemory,
+    mz_quantizer: MzQuantizer,
+    intensity_quantizer: IntensityQuantizer,
+}
+
+impl IdLevelEncoder {
+    /// Builds the encoder, allocating both item memories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any config field is degenerate (zero dim/bins, fewer than
+    /// two levels, or an empty m/z range).
+    pub fn new(config: EncoderConfig) -> Self {
+        let id_memory = ItemMemory::random(config.mz_bins, config.dim, config.seed);
+        let level_memory =
+            LevelMemory::new(config.intensity_levels, config.dim, config.seed.wrapping_add(1));
+        let mz_quantizer = MzQuantizer::new(config.mz_bins, config.mz_range);
+        let intensity_quantizer =
+            IntensityQuantizer::new(config.intensity_levels, IntensityScale::Sqrt);
+        Self { config, id_memory, level_memory, mz_quantizer, intensity_quantizer }
+    }
+
+    /// The configuration this encoder was built from.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Hypervector dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// The ID item memory (`ID[0, f]`).
+    pub fn id_memory(&self) -> &ItemMemory {
+        &self.id_memory
+    }
+
+    /// The correlated level memory (`L[0, q]`).
+    pub fn level_memory(&self) -> &LevelMemory {
+        &self.level_memory
+    }
+
+    /// On-chip memory footprint of both item memories in bytes — the
+    /// quantity the paper partitions across BRAM banks.
+    pub fn item_memory_bytes(&self) -> usize {
+        self.id_memory.storage_bytes() + self.level_memory.storage_bytes()
+    }
+
+    /// Encodes a peak list of `(mz, relative_intensity)` pairs.
+    ///
+    /// Intensities are expected relative to the base peak (`[0, 1]`); the
+    /// preprocessing crate produces exactly this form. An empty peak list
+    /// encodes to the all-zero hypervector.
+    pub fn encode(&self, peaks: &[(f64, f64)]) -> BinaryHypervector {
+        let mut acc = MajorityAccumulator::new(self.config.dim);
+        self.encode_into(peaks, &mut acc)
+    }
+
+    /// Encodes reusing a caller-provided accumulator (cleared first). This
+    /// mirrors the streaming HLS kernel, which reuses one counter array for
+    /// every spectrum, and avoids reallocation in hot loops.
+    pub fn encode_into(
+        &self,
+        peaks: &[(f64, f64)],
+        acc: &mut MajorityAccumulator,
+    ) -> BinaryHypervector {
+        assert_eq!(acc.dim(), self.config.dim, "accumulator dimensionality mismatch");
+        acc.clear();
+        for &(mz, intensity) in peaks {
+            let id = self.id_memory.get(self.mz_quantizer.quantize(mz));
+            let level = self.level_memory.get(self.intensity_quantizer.quantize(intensity));
+            // Bind: ID ⊕ L. Accumulate without materializing the XOR.
+            let bound = id ^ level;
+            acc.add(&bound);
+        }
+        acc.finalize()
+    }
+
+    /// Encodes a batch of peak lists, reusing one accumulator.
+    pub fn encode_batch(&self, spectra: &[Vec<(f64, f64)>]) -> Vec<BinaryHypervector> {
+        let mut acc = MajorityAccumulator::new(self.config.dim);
+        spectra.iter().map(|peaks| self.encode_into(peaks, &mut acc)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_encoder() -> IdLevelEncoder {
+        IdLevelEncoder::new(EncoderConfig {
+            dim: 2048,
+            mz_bins: 512,
+            intensity_levels: 32,
+            mz_range: (200.0, 2000.0),
+            seed: 99,
+        })
+    }
+
+    #[test]
+    fn empty_peak_list_encodes_to_zeros() {
+        let enc = test_encoder();
+        assert_eq!(enc.encode(&[]), BinaryHypervector::zeros(2048));
+    }
+
+    #[test]
+    fn encoding_is_deterministic_across_encoder_instances() {
+        let peaks = vec![(300.0, 1.0), (450.5, 0.4), (999.9, 0.1)];
+        let a = test_encoder().encode(&peaks);
+        let b = test_encoder().encode(&peaks);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_codes() {
+        let peaks = vec![(300.0, 1.0), (450.5, 0.4)];
+        let mut cfg = EncoderConfig::default();
+        cfg.seed = 1;
+        let a = IdLevelEncoder::new(cfg).encode(&peaks);
+        cfg.seed = 2;
+        let b = IdLevelEncoder::new(cfg).encode(&peaks);
+        assert!(a.hamming(&b) > 700, "independent memories must decorrelate codes");
+    }
+
+    #[test]
+    fn similar_spectra_closer_than_dissimilar() {
+        let enc = test_encoder();
+        let base: Vec<(f64, f64)> =
+            (0..30).map(|i| (250.0 + 55.0 * i as f64, 1.0 / (1.0 + i as f64))).collect();
+        // Perturb intensities slightly.
+        let similar: Vec<(f64, f64)> =
+            base.iter().map(|&(mz, it)| (mz, (it * 1.1_f64).min(1.0))).collect();
+        // Entirely different m/z positions.
+        let different: Vec<(f64, f64)> =
+            (0..30).map(|i| (233.0 + 57.3 * i as f64, 1.0 / (1.0 + i as f64))).collect();
+        let h_base = enc.encode(&base);
+        let h_sim = enc.encode(&similar);
+        let h_diff = enc.encode(&different);
+        assert!(h_base.hamming(&h_sim) < h_base.hamming(&h_diff));
+    }
+
+    #[test]
+    fn single_peak_encodes_to_bound_pair() {
+        let enc = test_encoder();
+        let hv = enc.encode(&[(300.0, 1.0)]);
+        let id = enc.id_memory().get(enc.mz_quantizer.quantize(300.0));
+        let level =
+            enc.level_memory().get(enc.intensity_quantizer.quantize(1.0));
+        assert_eq!(hv, id ^ level);
+    }
+
+    #[test]
+    fn peak_order_does_not_matter() {
+        let enc = test_encoder();
+        let fwd = vec![(300.0, 1.0), (500.0, 0.5), (900.0, 0.2)];
+        let mut rev = fwd.clone();
+        rev.reverse();
+        assert_eq!(enc.encode(&fwd), enc.encode(&rev));
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let enc = test_encoder();
+        let peaks = vec![(310.0, 0.8), (411.0, 0.6), (512.0, 0.4)];
+        let mut acc = MajorityAccumulator::new(2048);
+        assert_eq!(enc.encode_into(&peaks, &mut acc), enc.encode(&peaks));
+        // Accumulator is reusable.
+        let peaks2 = vec![(820.0, 1.0)];
+        assert_eq!(enc.encode_into(&peaks2, &mut acc), enc.encode(&peaks2));
+    }
+
+    #[test]
+    fn encode_batch_matches_individual() {
+        let enc = test_encoder();
+        let spectra = vec![
+            vec![(300.0, 1.0)],
+            vec![(400.0, 0.5), (600.0, 0.25)],
+            vec![],
+        ];
+        let batch = enc.encode_batch(&spectra);
+        for (hv, peaks) in batch.iter().zip(&spectra) {
+            assert_eq!(*hv, enc.encode(peaks));
+        }
+    }
+
+    #[test]
+    fn intensity_changes_move_code_less_than_mz_changes() {
+        // The correlated level memory makes small intensity shifts cheap,
+        // while crossing into another m/z bin swaps an entire random ID.
+        let enc = test_encoder();
+        let base = vec![(500.0, 0.5); 1];
+        let intensity_shift = vec![(500.0, 0.55); 1];
+        let mz_shift = vec![(700.0, 0.5); 1];
+        let h = enc.encode(&base);
+        let d_int = h.hamming(&enc.encode(&intensity_shift));
+        let d_mz = h.hamming(&enc.encode(&mz_shift));
+        assert!(d_int < d_mz, "intensity jitter ({d_int}) must cost less than mz jump ({d_mz})");
+    }
+
+    #[test]
+    fn item_memory_bytes_accounts_for_both_memories() {
+        let enc = test_encoder();
+        let expect = (512 + 32) * 2048 / 8;
+        assert_eq!(enc.item_memory_bytes(), expect);
+    }
+
+    #[test]
+    fn default_config_matches_paper_dim() {
+        let cfg = EncoderConfig::default();
+        assert_eq!(cfg.dim, 2048);
+    }
+}

@@ -1,0 +1,54 @@
+//! Binary hyperdimensional computing (HDC) core for SpecHD.
+//!
+//! This crate implements the hyperdimensional machinery of the SpecHD paper
+//! (DATE 2024): spectra are encoded into dense binary *hypervectors* of
+//! dimensionality `D` (the paper uses `D = 2048`) via the **ID-Level**
+//! scheme, and compared with Hamming distance computed by XOR + popcount —
+//! exactly the operations the paper maps onto FPGA LUTs.
+//!
+//! Layout of the crate:
+//!
+//! * [`BinaryHypervector`] — bit-packed (64 bits/word) binary hypervector
+//!   with XOR/AND/OR, popcount and Hamming distance.
+//! * [`MajorityAccumulator`] — the pointwise accumulate-then-threshold
+//!   bundler of Eq. (2) in the paper.
+//! * [`ItemMemory`] / [`LevelMemory`] — pre-allocated random `ID[0,f]`
+//!   vectors for m/z bins and *correlated* `L[0,q]` vectors for quantized
+//!   intensities.
+//! * [`IdLevelEncoder`] — the full spectrum encoder:
+//!   `spectra_i = Σ (ID_i ⊕ L_j)` followed by a pointwise majority.
+//! * [`distance`] — batch Hamming distance helpers.
+//!
+//! # Example: encode two peak lists and compare them
+//!
+//! ```
+//! use spechd_hdc::{EncoderConfig, IdLevelEncoder};
+//!
+//! let encoder = IdLevelEncoder::new(EncoderConfig {
+//!     dim: 2048,
+//!     mz_bins: 1024,
+//!     intensity_levels: 32,
+//!     mz_range: (200.0, 2000.0),
+//!     seed: 7,
+//! });
+//! let a = encoder.encode(&[(500.02, 1.0), (720.4, 0.5), (991.1, 0.2)]);
+//! let b = encoder.encode(&[(500.03, 1.0), (720.4, 0.45), (991.1, 0.2)]);
+//! let c = encoder.encode(&[(301.0, 0.9), (455.5, 0.8), (1200.8, 0.7)]);
+//! assert!(a.hamming(&b) < a.hamming(&c));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accumulator;
+pub mod distance;
+mod encoder;
+mod hypervector;
+mod item_memory;
+mod quantize;
+
+pub use accumulator::MajorityAccumulator;
+pub use encoder::{EncoderConfig, IdLevelEncoder};
+pub use hypervector::BinaryHypervector;
+pub use item_memory::{ItemMemory, LevelMemory};
+pub use quantize::{IntensityQuantizer, IntensityScale, MzQuantizer};

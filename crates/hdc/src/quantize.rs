@@ -1,0 +1,239 @@
+//! Quantizers mapping continuous m/z and intensity values to the discrete
+//! indices consumed by the ID-Level encoder.
+
+/// Intensity transformation applied before level quantization.
+///
+/// Mass-spectral peak intensities span orders of magnitude; the square-root
+/// transform (the default in HyperSpec and most clustering tools) compresses
+/// the dynamic range so the quantized levels carry information about medium
+/// peaks rather than saturating on the base peak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IntensityScale {
+    /// Use the raw intensity.
+    Linear,
+    /// Use `sqrt(intensity)` (the SpecHD/HyperSpec default).
+    #[default]
+    Sqrt,
+    /// Use `ln(1 + intensity)`.
+    Log,
+}
+
+impl IntensityScale {
+    /// Applies the transform.
+    pub fn apply(self, intensity: f64) -> f64 {
+        match self {
+            IntensityScale::Linear => intensity,
+            IntensityScale::Sqrt => intensity.max(0.0).sqrt(),
+            IntensityScale::Log => intensity.max(0.0).ln_1p(),
+        }
+    }
+}
+
+/// Quantizes m/z values into `f` equal-width bins over a configured range.
+///
+/// Values outside the range clamp to the first/last bin, mirroring the
+/// saturating behaviour of the fixed-point HLS kernel.
+///
+/// # Examples
+///
+/// ```
+/// use spechd_hdc::MzQuantizer;
+/// let q = MzQuantizer::new(100, (200.0, 1200.0));
+/// assert_eq!(q.quantize(200.0), 0);
+/// assert_eq!(q.quantize(1199.99), 99);
+/// assert_eq!(q.quantize(5000.0), 99);  // clamps
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MzQuantizer {
+    bins: usize,
+    lo: f64,
+    hi: f64,
+}
+
+impl MzQuantizer {
+    /// Creates a quantizer with `bins` bins over `[range.0, range.1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or the range is empty or not finite.
+    pub fn new(bins: usize, range: (f64, f64)) -> Self {
+        assert!(bins > 0, "mz quantizer needs at least one bin");
+        assert!(
+            range.0.is_finite() && range.1.is_finite() && range.0 < range.1,
+            "mz range must be a non-empty finite interval"
+        );
+        Self { bins, lo: range.0, hi: range.1 }
+    }
+
+    /// Number of bins `f`.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// The configured `[lo, hi)` range.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Width of one bin in Thomson.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins as f64
+    }
+
+    /// Maps an m/z value to its bin index, clamping out-of-range inputs.
+    pub fn quantize(&self, mz: f64) -> usize {
+        if !mz.is_finite() || mz <= self.lo {
+            return 0;
+        }
+        let idx = ((mz - self.lo) / self.bin_width()) as usize;
+        idx.min(self.bins - 1)
+    }
+}
+
+/// Quantizes (relative) intensities into `q` levels after applying an
+/// [`IntensityScale`] transform.
+///
+/// Intensities are expected to be normalized to the base peak (`[0, 1]`);
+/// larger values clamp to the top level.
+///
+/// # Examples
+///
+/// ```
+/// use spechd_hdc::{IntensityQuantizer, IntensityScale};
+/// let q = IntensityQuantizer::new(32, IntensityScale::Sqrt);
+/// assert_eq!(q.quantize(0.0), 0);
+/// assert_eq!(q.quantize(1.0), 31);
+/// assert!(q.quantize(0.25) > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntensityQuantizer {
+    levels: usize,
+    scale: IntensityScale,
+}
+
+impl IntensityQuantizer {
+    /// Creates a quantizer with `levels` levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`.
+    pub fn new(levels: usize, scale: IntensityScale) -> Self {
+        assert!(levels >= 2, "intensity quantizer needs at least two levels");
+        Self { levels, scale }
+    }
+
+    /// Number of levels `q`.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The configured transform.
+    pub fn scale(&self) -> IntensityScale {
+        self.scale
+    }
+
+    /// Maps a relative intensity in `[0, 1]` to a level in `[0, q)`.
+    pub fn quantize(&self, rel_intensity: f64) -> usize {
+        let x = self.scale.apply(rel_intensity.clamp(0.0, 1.0));
+        let max = self.scale.apply(1.0);
+        if max <= 0.0 {
+            return 0;
+        }
+        let idx = (x / max * self.levels as f64) as usize;
+        idx.min(self.levels - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mz_quantizer_monotone() {
+        let q = MzQuantizer::new(64, (100.0, 2000.0));
+        let mut prev = 0;
+        let mut mz = 100.0;
+        while mz < 2000.0 {
+            let b = q.quantize(mz);
+            assert!(b >= prev, "quantizer must be monotone");
+            prev = b;
+            mz += 13.7;
+        }
+    }
+
+    #[test]
+    fn mz_quantizer_clamps() {
+        let q = MzQuantizer::new(10, (0.0, 10.0));
+        assert_eq!(q.quantize(-5.0), 0);
+        assert_eq!(q.quantize(999.0), 9);
+        assert_eq!(q.quantize(f64::NAN), 0);
+    }
+
+    #[test]
+    fn mz_quantizer_covers_all_bins() {
+        let q = MzQuantizer::new(5, (0.0, 5.0));
+        let bins: Vec<usize> = [0.1, 1.1, 2.1, 3.1, 4.1].iter().map(|&x| q.quantize(x)).collect();
+        assert_eq!(bins, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mz_bin_width() {
+        let q = MzQuantizer::new(100, (0.0, 50.0));
+        assert!((q.bin_width() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn mz_zero_bins_panics() {
+        MzQuantizer::new(0, (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty finite interval")]
+    fn mz_empty_range_panics() {
+        MzQuantizer::new(4, (5.0, 5.0));
+    }
+
+    #[test]
+    fn intensity_quantizer_bounds() {
+        for scale in [IntensityScale::Linear, IntensityScale::Sqrt, IntensityScale::Log] {
+            let q = IntensityQuantizer::new(16, scale);
+            assert_eq!(q.quantize(0.0), 0, "{scale:?}");
+            assert_eq!(q.quantize(1.0), 15, "{scale:?}");
+            assert_eq!(q.quantize(2.0), 15, "clamps above 1, {scale:?}");
+            assert_eq!(q.quantize(-1.0), 0, "clamps below 0, {scale:?}");
+        }
+    }
+
+    #[test]
+    fn intensity_quantizer_monotone() {
+        let q = IntensityQuantizer::new(32, IntensityScale::Sqrt);
+        let mut prev = 0;
+        for i in 0..=100 {
+            let level = q.quantize(i as f64 / 100.0);
+            assert!(level >= prev);
+            prev = level;
+        }
+    }
+
+    #[test]
+    fn sqrt_scale_boosts_small_intensities() {
+        let lin = IntensityQuantizer::new(32, IntensityScale::Linear);
+        let sq = IntensityQuantizer::new(32, IntensityScale::Sqrt);
+        // sqrt(0.09) = 0.3: the sqrt scale assigns a markedly higher level.
+        assert!(sq.quantize(0.09) > lin.quantize(0.09));
+    }
+
+    #[test]
+    fn scale_apply_values() {
+        assert_eq!(IntensityScale::Linear.apply(0.25), 0.25);
+        assert!((IntensityScale::Sqrt.apply(0.25) - 0.5).abs() < 1e-12);
+        assert!((IntensityScale::Log.apply(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two levels")]
+    fn intensity_one_level_panics() {
+        IntensityQuantizer::new(1, IntensityScale::Linear);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the HDC core invariants.
+
+use proptest::prelude::*;
+use spechd_hdc::{
+    BinaryHypervector, EncoderConfig, IdLevelEncoder, LevelMemory, MajorityAccumulator,
+};
+use spechd_rng::Xoshiro256StarStar;
+
+fn hv_strategy(dim: usize) -> impl Strategy<Value = BinaryHypervector> {
+    any::<u64>().prop_map(move |seed| {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        BinaryHypervector::random(dim, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xor_is_involutive(a in hv_strategy(256), b in hv_strategy(256)) {
+        let bound = &a ^ &b;
+        prop_assert_eq!(&(&bound ^ &b), &a);
+        prop_assert_eq!(&(&bound ^ &a), &b);
+    }
+
+    #[test]
+    fn xor_is_commutative(a in hv_strategy(192), b in hv_strategy(192)) {
+        prop_assert_eq!(&a ^ &b, &b ^ &a);
+    }
+
+    #[test]
+    fn hamming_metric_axioms(
+        a in hv_strategy(320),
+        b in hv_strategy(320),
+        c in hv_strategy(320),
+    ) {
+        // Identity of indiscernibles (one direction) + symmetry + triangle.
+        prop_assert_eq!(a.hamming(&a), 0);
+        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
+        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+    }
+
+    #[test]
+    fn hamming_bounded_by_dim(a in hv_strategy(128), b in hv_strategy(128)) {
+        prop_assert!(a.hamming(&b) <= 128);
+    }
+
+    #[test]
+    fn xor_distance_preservation(
+        a in hv_strategy(256),
+        b in hv_strategy(256),
+        key in hv_strategy(256),
+    ) {
+        // Binding with a shared key is an isometry of Hamming space.
+        prop_assert_eq!((&a ^ &key).hamming(&(&b ^ &key)), a.hamming(&b));
+    }
+
+    #[test]
+    fn count_ones_consistent_with_zero_distance(a in hv_strategy(512)) {
+        let z = BinaryHypervector::zeros(512);
+        prop_assert_eq!(a.hamming(&z), a.count_ones());
+    }
+
+    #[test]
+    fn rotation_is_isometric(a in hv_strategy(200), b in hv_strategy(200), k in 0usize..400) {
+        prop_assert_eq!(a.rotate(k).hamming(&b.rotate(k)), a.hamming(&b));
+    }
+
+    #[test]
+    fn majority_within_union_bounds(seeds in proptest::collection::vec(any::<u64>(), 1..8)) {
+        // Every set bit of the majority must be set in at least one member.
+        let dim = 160;
+        let hvs: Vec<BinaryHypervector> = seeds
+            .iter()
+            .map(|&s| {
+                let mut rng = Xoshiro256StarStar::seed_from_u64(s);
+                BinaryHypervector::random(dim, &mut rng)
+            })
+            .collect();
+        let mut acc = MajorityAccumulator::new(dim);
+        for h in &hvs {
+            acc.add(h);
+        }
+        let maj = acc.finalize();
+        let mut union = BinaryHypervector::zeros(dim);
+        for h in &hvs {
+            union = &union | h;
+        }
+        prop_assert_eq!(&(&maj & &union), &maj, "majority must be subset of union");
+    }
+
+    #[test]
+    fn level_memory_gap_monotone(q in 3usize..24, seed in any::<u64>()) {
+        let levels = LevelMemory::new(q, 1024, seed);
+        let base = levels.get(0);
+        let mut prev = 0u32;
+        for k in 1..q {
+            let d = base.hamming(levels.get(k));
+            prop_assert!(d >= prev, "level distance must be non-decreasing in gap");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn encoder_deterministic(
+        seed in any::<u64>(),
+        peaks in proptest::collection::vec((200.0f64..2000.0, 0.0f64..1.0), 0..40),
+    ) {
+        let cfg = EncoderConfig { seed, ..EncoderConfig { dim: 512, mz_bins: 128, intensity_levels: 16, mz_range: (200.0, 2000.0), seed: 0 } };
+        let a = IdLevelEncoder::new(cfg).encode(&peaks);
+        let b = IdLevelEncoder::new(cfg).encode(&peaks);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn encoder_permutation_invariant(
+        peaks in proptest::collection::vec((200.0f64..2000.0, 0.0f64..1.0), 1..30),
+        rot in 0usize..30,
+    ) {
+        let cfg = EncoderConfig { dim: 512, mz_bins: 128, intensity_levels: 16, mz_range: (200.0, 2000.0), seed: 5 };
+        let enc = IdLevelEncoder::new(cfg);
+        let mut rotated = peaks.clone();
+        rotated.rotate_left(rot % peaks.len().max(1));
+        prop_assert_eq!(enc.encode(&peaks), enc.encode(&rotated));
+    }
+}

@@ -1,0 +1,264 @@
+//! Clustering quality metrics for mass-spectrometry evaluation.
+//!
+//! Implements the exact quantities SpecHD's evaluation section reports:
+//!
+//! * **Clustered spectra ratio** — fraction of spectra in non-singleton
+//!   clusters (x-axis of Fig. 10).
+//! * **Incorrect clustering ratio (ICR)** — among identified spectra in
+//!   non-singleton clusters, the fraction whose peptide differs from the
+//!   cluster's majority peptide (y-axis of Fig. 10; the paper tunes every
+//!   tool to ICR ≈ 1%).
+//! * **Completeness / homogeneity / V-measure** — the information-theoretic
+//!   measures of Fig. 6a and §IV-E2 (Rosenberg & Hirschberg 2007), computed
+//!   over identified spectra.
+//! * **Purity, NMI, ARI** — auxiliary comparisons.
+//!
+//! Ground truth is an `Option<u32>` per item: `Some(peptide)` for
+//! identified spectra, `None` for unidentified ones. Truth-based metrics
+//! ignore unidentified items; the clustered ratio counts all items.
+//!
+//! # Example
+//!
+//! ```
+//! use spechd_metrics::ClusteringEval;
+//! let predicted = [0, 0, 1, 1, 2];
+//! let truth = [Some(7), Some(7), Some(8), Some(9), None];
+//! let eval = ClusteringEval::compute(&predicted, &truth);
+//! assert!((eval.clustered_ratio - 0.8).abs() < 1e-12);   // 4 of 5 non-singleton
+//! assert!((eval.incorrect_ratio - 0.25).abs() < 1e-12);  // 1 of 4 off-majority
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod contingency;
+
+pub use contingency::Contingency;
+
+/// Full set of clustering quality metrics for one assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusteringEval {
+    /// Number of items.
+    pub num_items: usize,
+    /// Number of predicted clusters.
+    pub num_clusters: usize,
+    /// Number of identified items (truth present).
+    pub num_identified: usize,
+    /// Fraction of all items in non-singleton clusters.
+    pub clustered_ratio: f64,
+    /// Incorrect clustering ratio over identified, clustered items.
+    pub incorrect_ratio: f64,
+    /// Homogeneity in `[0, 1]` over identified items.
+    pub homogeneity: f64,
+    /// Completeness in `[0, 1]` over identified items.
+    pub completeness: f64,
+    /// V-measure: harmonic mean of homogeneity and completeness.
+    pub v_measure: f64,
+    /// Purity in `[0, 1]` over identified items.
+    pub purity: f64,
+    /// Normalized mutual information (arithmetic normalization).
+    pub nmi: f64,
+    /// Adjusted Rand index over identified items.
+    pub ari: f64,
+}
+
+impl ClusteringEval {
+    /// Computes every metric for `predicted` cluster labels against
+    /// optional ground-truth labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices have different lengths.
+    pub fn compute(predicted: &[usize], truth: &[Option<u32>]) -> Self {
+        assert_eq!(predicted.len(), truth.len(), "predicted/truth length mismatch");
+        let n = predicted.len();
+
+        // Cluster sizes over ALL items for the clustered ratio.
+        let mut sizes = std::collections::HashMap::new();
+        for &c in predicted {
+            *sizes.entry(c).or_insert(0usize) += 1;
+        }
+        let num_clusters = sizes.len();
+        let clustered: usize = predicted.iter().filter(|c| sizes[c] > 1).count();
+        let clustered_ratio = if n == 0 { 0.0 } else { clustered as f64 / n as f64 };
+
+        let contingency = Contingency::build(predicted, truth);
+        let incorrect_ratio = incorrect_clustering_ratio(predicted, truth, &sizes);
+        let homogeneity = contingency.homogeneity();
+        let completeness = contingency.completeness();
+        let v_measure = if homogeneity + completeness > 0.0 {
+            2.0 * homogeneity * completeness / (homogeneity + completeness)
+        } else {
+            0.0
+        };
+
+        Self {
+            num_items: n,
+            num_clusters,
+            num_identified: contingency.total(),
+            clustered_ratio,
+            incorrect_ratio,
+            homogeneity,
+            completeness,
+            v_measure,
+            purity: contingency.purity(),
+            nmi: contingency.nmi(),
+            ari: contingency.ari(),
+        }
+    }
+}
+
+/// Incorrect clustering ratio: over identified items that live in
+/// non-singleton clusters (singleton determination counts *all* members,
+/// identified or not), the fraction not matching their cluster's majority
+/// peptide. Majority ties resolve to the smaller peptide id, counting the
+/// non-majority tied items as incorrect — the conservative convention.
+fn incorrect_clustering_ratio(
+    predicted: &[usize],
+    truth: &[Option<u32>],
+    sizes: &std::collections::HashMap<usize, usize>,
+) -> f64 {
+    // Peptide counts per cluster, identified members only.
+    let mut per_cluster: std::collections::HashMap<usize, std::collections::HashMap<u32, usize>> =
+        std::collections::HashMap::new();
+    for (&c, t) in predicted.iter().zip(truth) {
+        if sizes[&c] <= 1 {
+            continue;
+        }
+        if let Some(p) = t {
+            *per_cluster.entry(c).or_default().entry(*p).or_insert(0) += 1;
+        }
+    }
+    let mut identified_clustered = 0usize;
+    let mut incorrect = 0usize;
+    for counts in per_cluster.values() {
+        let total: usize = counts.values().sum();
+        let majority = counts
+            .iter()
+            .map(|(&p, &c)| (c, std::cmp::Reverse(p)))
+            .max()
+            .map(|(c, _)| c)
+            .unwrap_or(0);
+        identified_clustered += total;
+        incorrect += total - majority;
+    }
+    if identified_clustered == 0 {
+        0.0
+    } else {
+        incorrect as f64 / identified_clustered as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering() {
+        let predicted = [0, 0, 1, 1, 2, 2];
+        let truth: Vec<Option<u32>> = [1, 1, 2, 2, 3, 3].iter().map(|&x| Some(x)).collect();
+        let e = ClusteringEval::compute(&predicted, &truth);
+        assert_eq!(e.clustered_ratio, 1.0);
+        assert_eq!(e.incorrect_ratio, 0.0);
+        assert!((e.homogeneity - 1.0).abs() < 1e-12);
+        assert!((e.completeness - 1.0).abs() < 1e-12);
+        assert!((e.v_measure - 1.0).abs() < 1e-12);
+        assert!((e.purity - 1.0).abs() < 1e-12);
+        assert!((e.ari - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_singletons() {
+        let predicted = [0, 1, 2, 3];
+        let truth: Vec<Option<u32>> = vec![Some(1), Some(1), Some(2), Some(2)];
+        let e = ClusteringEval::compute(&predicted, &truth);
+        assert_eq!(e.clustered_ratio, 0.0);
+        assert_eq!(e.incorrect_ratio, 0.0, "no clustered spectra, no mistakes");
+        assert!((e.homogeneity - 1.0).abs() < 1e-12, "singletons are pure");
+        // Each 2-item class shatters over 2 of 4 singleton clusters:
+        // completeness = 1 − ln2/ln4 = 0.5 exactly.
+        assert!((e.completeness - 0.5).abs() < 1e-9, "classes are shattered");
+    }
+
+    #[test]
+    fn everything_one_cluster() {
+        let predicted = [0, 0, 0, 0];
+        let truth: Vec<Option<u32>> = vec![Some(1), Some(1), Some(2), Some(2)];
+        let e = ClusteringEval::compute(&predicted, &truth);
+        assert_eq!(e.clustered_ratio, 1.0);
+        // Majority is peptide 1 (tie broken to smaller id): 2 incorrect of 4.
+        assert!((e.incorrect_ratio - 0.5).abs() < 1e-12);
+        assert!((e.completeness - 1.0).abs() < 1e-12, "one cluster is complete");
+        assert!(e.homogeneity < 0.5);
+    }
+
+    #[test]
+    fn icr_counts_only_identified_in_non_singletons() {
+        // Cluster 0: members {Some(5), Some(5), None} — no incorrect.
+        // Cluster 1: singleton Some(9) — excluded.
+        let predicted = [0, 0, 0, 1];
+        let truth = [Some(5), Some(5), None, Some(9)];
+        let e = ClusteringEval::compute(&predicted, &truth);
+        assert_eq!(e.incorrect_ratio, 0.0);
+        assert!((e.clustered_ratio - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn icr_mixed_cluster() {
+        // Cluster of 5 identified: 3×A, 2×B -> 2/5 incorrect.
+        let predicted = [0, 0, 0, 0, 0];
+        let truth = [Some(1), Some(1), Some(1), Some(2), Some(2)];
+        let e = ClusteringEval::compute(&predicted, &truth);
+        assert!((e.incorrect_ratio - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_identifications_gives_zero_truth_metrics() {
+        let predicted = [0, 0, 1];
+        let truth = [None, None, None];
+        let e = ClusteringEval::compute(&predicted, &truth);
+        assert_eq!(e.num_identified, 0);
+        assert_eq!(e.incorrect_ratio, 0.0);
+        assert_eq!(e.nmi, 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let e = ClusteringEval::compute(&[], &[]);
+        assert_eq!(e.num_items, 0);
+        assert_eq!(e.clustered_ratio, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        ClusteringEval::compute(&[0], &[]);
+    }
+
+    #[test]
+    fn merging_distinct_classes_lowers_homogeneity_not_completeness() {
+        let truth: Vec<Option<u32>> = [1, 1, 2, 2].iter().map(|&x| Some(x)).collect();
+        let split = ClusteringEval::compute(&[0, 0, 1, 1], &truth);
+        let merged = ClusteringEval::compute(&[0, 0, 0, 0], &truth);
+        assert!(merged.homogeneity < split.homogeneity);
+        assert!(merged.completeness >= split.completeness);
+    }
+
+    #[test]
+    fn v_measure_between_h_and_c() {
+        let predicted = [0, 0, 1, 1, 1];
+        let truth = [Some(1), Some(2), Some(2), Some(2), Some(3)];
+        let e = ClusteringEval::compute(&predicted, &truth);
+        let lo = e.homogeneity.min(e.completeness);
+        let hi = e.homogeneity.max(e.completeness);
+        assert!(e.v_measure >= lo - 1e-12 && e.v_measure <= hi + 1e-12);
+    }
+
+    #[test]
+    fn ari_low_for_chance_level_split() {
+        let predicted = [0, 1, 0, 1];
+        let truth = [Some(1), Some(1), Some(2), Some(2)];
+        let e = ClusteringEval::compute(&predicted, &truth);
+        assert!(e.ari.abs() < 0.5, "ari {}", e.ari);
+    }
+}

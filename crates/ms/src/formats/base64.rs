@@ -1,0 +1,239 @@
+//! RFC 4648 base64 codec (standard alphabet, padded).
+//!
+//! mzML stores m/z and intensity arrays as base64-encoded IEEE-754 floats;
+//! this hand-rolled codec keeps the workspace dependency-free.
+
+use crate::MsError;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as padded base64.
+///
+/// # Examples
+///
+/// ```
+/// use spechd_ms::formats::base64;
+/// assert_eq!(base64::encode(b"Man"), "TWFu");
+/// assert_eq!(base64::encode(b"Ma"), "TWE=");
+/// assert_eq!(base64::encode(b"M"), "TQ==");
+/// ```
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3F] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3F] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 0x3F] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 0x3F] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn decode_char(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some(u32::from(c - b'A')),
+        b'a'..=b'z' => Some(u32::from(c - b'a') + 26),
+        b'0'..=b'9' => Some(u32::from(c - b'0') + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes padded base64, ignoring ASCII whitespace.
+///
+/// # Errors
+///
+/// Returns [`MsError::Parse`] on invalid characters or a truncated final
+/// quantum.
+///
+/// # Examples
+///
+/// ```
+/// use spechd_ms::formats::base64;
+/// assert_eq!(base64::decode("TWFu")?, b"Man");
+/// # Ok::<(), spechd_ms::MsError>(())
+/// ```
+pub fn decode(text: &str) -> Result<Vec<u8>, MsError> {
+    let mut out = Vec::with_capacity(text.len() / 4 * 3);
+    let mut quad = [0u32; 4];
+    let mut fill = 0usize;
+    let mut padding = 0usize;
+    for &c in text.as_bytes() {
+        if c.is_ascii_whitespace() {
+            continue;
+        }
+        if c == b'=' {
+            padding += 1;
+            quad[fill] = 0;
+            fill += 1;
+        } else {
+            if padding > 0 {
+                return Err(MsError::parse(0, "base64 data after padding"));
+            }
+            quad[fill] = decode_char(c)
+                .ok_or_else(|| MsError::parse(0, format!("invalid base64 character {:?}", c as char)))?;
+            fill += 1;
+        }
+        if fill == 4 {
+            let triple = (quad[0] << 18) | (quad[1] << 12) | (quad[2] << 6) | quad[3];
+            out.push((triple >> 16) as u8);
+            if padding < 2 {
+                out.push((triple >> 8) as u8);
+            }
+            if padding < 1 {
+                out.push(triple as u8);
+            }
+            fill = 0;
+        }
+    }
+    if fill != 0 {
+        return Err(MsError::parse(0, "truncated base64 input"));
+    }
+    if padding > 2 {
+        return Err(MsError::parse(0, "too much base64 padding"));
+    }
+    Ok(out)
+}
+
+/// Encodes a slice of `f64` values as little-endian base64 (mzML
+/// "64-bit float" array).
+pub fn encode_f64(values: &[f64]) -> String {
+    let mut bytes = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    encode(&bytes)
+}
+
+/// Encodes a slice of `f32` values as little-endian base64 (mzML
+/// "32-bit float" array).
+pub fn encode_f32(values: &[f32]) -> String {
+    let mut bytes = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    encode(&bytes)
+}
+
+/// Decodes little-endian `f64` values from base64.
+///
+/// # Errors
+///
+/// Returns [`MsError::Parse`] if the payload is invalid base64 or its
+/// length is not a multiple of 8.
+pub fn decode_f64(text: &str) -> Result<Vec<f64>, MsError> {
+    let bytes = decode(text)?;
+    if bytes.len() % 8 != 0 {
+        return Err(MsError::parse(0, "f64 array payload not a multiple of 8 bytes"));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+        .collect())
+}
+
+/// Decodes little-endian `f32` values from base64.
+///
+/// # Errors
+///
+/// Returns [`MsError::Parse`] if the payload is invalid base64 or its
+/// length is not a multiple of 4.
+pub fn decode_f32(text: &str) -> Result<Vec<f32>, MsError> {
+    let bytes = decode(text)?;
+    if bytes.len() % 4 != 0 {
+        return Err(MsError::parse(0, "f32 array payload not a multiple of 4 bytes"));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk is 4 bytes")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decode_vectors() {
+        assert_eq!(decode("").unwrap(), b"");
+        assert_eq!(decode("Zg==").unwrap(), b"f");
+        assert_eq!(decode("Zm8=").unwrap(), b"fo");
+        assert_eq!(decode("Zm9vYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn decode_ignores_whitespace() {
+        assert_eq!(decode("Zm9v\nYmFy").unwrap(), b"foobar");
+        assert_eq!(decode("  Zg = =".replace(' ', "").as_str()).unwrap(), b"f");
+    }
+
+    #[test]
+    fn roundtrip_all_byte_values() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        for len in 0..32 {
+            let data: Vec<u8> = (0..len as u8).map(|b| b.wrapping_mul(37)).collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(decode("Z!==").is_err());
+        assert!(decode("Zg").is_err(), "truncated quantum");
+        assert!(decode("Zg==Zg==").is_err(), "data after padding is rejected");
+        assert!(decode("Z===").is_err(), "excess padding");
+        assert!(decode("=Zg=").is_err(), "data after padding");
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let values = vec![0.0, 1.5, -std::f64::consts::PI, 445.120_03, f64::MAX];
+        assert_eq!(decode_f64(&encode_f64(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let values = vec![0.0f32, 10.25, -1e20, 3.75];
+        assert_eq!(decode_f32(&encode_f32(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn f64_bad_length_rejected() {
+        let enc = encode(&[1, 2, 3, 4]); // 4 bytes, not divisible by 8
+        assert!(decode_f64(&enc).is_err());
+    }
+
+    #[test]
+    fn f32_bad_length_rejected() {
+        let enc = encode(&[1, 2, 3]); // 3 bytes, not divisible by 4
+        assert!(decode_f32(&enc).is_err());
+    }
+}

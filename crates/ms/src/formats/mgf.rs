@@ -1,0 +1,290 @@
+//! Mascot Generic Format (MGF) reader and writer.
+//!
+//! MGF is a line-oriented text format: each spectrum is a
+//! `BEGIN IONS`/`END IONS` block with `KEY=VALUE` headers (`TITLE`,
+//! `PEPMASS`, `CHARGE`, `RTINSECONDS`) followed by `m/z intensity` peak
+//! lines. The reader skips unknown headers and comment lines (`#`, `;`),
+//! matching the tolerance of common proteomics parsers.
+
+use crate::{MsError, Peak, Precursor, Spectrum};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Reads all spectra from an MGF stream.
+///
+/// A `&mut` reference can be passed for any `R: Read`.
+///
+/// # Errors
+///
+/// Returns [`MsError::Parse`] (with line number) on malformed blocks and
+/// [`MsError::Io`] on read failures. Spectra with a missing `PEPMASS` are
+/// rejected; a missing `CHARGE` defaults to 2+ (the MGF convention for
+/// unspecified tryptic data).
+///
+/// # Examples
+///
+/// ```
+/// use spechd_ms::formats::mgf;
+/// let text = "BEGIN IONS\nTITLE=scan=1\nPEPMASS=500.2\nCHARGE=2+\n\
+///             210.1 33.0\n310.2 11.5\nEND IONS\n";
+/// let spectra = mgf::read(text.as_bytes())?;
+/// assert_eq!(spectra.len(), 1);
+/// assert_eq!(spectra[0].peak_count(), 2);
+/// # Ok::<(), spechd_ms::MsError>(())
+/// ```
+pub fn read<R: Read>(reader: R) -> Result<Vec<Spectrum>, MsError> {
+    let mut spectra = Vec::new();
+    let mut in_block = false;
+    let mut title = String::new();
+    let mut pepmass: Option<f64> = None;
+    let mut charge: Option<u8> = None;
+    let mut rt: Option<f64> = None;
+    let mut peaks: Vec<Peak> = Vec::new();
+
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with(';') {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("BEGIN IONS") {
+            if in_block {
+                return Err(MsError::parse(lineno, "nested BEGIN IONS"));
+            }
+            in_block = true;
+            title.clear();
+            pepmass = None;
+            charge = None;
+            rt = None;
+            peaks.clear();
+            continue;
+        }
+        if line.eq_ignore_ascii_case("END IONS") {
+            if !in_block {
+                return Err(MsError::parse(lineno, "END IONS without BEGIN IONS"));
+            }
+            let mz = pepmass
+                .ok_or_else(|| MsError::parse(lineno, "spectrum block missing PEPMASS"))?;
+            let z = charge.unwrap_or(2);
+            let precursor = Precursor::new(mz, z)
+                .map_err(|e| MsError::parse(lineno, e.to_string()))?;
+            let spec_title = if title.is_empty() {
+                format!("index={}", spectra.len())
+            } else {
+                title.clone()
+            };
+            let mut s = Spectrum::new(spec_title, precursor, std::mem::take(&mut peaks))
+                .map_err(|e| MsError::parse(lineno, e.to_string()))?;
+            if let Some(seconds) = rt {
+                s = s.with_retention_time(seconds);
+            }
+            spectra.push(s);
+            in_block = false;
+            continue;
+        }
+        if !in_block {
+            // Global headers (e.g. COM=, SEARCH=) are permitted and skipped.
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            match key.trim().to_ascii_uppercase().as_str() {
+                "TITLE" => title = value.trim().to_string(),
+                "PEPMASS" => {
+                    // PEPMASS may carry "mz [intensity]".
+                    let first = value.split_whitespace().next().unwrap_or("");
+                    pepmass = Some(first.parse::<f64>().map_err(|_| {
+                        MsError::parse(lineno, format!("invalid PEPMASS {value:?}"))
+                    })?);
+                }
+                "CHARGE" => {
+                    charge = Some(parse_charge(value).ok_or_else(|| {
+                        MsError::parse(lineno, format!("invalid CHARGE {value:?}"))
+                    })?);
+                }
+                "RTINSECONDS" => {
+                    rt = Some(value.trim().parse::<f64>().map_err(|_| {
+                        MsError::parse(lineno, format!("invalid RTINSECONDS {value:?}"))
+                    })?);
+                }
+                _ => {} // unknown header: skip
+            }
+            continue;
+        }
+        // Peak line: "mz intensity" (extra columns tolerated).
+        let mut parts = line.split_whitespace();
+        let mz: f64 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| MsError::parse(lineno, format!("invalid peak line {line:?}")))?;
+        let intensity: f32 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| MsError::parse(lineno, format!("invalid peak line {line:?}")))?;
+        peaks.push(Peak::new(mz, intensity));
+    }
+    if in_block {
+        return Err(MsError::parse(0, "unterminated BEGIN IONS block"));
+    }
+    Ok(spectra)
+}
+
+fn parse_charge(value: &str) -> Option<u8> {
+    let v = value.trim();
+    // Accept "2", "2+", "+2"; take the first charge of a list like "2+ and 3+".
+    let token = v.split([',', ' ']).next()?;
+    let digits: String = token.chars().filter(|c| c.is_ascii_digit()).collect();
+    digits.parse::<u8>().ok().filter(|&z| z > 0)
+}
+
+/// Writes spectra as MGF.
+///
+/// A `&mut` reference can be passed for any `W: Write`.
+///
+/// # Errors
+///
+/// Returns [`MsError::Io`] on write failures.
+pub fn write<W: Write>(mut writer: W, spectra: &[Spectrum]) -> Result<(), MsError> {
+    for s in spectra {
+        writeln!(writer, "BEGIN IONS")?;
+        writeln!(writer, "TITLE={}", s.title())?;
+        writeln!(writer, "PEPMASS={:.6}", s.precursor().mz())?;
+        writeln!(writer, "CHARGE={}+", s.precursor().charge())?;
+        if let Some(rt) = s.retention_time() {
+            writeln!(writer, "RTINSECONDS={rt:.3}")?;
+        }
+        for p in s.peaks() {
+            writeln!(writer, "{:.5} {:.3}", p.mz, p.intensity)?;
+        }
+        writeln!(writer, "END IONS")?;
+    }
+    Ok(())
+}
+
+/// Serializes spectra to an MGF string (convenience wrapper over
+/// [`write`]).
+pub fn to_string(spectra: &[Spectrum]) -> String {
+    let mut buf = Vec::new();
+    write(&mut buf, spectra).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("MGF output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spectra() -> Vec<Spectrum> {
+        vec![
+            Spectrum::new(
+                "scan=1",
+                Precursor::new(500.25, 2).unwrap(),
+                vec![Peak::new(210.1, 33.0), Peak::new(310.2, 11.5)],
+            )
+            .unwrap()
+            .with_retention_time(65.2),
+            Spectrum::new(
+                "scan=2",
+                Precursor::new(612.0, 3).unwrap(),
+                vec![Peak::new(220.0, 5.0)],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let spectra = sample_spectra();
+        let text = to_string(&spectra);
+        let parsed = read(text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].title(), "scan=1");
+        assert_eq!(parsed[0].precursor().charge(), 2);
+        assert!((parsed[0].precursor().mz() - 500.25).abs() < 1e-6);
+        assert_eq!(parsed[0].peak_count(), 2);
+        assert!((parsed[0].retention_time().unwrap() - 65.2).abs() < 1e-3);
+        assert_eq!(parsed[1].precursor().charge(), 3);
+    }
+
+    #[test]
+    fn charge_formats() {
+        assert_eq!(parse_charge("2+"), Some(2));
+        assert_eq!(parse_charge("+3"), Some(3));
+        assert_eq!(parse_charge(" 2 "), Some(2));
+        assert_eq!(parse_charge("2+ and 3+"), Some(2));
+        assert_eq!(parse_charge("zero"), None);
+        assert_eq!(parse_charge("0"), None);
+    }
+
+    #[test]
+    fn missing_charge_defaults_to_two() {
+        let text = "BEGIN IONS\nTITLE=x\nPEPMASS=444.4\n100.0 1.0\nEND IONS\n";
+        let spectra = read(text.as_bytes()).unwrap();
+        assert_eq!(spectra[0].precursor().charge(), 2);
+    }
+
+    #[test]
+    fn pepmass_with_intensity_column() {
+        let text = "BEGIN IONS\nPEPMASS=444.4 12345.6\n100.0 1.0\nEND IONS\n";
+        let spectra = read(text.as_bytes()).unwrap();
+        assert!((spectra[0].precursor().mz() - 444.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_pepmass_is_error() {
+        let text = "BEGIN IONS\nTITLE=x\n100.0 1.0\nEND IONS\n";
+        let err = read(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("PEPMASS"));
+    }
+
+    #[test]
+    fn unterminated_block_is_error() {
+        let text = "BEGIN IONS\nPEPMASS=444.4\n100.0 1.0\n";
+        assert!(read(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn nested_begin_is_error() {
+        let text = "BEGIN IONS\nBEGIN IONS\n";
+        assert!(read(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn end_without_begin_is_error() {
+        let text = "END IONS\n";
+        assert!(read(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_and_unknown_headers_skipped() {
+        let text = "# comment\nCOM=run42\nBEGIN IONS\nTITLE=x\nPEPMASS=400\n\
+                    SCANS=17\n; another comment\n100.0 1.0 extra_col\nEND IONS\n";
+        let spectra = read(text.as_bytes()).unwrap();
+        assert_eq!(spectra.len(), 1);
+        assert_eq!(spectra[0].peak_count(), 1);
+    }
+
+    #[test]
+    fn bad_peak_line_is_error() {
+        let text = "BEGIN IONS\nPEPMASS=400\nnot_a_number 1.0\nEND IONS\n";
+        let err = read(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "got: {err}");
+    }
+
+    #[test]
+    fn empty_title_gets_index() {
+        let text = "BEGIN IONS\nPEPMASS=400\n100.0 1.0\nEND IONS\n";
+        let spectra = read(text.as_bytes()).unwrap();
+        assert_eq!(spectra[0].title(), "index=0");
+    }
+
+    #[test]
+    fn empty_input_gives_empty_vec() {
+        assert!(read("".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn peaks_sorted_after_read() {
+        let text = "BEGIN IONS\nPEPMASS=400\n300.0 1.0\n100.0 2.0\nEND IONS\n";
+        let spectra = read(text.as_bytes()).unwrap();
+        assert!(spectra[0].peaks()[0].mz < spectra[0].peaks()[1].mz);
+    }
+}

@@ -1,0 +1,242 @@
+//! The composed preprocessing pipeline.
+
+use crate::{normalize, topk, SpectraFilter};
+use spechd_ms::SpectrumDataset;
+
+/// Configuration for the full preprocessing stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreprocessConfig {
+    /// Peak-level filter settings.
+    pub filter: SpectraFilter,
+    /// Number of peaks kept by the top-k selector.
+    pub top_k: usize,
+    /// Spectra with fewer surviving peaks are discarded (falcon uses 5;
+    /// the same default applies here).
+    pub min_peaks: usize,
+    /// Whether to apply the sqrt + unit-norm scaling stage.
+    pub scale: bool,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        Self {
+            filter: SpectraFilter::default(),
+            top_k: 50,
+            min_peaks: 5,
+            scale: true,
+        }
+    }
+}
+
+/// Work/volume counters reported by a preprocessing run, mirrored by the
+/// MSAS energy model in `spechd-fpga`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PreprocessStats {
+    /// Spectra seen on input.
+    pub spectra_in: usize,
+    /// Spectra surviving `min_peaks`.
+    pub spectra_out: usize,
+    /// Total peaks on input.
+    pub peaks_in: usize,
+    /// Total peaks after filter + top-k.
+    pub peaks_out: usize,
+    /// Peaks removed by filtering and top-k selection.
+    pub peaks_removed: usize,
+}
+
+/// Result of preprocessing a dataset.
+#[derive(Debug, Clone)]
+pub struct PreprocessResult {
+    /// The surviving spectra (filtered, top-k'd, scaled), labels aligned.
+    pub dataset: SpectrumDataset,
+    /// For every output spectrum, its index in the input dataset.
+    pub kept: Vec<usize>,
+    /// Volume statistics.
+    pub stats: PreprocessStats,
+}
+
+/// The composed per-spectrum pipeline: filter → top-k → scale/normalize,
+/// with dataset-level bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use spechd_preprocess::{PreprocessConfig, PreprocessPipeline};
+/// use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+/// let ds = SyntheticGenerator::new(SyntheticConfig {
+///     num_spectra: 30, num_peptides: 6, seed: 1, ..SyntheticConfig::default()
+/// }).generate();
+/// let result = PreprocessPipeline::new(PreprocessConfig::default()).run(&ds);
+/// assert_eq!(result.dataset.len(), result.kept.len());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreprocessPipeline {
+    config: PreprocessConfig,
+}
+
+impl PreprocessPipeline {
+    /// Creates a pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `top_k == 0`.
+    pub fn new(config: PreprocessConfig) -> Self {
+        assert!(config.top_k > 0, "top_k must be positive");
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PreprocessConfig {
+        &self.config
+    }
+
+    /// Runs the pipeline over a dataset, keeping labels aligned with the
+    /// surviving spectra.
+    pub fn run(&self, dataset: &SpectrumDataset) -> PreprocessResult {
+        let mut out = SpectrumDataset::new();
+        let mut kept = Vec::new();
+        let mut stats = PreprocessStats {
+            spectra_in: dataset.len(),
+            ..Default::default()
+        };
+        for (index, (spectrum, label)) in dataset.iter().enumerate() {
+            stats.peaks_in += spectrum.peak_count();
+            let filtered = self.config.filter.apply(spectrum);
+            let selected = topk::top_k_spectrum(&filtered, self.config.top_k);
+            if selected.peak_count() < self.config.min_peaks {
+                stats.peaks_removed += spectrum.peak_count();
+                continue;
+            }
+            let finished = if self.config.scale {
+                normalize::scale_and_normalize(&selected)
+            } else {
+                selected
+            };
+            stats.peaks_out += finished.peak_count();
+            stats.peaks_removed += spectrum.peak_count() - finished.peak_count();
+            out.push(finished, label);
+            kept.push(index);
+        }
+        stats.spectra_out = out.len();
+        PreprocessResult { dataset: out, kept, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+    use spechd_ms::{Peak, Precursor, Spectrum};
+
+    fn synthetic(n: usize) -> SpectrumDataset {
+        SyntheticGenerator::new(SyntheticConfig {
+            num_spectra: n,
+            num_peptides: 20,
+            seed: 5,
+            ..SyntheticConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn output_capped_at_top_k() {
+        let result = PreprocessPipeline::new(PreprocessConfig::default()).run(&synthetic(100));
+        for s in result.dataset.spectra() {
+            assert!(s.peak_count() <= 50);
+            assert!(s.peak_count() >= 5);
+        }
+    }
+
+    #[test]
+    fn labels_stay_aligned() {
+        let ds = synthetic(150);
+        let result = PreprocessPipeline::new(PreprocessConfig::default()).run(&ds);
+        for (out_idx, &in_idx) in result.kept.iter().enumerate() {
+            assert_eq!(result.dataset.labels()[out_idx], ds.labels()[in_idx]);
+            assert_eq!(
+                result.dataset.spectra()[out_idx].title(),
+                ds.spectra()[in_idx].title()
+            );
+        }
+    }
+
+    #[test]
+    fn min_peaks_discards_sparse_spectra() {
+        let mut ds = SpectrumDataset::new();
+        ds.push(
+            Spectrum::new(
+                "sparse",
+                Precursor::new(500.0, 2).unwrap(),
+                vec![Peak::new(300.0, 10.0), Peak::new(310.0, 10.0)],
+            )
+            .unwrap(),
+            Some(1),
+        );
+        let dense_peaks: Vec<Peak> =
+            (0..30).map(|i| Peak::new(250.0 + 10.0 * i as f64, 10.0)).collect();
+        ds.push(
+            Spectrum::new("dense", Precursor::new(600.0, 2).unwrap(), dense_peaks).unwrap(),
+            Some(2),
+        );
+        let result = PreprocessPipeline::new(PreprocessConfig::default()).run(&ds);
+        assert_eq!(result.dataset.len(), 1);
+        assert_eq!(result.dataset.spectra()[0].title(), "dense");
+        assert_eq!(result.kept, vec![1]);
+        assert_eq!(result.stats.spectra_in, 2);
+        assert_eq!(result.stats.spectra_out, 1);
+    }
+
+    #[test]
+    fn stats_balance() {
+        let result = PreprocessPipeline::new(PreprocessConfig::default()).run(&synthetic(80));
+        let st = result.stats;
+        assert_eq!(st.peaks_in, st.peaks_out + st.peaks_removed);
+        assert!(st.peaks_out <= st.peaks_in);
+    }
+
+    #[test]
+    fn scaling_gives_unit_norm() {
+        let result = PreprocessPipeline::new(PreprocessConfig::default()).run(&synthetic(20));
+        for s in result.dataset.spectra() {
+            let norm: f64 = s
+                .peaks()
+                .iter()
+                .map(|p| f64::from(p.intensity) * f64::from(p.intensity))
+                .sum();
+            assert!((norm - 1.0).abs() < 1e-4, "norm {norm}");
+        }
+    }
+
+    #[test]
+    fn scale_disabled_keeps_raw_intensities() {
+        let mut cfg = PreprocessConfig::default();
+        cfg.scale = false;
+        let result = PreprocessPipeline::new(cfg).run(&synthetic(20));
+        let max = result
+            .dataset
+            .spectra()
+            .iter()
+            .flat_map(|s| s.peaks())
+            .map(|p| p.intensity)
+            .fold(0.0f32, f32::max);
+        assert!(max > 10.0, "raw intensities expected, max {max}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = synthetic(60);
+        let p = PreprocessPipeline::new(PreprocessConfig::default());
+        let a = p.run(&ds);
+        let b = p.run(&ds);
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k")]
+    fn zero_top_k_panics() {
+        let mut cfg = PreprocessConfig::default();
+        cfg.top_k = 0;
+        PreprocessPipeline::new(cfg);
+    }
+}

@@ -1,0 +1,154 @@
+//! Target–decoy peptide database with a precursor-mass index.
+
+use spechd_ms::Peptide;
+
+/// One database entry: a peptide, its neutral monoisotopic mass, and
+/// whether it is a reversed-sequence decoy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbEntry {
+    /// The peptide sequence.
+    pub peptide: Peptide,
+    /// Neutral monoisotopic mass in Dalton.
+    pub mass: f64,
+    /// Whether this entry is a decoy.
+    pub is_decoy: bool,
+}
+
+/// A searchable peptide database: all target peptides plus their reversed
+/// decoys, sorted by neutral mass for O(log n) candidate retrieval.
+///
+/// # Examples
+///
+/// ```
+/// use spechd_search::PeptideDatabase;
+/// use spechd_ms::Peptide;
+/// let targets = vec![Peptide::new("PEPTIDEK")?, Peptide::new("SAMPLER")?];
+/// let db = PeptideDatabase::build(&targets);
+/// assert_eq!(db.len(), 4); // 2 targets + 2 decoys
+/// let mass = targets[0].monoisotopic_mass();
+/// assert!(db.candidates(mass, 0.5).iter().any(|e| !e.is_decoy));
+/// # Ok::<(), spechd_ms::MsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeptideDatabase {
+    entries: Vec<DbEntry>,
+}
+
+impl PeptideDatabase {
+    /// Builds the database from target peptides, generating one reversed
+    /// decoy per target (palindromic decoys that collide with their target
+    /// are skipped).
+    pub fn build(targets: &[Peptide]) -> Self {
+        let mut entries = Vec::with_capacity(targets.len() * 2);
+        for t in targets {
+            entries.push(DbEntry {
+                peptide: t.clone(),
+                mass: t.monoisotopic_mass(),
+                is_decoy: false,
+            });
+            let d = t.decoy();
+            if d.sequence() != t.sequence() {
+                entries.push(DbEntry { mass: d.monoisotopic_mass(), peptide: d, is_decoy: true });
+            }
+        }
+        entries.sort_by(|a, b| a.mass.total_cmp(&b.mass));
+        Self { entries }
+    }
+
+    /// Number of entries (targets + decoys).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of target entries.
+    pub fn target_count(&self) -> usize {
+        self.entries.iter().filter(|e| !e.is_decoy).count()
+    }
+
+    /// All entries sorted by mass.
+    pub fn entries(&self) -> &[DbEntry] {
+        &self.entries
+    }
+
+    /// Entries whose neutral mass lies within `± tol_da` of `mass`.
+    pub fn candidates(&self, mass: f64, tol_da: f64) -> &[DbEntry] {
+        let lo = self
+            .entries
+            .partition_point(|e| e.mass < mass - tol_da);
+        let hi = self
+            .entries
+            .partition_point(|e| e.mass <= mass + tol_da);
+        &self.entries[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peptides() -> Vec<Peptide> {
+        ["PEPTIDEK", "SAMPLER", "ACDEFGHK", "WWWWK"]
+            .iter()
+            .map(|s| Peptide::new(*s).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn build_adds_decoys() {
+        let db = PeptideDatabase::build(&peptides());
+        assert_eq!(db.target_count(), 4);
+        assert!(db.len() >= 7, "decoys added (palindromes may collapse)");
+    }
+
+    #[test]
+    fn entries_sorted_by_mass() {
+        let db = PeptideDatabase::build(&peptides());
+        assert!(db.entries().windows(2).all(|w| w[0].mass <= w[1].mass));
+    }
+
+    #[test]
+    fn candidates_window() {
+        let pep = Peptide::new("PEPTIDEK").unwrap();
+        let db = PeptideDatabase::build(&peptides());
+        let c = db.candidates(pep.monoisotopic_mass(), 0.01);
+        // Target and its decoy share the same mass.
+        assert!(c.len() >= 2);
+        assert!(c.iter().any(|e| e.peptide == pep));
+        assert!(c.iter().any(|e| e.is_decoy));
+    }
+
+    #[test]
+    fn candidates_empty_far_away() {
+        let db = PeptideDatabase::build(&peptides());
+        assert!(db.candidates(10.0, 0.5).is_empty());
+        assert!(db.candidates(1e6, 0.5).is_empty());
+    }
+
+    #[test]
+    fn candidates_tolerance_widens_window() {
+        let db = PeptideDatabase::build(&peptides());
+        let m = 900.0;
+        assert!(db.candidates(m, 1000.0).len() >= db.candidates(m, 1.0).len());
+        assert_eq!(db.candidates(m, 1e6).len(), db.len());
+    }
+
+    #[test]
+    fn palindromic_decoy_skipped() {
+        // "KK" reversed-keeping-terminus is "KK": no decoy entry.
+        let db = PeptideDatabase::build(&[Peptide::new("KK").unwrap()]);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.target_count(), 1);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = PeptideDatabase::build(&[]);
+        assert!(db.is_empty());
+        assert!(db.candidates(500.0, 10.0).is_empty());
+    }
+}

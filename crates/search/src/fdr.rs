@@ -1,0 +1,173 @@
+//! Target–decoy false-discovery-rate estimation.
+
+/// Minimal view of a scored match needed for FDR computation; implemented
+/// by [`crate::Psm`] and by test doubles.
+pub trait ScoredMatch {
+    /// The match score (higher is better).
+    fn score(&self) -> f64;
+    /// Whether the match hit a decoy entry.
+    fn is_decoy(&self) -> bool;
+}
+
+impl ScoredMatch for crate::Psm {
+    fn score(&self) -> f64 {
+        self.score
+    }
+
+    fn is_decoy(&self) -> bool {
+        self.is_decoy
+    }
+}
+
+/// Assigns a q-value to every match: matches are ranked by descending
+/// score; at each rank the FDR estimate is `#decoys / max(#targets, 1)`;
+/// q-values are the running minimum from the bottom of the list
+/// (monotone non-decreasing in rank). Returns `(index, q_value)` pairs in
+/// the *original* order of `matches`.
+pub fn assign_q_values<M: ScoredMatch>(matches: &[M]) -> Vec<f64> {
+    let n = matches.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| matches[b].score().total_cmp(&matches[a].score()));
+
+    // Forward pass: raw FDR at each rank.
+    let mut raw = vec![0.0f64; n];
+    let mut decoys = 0usize;
+    let mut targets = 0usize;
+    for (rank, &idx) in order.iter().enumerate() {
+        if matches[idx].is_decoy() {
+            decoys += 1;
+        } else {
+            targets += 1;
+        }
+        raw[rank] = decoys as f64 / targets.max(1) as f64;
+    }
+    // Backward pass: q = min FDR at this rank or any worse rank.
+    let mut running = f64::INFINITY;
+    let mut q_by_rank = vec![0.0f64; n];
+    for rank in (0..n).rev() {
+        running = running.min(raw[rank]);
+        q_by_rank[rank] = running;
+    }
+    // Scatter back to original order.
+    let mut out = vec![0.0f64; n];
+    for (rank, &idx) in order.iter().enumerate() {
+        out[idx] = q_by_rank[rank];
+    }
+    out
+}
+
+/// Returns the indices of target matches accepted at the given FDR level
+/// (decoys are never returned).
+pub fn filter_at_fdr<M: ScoredMatch>(matches: &[M], fdr: f64) -> Vec<usize> {
+    let q = assign_q_values(matches);
+    (0..matches.len())
+        .filter(|&i| !matches[i].is_decoy() && q[i] <= fdr)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake {
+        score: f64,
+        decoy: bool,
+    }
+
+    impl ScoredMatch for Fake {
+        fn score(&self) -> f64 {
+            self.score
+        }
+        fn is_decoy(&self) -> bool {
+            self.decoy
+        }
+    }
+
+    fn fakes(spec: &[(f64, bool)]) -> Vec<Fake> {
+        spec.iter().map(|&(score, decoy)| Fake { score, decoy }).collect()
+    }
+
+    #[test]
+    fn clean_separation_gives_zero_q_for_top_targets() {
+        // Targets score 10..7, decoys 3..1.
+        let m = fakes(&[(10.0, false), (9.0, false), (8.0, false), (3.0, true), (2.0, true)]);
+        let q = assign_q_values(&m);
+        assert_eq!(q[0], 0.0);
+        assert_eq!(q[1], 0.0);
+        assert_eq!(q[2], 0.0);
+        assert!(q[3] > 0.0);
+    }
+
+    #[test]
+    fn q_values_monotone_in_rank() {
+        let m = fakes(&[
+            (10.0, false),
+            (9.5, true),
+            (9.0, false),
+            (8.0, false),
+            (7.0, true),
+            (6.0, false),
+        ]);
+        let q = assign_q_values(&m);
+        let mut order: Vec<usize> = (0..m.len()).collect();
+        order.sort_by(|&a, &b| m[b].score.total_cmp(&m[a].score));
+        let ranked: Vec<f64> = order.iter().map(|&i| q[i]).collect();
+        assert!(ranked.windows(2).all(|w| w[0] <= w[1] + 1e-12), "{ranked:?}");
+    }
+
+    #[test]
+    fn interleaved_decoy_raises_q() {
+        let m = fakes(&[(10.0, true), (9.0, false), (8.0, false)]);
+        let q = assign_q_values(&m);
+        // One decoy above every target: FDR estimate 1/1 then 1/2.
+        assert!((q[1] - 0.5).abs() < 1e-12);
+        assert!((q[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_excludes_decoys_and_high_q() {
+        let m = fakes(&[
+            (10.0, false),
+            (9.0, false),
+            (5.0, true),
+            (4.0, false),
+            (3.0, true),
+        ]);
+        let accepted = filter_at_fdr(&m, 0.01);
+        assert_eq!(accepted, vec![0, 1]);
+        let lax = filter_at_fdr(&m, 1.0);
+        assert!(!lax.contains(&2), "decoys never accepted");
+        assert!(lax.contains(&3));
+    }
+
+    #[test]
+    fn empty_input() {
+        let m: Vec<Fake> = Vec::new();
+        assert!(assign_q_values(&m).is_empty());
+        assert!(filter_at_fdr(&m, 0.01).is_empty());
+    }
+
+    #[test]
+    fn all_decoys() {
+        let m = fakes(&[(5.0, true), (4.0, true)]);
+        assert!(filter_at_fdr(&m, 0.5).is_empty());
+    }
+
+    #[test]
+    fn stricter_fdr_accepts_fewer() {
+        let m = fakes(&[
+            (10.0, false),
+            (9.0, true),
+            (8.0, false),
+            (7.0, false),
+            (6.0, true),
+            (5.0, false),
+        ]);
+        let strict = filter_at_fdr(&m, 0.1).len();
+        let lax = filter_at_fdr(&m, 0.9).len();
+        assert!(strict <= lax);
+    }
+}

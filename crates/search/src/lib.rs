@@ -1,0 +1,47 @@
+//! Simplified peptide database search engine.
+//!
+//! SpecHD's downstream evaluation (Fig. 11, §IV-E2) feeds consensus
+//! spectra to a database search engine (the paper uses MSGF+) and compares
+//! the sets of identified unique peptides across clustering tools. This
+//! crate is the documented stand-in (DESIGN.md §2): a compact but complete
+//! search engine with
+//!
+//! * a target–decoy [`PeptideDatabase`] indexed by precursor neutral mass,
+//! * X!Tandem-style [`hyperscore`] scoring over matched b/y ions,
+//! * a [`SearchEngine`] applying precursor and fragment tolerances, and
+//! * target–decoy FDR control ([`assign_q_values`], [`filter_at_fdr`]).
+//!
+//! Relative peptide-set overlaps between tools — the Fig. 11 quantity —
+//! are computed by [`overlap::venn3`].
+//!
+//! # Example
+//!
+//! ```
+//! use spechd_search::{PeptideDatabase, SearchConfig, SearchEngine};
+//! use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+//!
+//! let gen = SyntheticGenerator::new(SyntheticConfig {
+//!     num_spectra: 50, num_peptides: 20, seed: 3,
+//!     noise_spectrum_fraction: 0.0, ..SyntheticConfig::default()
+//! });
+//! let ds = gen.generate();
+//! let db = PeptideDatabase::build(gen.peptide_library());
+//! let engine = SearchEngine::new(db, SearchConfig::default());
+//! let psms = engine.search_dataset(ds.spectra());
+//! let hits = psms.iter().flatten().count();
+//! assert!(hits > 25, "most synthetic spectra should be identifiable, got {hits}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod db;
+mod engine;
+mod fdr;
+pub mod overlap;
+mod score;
+
+pub use db::{DbEntry, PeptideDatabase};
+pub use engine::{Psm, SearchConfig, SearchEngine};
+pub use fdr::{assign_q_values, filter_at_fdr, ScoredMatch};
+pub use score::{hyperscore, shared_peak_count, MatchedIons};

@@ -1,0 +1,161 @@
+//! Peptide-set overlap (the Venn diagram of Fig. 11).
+
+use std::collections::BTreeSet;
+
+/// Region counts of a three-way Venn diagram over peptide sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Venn3 {
+    /// Unique to set A.
+    pub only_a: usize,
+    /// Unique to set B.
+    pub only_b: usize,
+    /// Unique to set C.
+    pub only_c: usize,
+    /// In A and B only.
+    pub ab: usize,
+    /// In A and C only.
+    pub ac: usize,
+    /// In B and C only.
+    pub bc: usize,
+    /// In all three.
+    pub abc: usize,
+}
+
+impl Venn3 {
+    /// Total size of set A.
+    pub fn total_a(&self) -> usize {
+        self.only_a + self.ab + self.ac + self.abc
+    }
+
+    /// Total size of set B.
+    pub fn total_b(&self) -> usize {
+        self.only_b + self.ab + self.bc + self.abc
+    }
+
+    /// Total size of set C.
+    pub fn total_c(&self) -> usize {
+        self.only_c + self.ac + self.bc + self.abc
+    }
+
+    /// Size of the union.
+    pub fn union(&self) -> usize {
+        self.only_a + self.only_b + self.only_c + self.ab + self.ac + self.bc + self.abc
+    }
+
+    /// Relative difference of A versus B in percent:
+    /// `(|A| − |B|) / |B| × 100` — the form of the Fig. 11 claims
+    /// ("Spec-HD closely trails GLEAMS by a mere 1.38%").
+    pub fn a_vs_b_percent(&self) -> f64 {
+        let b = self.total_b();
+        if b == 0 {
+            return 0.0;
+        }
+        (self.total_a() as f64 - b as f64) / b as f64 * 100.0
+    }
+}
+
+/// Computes the three-way Venn region counts of peptide string sets.
+///
+/// # Examples
+///
+/// ```
+/// use spechd_search::overlap::venn3;
+/// let a = ["P1", "P2", "P3"];
+/// let b = ["P2", "P3", "P4"];
+/// let c = ["P3", "P5"];
+/// let v = venn3(
+///     a.iter().copied(),
+///     b.iter().copied(),
+///     c.iter().copied(),
+/// );
+/// assert_eq!(v.abc, 1);     // P3
+/// assert_eq!(v.ab, 1);      // P2
+/// assert_eq!(v.only_c, 1);  // P5
+/// assert_eq!(v.union(), 5);
+/// ```
+pub fn venn3<'a>(
+    a: impl IntoIterator<Item = &'a str>,
+    b: impl IntoIterator<Item = &'a str>,
+    c: impl IntoIterator<Item = &'a str>,
+) -> Venn3 {
+    let sa: BTreeSet<&str> = a.into_iter().collect();
+    let sb: BTreeSet<&str> = b.into_iter().collect();
+    let sc: BTreeSet<&str> = c.into_iter().collect();
+    let mut v = Venn3::default();
+    let all: BTreeSet<&str> = sa.union(&sb).cloned().collect::<BTreeSet<_>>()
+        .union(&sc)
+        .cloned()
+        .collect();
+    for item in all {
+        match (sa.contains(item), sb.contains(item), sc.contains(item)) {
+            (true, false, false) => v.only_a += 1,
+            (false, true, false) => v.only_b += 1,
+            (false, false, true) => v.only_c += 1,
+            (true, true, false) => v.ab += 1,
+            (true, false, true) => v.ac += 1,
+            (false, true, true) => v.bc += 1,
+            (true, true, true) => v.abc += 1,
+            (false, false, false) => unreachable!("item came from the union"),
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_sets() {
+        let v = venn3(["A"].into_iter(), ["B"].into_iter(), ["C"].into_iter());
+        assert_eq!(v.only_a, 1);
+        assert_eq!(v.only_b, 1);
+        assert_eq!(v.only_c, 1);
+        assert_eq!(v.abc, 0);
+        assert_eq!(v.union(), 3);
+    }
+
+    #[test]
+    fn identical_sets() {
+        let items = ["X", "Y", "Z"];
+        let v = venn3(items.into_iter(), items.into_iter(), items.into_iter());
+        assert_eq!(v.abc, 3);
+        assert_eq!(v.union(), 3);
+        assert_eq!(v.total_a(), 3);
+        assert_eq!(v.a_vs_b_percent(), 0.0);
+    }
+
+    #[test]
+    fn totals_consistent() {
+        let a = ["1", "2", "3", "4"];
+        let b = ["3", "4", "5"];
+        let c = ["4", "5", "6", "7"];
+        let v = venn3(a.into_iter(), b.into_iter(), c.into_iter());
+        assert_eq!(v.total_a(), 4);
+        assert_eq!(v.total_b(), 3);
+        assert_eq!(v.total_c(), 4);
+        assert_eq!(v.union(), 7);
+    }
+
+    #[test]
+    fn percent_difference() {
+        let a = ["1", "2", "3"];
+        let b = ["1", "2", "3", "4"];
+        let v = venn3(a.into_iter(), b.into_iter(), std::iter::empty());
+        assert!((v.a_vs_b_percent() + 25.0).abs() < 1e-12, "A trails B by 25%");
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let v = venn3(["P", "P", "P"].into_iter(), ["P"].into_iter(), std::iter::empty());
+        assert_eq!(v.ab, 1);
+        assert_eq!(v.union(), 1);
+    }
+
+    #[test]
+    fn empty_everything() {
+        let v = venn3(std::iter::empty(), std::iter::empty(), std::iter::empty());
+        assert_eq!(v.union(), 0);
+        assert_eq!(v.a_vs_b_percent(), 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Design space exploration: the §I claim that SpecHD's near-storage +
+//! FPGA composition was "guided by design space exploration".
+//!
+//! Sweeps encoder/clustering-kernel counts, MSAS channel counts and the
+//! P2P toggle on the PXD000561 workload, printing every feasible point
+//! and the time/energy Pareto front.
+//!
+//! ```bash
+//! cargo run --release --example design_space
+//! ```
+
+use spechd_fpga::dse::{explore, pareto_front, DseSweep};
+use spechd_fpga::WorkloadShape;
+
+fn main() {
+    let shape = WorkloadShape::pxd000561();
+    let sweep = DseSweep::default();
+    let points = explore(&shape, &sweep);
+
+    println!("== All design points (PXD000561) ==");
+    println!(
+        "{:>4} {:>6} {:>9} {:>6} {:>10} {:>12} {:>9}",
+        "enc", "clust", "channels", "p2p", "total(s)", "energy(J)", "feasible"
+    );
+    for p in &points {
+        println!(
+            "{:>4} {:>6} {:>9} {:>6} {:>10.1} {:>12.0} {:>9}",
+            p.encoders,
+            p.cluster_kernels,
+            p.msas_channels,
+            p.p2p,
+            p.total_s,
+            p.total_j,
+            p.feasible
+        );
+    }
+
+    let front = pareto_front(&points);
+    println!("\n== Pareto front (time vs energy, feasible only) ==");
+    for p in &front {
+        println!(
+            "{} encoder(s) + {} clustering kernel(s), {} MSAS channels, p2p={} -> {:.1} s, {:.0} J",
+            p.encoders, p.cluster_kernels, p.msas_channels, p.p2p, p.total_s, p.total_j
+        );
+    }
+
+    // The paper's deployed point: 1 encoder + 5 clustering kernels, P2P on.
+    let deployed = points
+        .iter()
+        .find(|p| p.encoders == 1 && p.cluster_kernels == 5 && p.msas_channels == 8 && p.p2p)
+        .expect("deployed point is part of the sweep");
+    println!(
+        "\npaper's deployed configuration: {:.1} s / {:.0} J (feasible: {})",
+        deployed.total_s, deployed.total_j, deployed.feasible
+    );
+}

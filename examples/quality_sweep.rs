@@ -1,0 +1,86 @@
+//! Quality sweep: regenerates a Fig.-10-style curve — clustered spectra
+//! ratio versus incorrect clustering ratio — for SpecHD and the
+//! comparator tools on one labelled synthetic dataset.
+//!
+//! ```bash
+//! cargo run --release --example quality_sweep
+//! ```
+
+use spechd_baselines::{
+    ClusteringTool, Falcon, Gleams, HyperSpecDbscan, HyperSpecHac, MaRaCluster, MsCrush,
+};
+use spechd_core::{ClusteringEval, SpecHd, SpecHdConfig};
+use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+
+fn main() {
+    let dataset = SyntheticGenerator::new(SyntheticConfig {
+        num_spectra: 1_500,
+        num_peptides: 300,
+        seed: 11,
+        ..SyntheticConfig::default()
+    })
+    .generate();
+    println!("dataset: {}", dataset.stats());
+    println!(
+        "\n{:<22} {:>10} {:>14} {:>10} {:>13}",
+        "tool", "threshold", "clustered(%)", "ICR(%)", "completeness"
+    );
+
+    // SpecHD across thresholds (the paper's tuning axis).
+    for threshold in [0.20, 0.24, 0.28, 0.32, 0.36, 0.40] {
+        let config = SpecHdConfig::builder()
+            .distance_threshold_fraction(threshold)
+            .build();
+        let outcome = SpecHd::new(config).run(&dataset);
+        let eval = outcome.evaluate(&dataset);
+        print_row("SpecHD", &format!("{threshold:.2}"), &eval);
+    }
+
+    // Comparator tools at a few operating points each.
+    for t in [0.24, 0.32, 0.40] {
+        let tool = HyperSpecHac { threshold_fraction: t, ..Default::default() };
+        let eval = run(&tool, &dataset);
+        print_row(tool.name(), &format!("{t:.2}"), &eval);
+    }
+    for eps in [0.22, 0.28, 0.34] {
+        let tool = HyperSpecDbscan { eps_fraction: eps, ..Default::default() };
+        let eval = run(&tool, &dataset);
+        print_row(tool.name(), &format!("{eps:.2}"), &eval);
+    }
+    for eps in [0.15, 0.25, 0.35] {
+        let tool = Falcon { eps, ..Default::default() };
+        let eval = run(&tool, &dataset);
+        print_row(tool.name(), &format!("{eps:.2}"), &eval);
+    }
+    for sim in [0.85, 0.75, 0.65] {
+        let tool = MsCrush { min_similarity: sim, ..Default::default() };
+        let eval = run(&tool, &dataset);
+        print_row(tool.name(), &format!("{sim:.2}"), &eval);
+    }
+    for thr in [0.005, 0.02, 0.08] {
+        let tool = MaRaCluster { threshold: thr, ..Default::default() };
+        let eval = run(&tool, &dataset);
+        print_row(tool.name(), &format!("{thr:.3}"), &eval);
+    }
+    for thr in [0.45, 0.62, 0.80] {
+        let tool = Gleams { threshold: thr, ..Default::default() };
+        let eval = run(&tool, &dataset);
+        print_row(tool.name(), &format!("{thr:.2}"), &eval);
+    }
+}
+
+fn run(tool: &dyn ClusteringTool, dataset: &spechd_ms::SpectrumDataset) -> ClusteringEval {
+    let assignment = tool.cluster(dataset);
+    ClusteringEval::compute(assignment.labels(), dataset.labels())
+}
+
+fn print_row(name: &str, threshold: &str, eval: &ClusteringEval) {
+    println!(
+        "{:<22} {:>10} {:>14.1} {:>10.2} {:>13.3}",
+        name,
+        threshold,
+        eval.clustered_ratio * 100.0,
+        eval.incorrect_ratio * 100.0,
+        eval.completeness
+    );
+}

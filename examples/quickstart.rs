@@ -1,0 +1,66 @@
+//! Quickstart: cluster a synthetic MS/MS run with SpecHD and inspect the
+//! outcome.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use spechd_core::{SpecHd, SpecHdConfig};
+use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+
+fn main() {
+    // 1. A labelled synthetic dataset standing in for an MGF/mzML run
+    //    (every spectrum knows which peptide generated it).
+    let generator = SyntheticGenerator::new(SyntheticConfig {
+        num_spectra: 2_000,
+        num_peptides: 400,
+        seed: 42,
+        ..SyntheticConfig::default()
+    });
+    let dataset = generator.generate();
+    println!("dataset: {}", dataset.stats());
+
+    // 2. The SpecHD pipeline with the paper's defaults: D=2048 ID-Level
+    //    encoding, 1-Da precursor buckets, complete-linkage NN-chain HAC.
+    let spechd = SpecHd::new(SpecHdConfig::default());
+    let outcome = spechd.run(&dataset);
+
+    // 3. What happened?
+    let stats = outcome.stats();
+    println!(
+        "preprocess: {} -> {} spectra ({} peaks removed)",
+        stats.preprocess.spectra_in, stats.preprocess.spectra_out, stats.preprocess.peaks_removed
+    );
+    println!(
+        "buckets: {} (largest {}, mean {:.1})",
+        stats.buckets.count, stats.buckets.max_size, stats.buckets.mean_size
+    );
+    println!(
+        "clusters: {} over {} spectra ({} merges, {} distance comparisons)",
+        outcome.assignment().num_clusters(),
+        outcome.assignment().len(),
+        stats.hac.merges,
+        stats.hac.comparisons,
+    );
+    println!("compression: {}", outcome.compression());
+    println!(
+        "host timings: preprocess {:.3}s, encode {:.3}s, cluster {:.3}s",
+        stats.preprocess_s, stats.encode_s, stats.cluster_s
+    );
+
+    // 4. Quality against ground truth.
+    let eval = outcome.evaluate(&dataset);
+    println!(
+        "quality: clustered ratio {:.1}%, incorrect ratio {:.2}%, completeness {:.3}",
+        eval.clustered_ratio * 100.0,
+        eval.incorrect_ratio * 100.0,
+        eval.completeness
+    );
+
+    // 5. Consensus spectra (medoids) represent clusters downstream.
+    let first_consensus = outcome.consensus()[0];
+    println!(
+        "first consensus spectrum: {}",
+        dataset.spectrum(first_consensus).title()
+    );
+}

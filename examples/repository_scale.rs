@@ -1,0 +1,83 @@
+//! Repository-scale projection: what the paper's headline numbers look
+//! like through the analytic FPGA system model.
+//!
+//! Reproduces the "cluster a 131 GB human proteome dataset in just 5
+//! minutes" claim (§I) and the per-stage breakdown for all five Table-I
+//! datasets, plus the energy story of Fig. 9.
+//!
+//! ```bash
+//! cargo run --release --example repository_scale
+//! ```
+
+use spechd_baselines::perf::ToolPerfModel;
+use spechd_fpga::{SystemConfig, SystemModel, WorkloadShape};
+use spechd_ms::profiles::TABLE1;
+
+fn main() {
+    let model = SystemModel::new(SystemConfig::default());
+
+    println!("== SpecHD end-to-end projection (1 encoder + 5 clustering kernels) ==");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "dataset", "prep(s)", "xfer(s)", "enc(s)", "clust(s)", "host(s)", "total(s)"
+    );
+    for (profile, shape) in TABLE1.iter().zip(WorkloadShape::table1()) {
+        let t = model.end_to_end(&shape);
+        println!(
+            "{:<12} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            profile.pride_id, t.preprocess_s, t.transfer_s, t.encode_s, t.cluster_s, t.host_s,
+            t.total_s
+        );
+    }
+
+    let human = WorkloadShape::pxd000561();
+    let t = model.end_to_end(&human);
+    println!(
+        "\nPXD000561 (131 GB, 21.1M spectra): {:.1} s end-to-end (paper: ~5 minutes)",
+        t.total_s
+    );
+    println!(
+        "standalone clustering: {:.1} s (paper Fig. 8: 80 s)",
+        model.standalone_clustering_time(&human)
+    );
+
+    println!("\n== Speedups over comparison tools (PXD000561) ==");
+    let spechd_e2e = t.total_s;
+    let spechd_cluster = model.standalone_clustering_time(&human);
+    for tool in ToolPerfModel::fig7_tools() {
+        println!(
+            "{:<18} end-to-end {:>8.0}s ({:>5.1}x)   clustering {:>8.0}s ({:>6.1}x)",
+            tool.name,
+            tool.end_to_end_s(&human),
+            tool.end_to_end_s(&human) / spechd_e2e,
+            tool.clustering_s(&human),
+            tool.clustering_s(&human) / spechd_cluster,
+        );
+    }
+
+    println!("\n== Energy (PXD000561) ==");
+    let e = model.end_to_end_energy(&human);
+    println!(
+        "SpecHD: {:.0} J total (MSAS {:.0} J, FPGA {:.0} J, host {:.0} J)",
+        e.total_j, e.msas_j, e.fpga_j, e.host_j
+    );
+    for tool in [ToolPerfModel::hyperspec_hac(), ToolPerfModel::hyperspec_dbscan()] {
+        let tool_j = tool.end_to_end_energy_j(&human);
+        println!(
+            "{:<18} {:>10.0} J -> SpecHD is {:>5.1}x more energy-efficient",
+            tool.name,
+            tool_j,
+            tool_j / e.total_j
+        );
+    }
+
+    println!("\n== Feasibility ==");
+    let problems = model.feasibility(&human);
+    if problems.is_empty() {
+        println!("configuration fits the Alveo U280 and the HBM working set");
+    } else {
+        for p in problems {
+            println!("violation: {p}");
+        }
+    }
+}

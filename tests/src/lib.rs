@@ -1,0 +1,1 @@
+//! Integration test host crate. All content lives in `tests/`.

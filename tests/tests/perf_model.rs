@@ -1,0 +1,122 @@
+//! Calibration gates for the performance/energy models: every headline
+//! number of the paper must be reproduced by the analytic system model
+//! within a stated tolerance.
+
+use spechd_baselines::perf::ToolPerfModel;
+use spechd_fpga::{MsasModel, SystemConfig, SystemModel, WorkloadShape};
+use spechd_ms::profiles::TABLE1;
+
+#[test]
+fn table1_reproduced_within_8_percent() {
+    let msas = MsasModel::default();
+    for p in &TABLE1 {
+        let t = msas.preprocess_time(p.bytes);
+        let e = msas.preprocess_energy(p.bytes);
+        assert!(
+            (t - p.paper_pp_time_s).abs() / p.paper_pp_time_s < 0.08,
+            "{}: time {t:.2} vs paper {}",
+            p.pride_id,
+            p.paper_pp_time_s
+        );
+        assert!(
+            (e - p.paper_pp_energy_j).abs() / p.paper_pp_energy_j < 0.10,
+            "{}: energy {e:.1} vs paper {}",
+            p.pride_id,
+            p.paper_pp_energy_j
+        );
+    }
+}
+
+#[test]
+fn five_minute_headline_claim() {
+    // §I: 25M spectra / 131 GB "in just 5 minutes".
+    let model = SystemModel::new(SystemConfig::default());
+    let t = model.end_to_end(&WorkloadShape::pxd000561());
+    assert!(
+        (200.0..400.0).contains(&t.total_s),
+        "end-to-end {:.0}s should be about five minutes",
+        t.total_s
+    );
+}
+
+#[test]
+fn fig8_standalone_clustering_ratios() {
+    let model = SystemModel::new(SystemConfig::default());
+    let shape = WorkloadShape::pxd000561();
+    let spechd = model.standalone_clustering_time(&shape);
+    assert!((60.0..100.0).contains(&spechd), "SpecHD clustering {spechd:.0}s (paper 80s)");
+    let hyperspec = ToolPerfModel::hyperspec_hac().clustering_s(&shape) / spechd;
+    assert!((10.0..16.0).contains(&hyperspec), "{hyperspec:.1}x (paper 12.3x)");
+    let gleams = ToolPerfModel::gleams().clustering_s(&shape) / spechd;
+    assert!((11.0..18.0).contains(&gleams), "{gleams:.1}x (paper 14.3x)");
+    let falcon = ToolPerfModel::falcon().clustering_s(&shape) / spechd;
+    assert!((80.0..130.0).contains(&falcon), "{falcon:.1}x (paper ~100x)");
+}
+
+#[test]
+fn fig7_speedups_grow_with_scale_and_bracket_paper_range() {
+    let model = SystemModel::new(SystemConfig::default());
+    let shapes = WorkloadShape::table1();
+    let gleams = ToolPerfModel::gleams();
+    let first = gleams.end_to_end_s(&shapes[0]) / model.end_to_end(&shapes[0]).total_s;
+    let last = gleams.end_to_end_s(&shapes[4]) / model.end_to_end(&shapes[4]).total_s;
+    // Paper: 31x (PXD001511) to 54x (PXD000561), growing with size.
+    assert!(last > first, "speedup must grow with dataset scale");
+    assert!((25.0..45.0).contains(&first), "small-dataset speedup {first:.1}");
+    assert!((45.0..60.0).contains(&last), "flagship speedup {last:.1} (paper 54x)");
+    // HyperSpec-HAC: ~6x on the flagship.
+    let hs = ToolPerfModel::hyperspec_hac().end_to_end_s(&shapes[4])
+        / model.end_to_end(&shapes[4]).total_s;
+    assert!((4.5..8.0).contains(&hs), "HyperSpec speedup {hs:.1} (paper 6x)");
+}
+
+#[test]
+fn fig9_energy_efficiency_ratios() {
+    let model = SystemModel::new(SystemConfig::default());
+    let shape = WorkloadShape::pxd000561();
+    let e2e = model.end_to_end_energy(&shape).total_j;
+    let cluster = model.clustering_energy(&shape);
+    let hac = ToolPerfModel::hyperspec_hac();
+    let db = ToolPerfModel::hyperspec_dbscan();
+    // Paper: e2e 31x/14x, clustering 40x/12x (HAC/DBSCAN).
+    let r_e2e_hac = hac.end_to_end_energy_j(&shape) / e2e;
+    let r_e2e_db = db.end_to_end_energy_j(&shape) / e2e;
+    let r_cl_hac = hac.clustering_energy_j(&shape) / cluster;
+    let r_cl_db = db.clustering_energy_j(&shape) / cluster;
+    assert!((18.0..40.0).contains(&r_e2e_hac), "e2e HAC {r_e2e_hac:.1} (paper 31x)");
+    assert!((10.0..20.0).contains(&r_e2e_db), "e2e DBSCAN {r_e2e_db:.1} (paper 14x)");
+    assert!((25.0..50.0).contains(&r_cl_hac), "cluster HAC {r_cl_hac:.1} (paper 40x)");
+    assert!((8.0..16.0).contains(&r_cl_db), "cluster DBSCAN {r_cl_db:.1} (paper 12x)");
+}
+
+#[test]
+fn compression_factors_match_fig6b() {
+    // 24x-108x across the five datasets at D=2048.
+    let factors: Vec<f64> = TABLE1.iter().map(|p| p.compression_factor(2048)).collect();
+    let min = factors.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = factors.iter().cloned().fold(0.0, f64::max);
+    assert!((15.0..30.0).contains(&min), "min {min:.0} (paper 24x)");
+    assert!((80.0..115.0).contains(&max), "max {max:.0} (paper 108x)");
+}
+
+#[test]
+fn hbm_holds_flagship_hypervectors() {
+    // The architectural point of §II-B: HVs of the largest dataset fit
+    // on-device, unlike raw spectra on a 24 GB GPU.
+    let model = SystemModel::new(SystemConfig::default());
+    assert!(model.feasibility(&WorkloadShape::pxd000561()).is_empty());
+}
+
+#[test]
+fn dse_prefers_p2p_and_multiple_kernels() {
+    let points = spechd_fpga::dse::explore(
+        &WorkloadShape::pxd000561(),
+        &spechd_fpga::dse::DseSweep::default(),
+    );
+    let front = spechd_fpga::dse::pareto_front(&points);
+    assert!(!front.is_empty());
+    // The fastest Pareto point uses P2P and more than one clustering kernel.
+    let fastest = &front[0];
+    assert!(fastest.p2p, "P2P should be on the fast end of the front");
+    assert!(fastest.cluster_kernels > 1);
+}

@@ -1,0 +1,137 @@
+//! Downstream database-search integration: the Fig. 11 peptide-overlap
+//! experiment and the consensus-search speedup claim.
+
+use spechd_core::{SpecHd, SpecHdConfig};
+use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+use spechd_search::{filter_at_fdr, PeptideDatabase, SearchConfig, SearchEngine};
+
+#[test]
+fn fig11_overlap_shape() {
+    let (generator, dataset) = spechd_bench::hard_dataset(1_500, 401);
+    let outcomes = spechd_bench::fig11_overlap(&generator, &dataset);
+    assert_eq!(outcomes.len(), 2, "charges 2+ and 3+");
+    for o in &outcomes {
+        let a = o.venn.total_a();
+        let b = o.venn.total_b();
+        let c = o.venn.total_c();
+        assert!(a > 0 && b > 0 && c > 0, "every tool identifies peptides");
+        // The three tools must substantially agree: the triple overlap is
+        // the dominant region (Fig. 11's visual message).
+        assert!(
+            o.venn.abc * 2 > o.venn.union(),
+            "charge {}: triple overlap {} of union {}",
+            o.charge,
+            o.venn.abc,
+            o.venn.union()
+        );
+        // SpecHD within 25% of either competitor (paper: within ~7%).
+        assert!(
+            (a as f64 - b as f64).abs() / b as f64 <= 0.25,
+            "charge {}: SpecHD {a} vs GLEAMS {b}",
+            o.charge
+        );
+        assert!(
+            (a as f64 - c as f64).abs() / c as f64 <= 0.25,
+            "charge {}: SpecHD {a} vs HyperSpec {c}",
+            o.charge
+        );
+    }
+}
+
+#[test]
+fn consensus_search_reduces_work_with_small_id_loss() {
+    // §IV-E1: "1.5-2x speedup in spectra searching by skipping redundant
+    // searches for similar spectra". Searching consensus spectra only must
+    // cut the searched-spectrum count substantially while recovering most
+    // peptides.
+    let generator = SyntheticGenerator::new(SyntheticConfig {
+        num_spectra: 1_200,
+        num_peptides: 150,
+        noise_spectrum_fraction: 0.10,
+        seed: 402,
+        ..SyntheticConfig::default()
+    });
+    let dataset = generator.generate();
+    let engine = SearchEngine::new(
+        PeptideDatabase::build(generator.peptide_library()),
+        SearchConfig::default(),
+    );
+
+    // Full search.
+    let full_psms: Vec<_> = engine
+        .search_dataset(dataset.spectra())
+        .into_iter()
+        .flatten()
+        .collect();
+    let full_accepted = filter_at_fdr(&full_psms, 0.01);
+    let full_peptides: std::collections::BTreeSet<&str> = full_accepted
+        .iter()
+        .map(|&i| full_psms[i].peptide.sequence())
+        .collect();
+
+    // Consensus-only search.
+    let outcome = SpecHd::new(SpecHdConfig::default()).run(&dataset);
+    let consensus: Vec<_> = outcome
+        .consensus()
+        .iter()
+        .map(|&i| dataset.spectrum(i).clone())
+        .collect();
+    let searched_reduction = dataset.len() as f64 / consensus.len() as f64;
+    assert!(
+        searched_reduction > 1.4,
+        "consensus search should skip >=1.4x spectra, got {searched_reduction:.2}"
+    );
+    let psms: Vec<_> = engine.search_dataset(&consensus).into_iter().flatten().collect();
+    let accepted = filter_at_fdr(&psms, 0.01);
+    let peptides: std::collections::BTreeSet<&str> =
+        accepted.iter().map(|&i| psms[i].peptide.sequence()).collect();
+    let recovered = peptides.intersection(&full_peptides).count();
+    assert!(
+        recovered * 10 >= full_peptides.len() * 8,
+        "consensus search should recover >=80% of peptides ({recovered}/{})",
+        full_peptides.len()
+    );
+}
+
+#[test]
+fn fdr_control_is_effective_end_to_end() {
+    // With decoys present, accepted identifications at 1% FDR should be
+    // overwhelmingly correct against ground truth.
+    let generator = SyntheticGenerator::new(SyntheticConfig {
+        num_spectra: 600,
+        num_peptides: 120,
+        noise_spectrum_fraction: 0.3,
+        hidden_label_fraction: 0.0,
+        seed: 403,
+        ..SyntheticConfig::default()
+    });
+    let dataset = generator.generate();
+    let engine = SearchEngine::new(
+        PeptideDatabase::build(generator.peptide_library()),
+        SearchConfig::default(),
+    );
+    let psms: Vec<_> = engine
+        .search_dataset(dataset.spectra())
+        .into_iter()
+        .flatten()
+        .collect();
+    let accepted = filter_at_fdr(&psms, 0.01);
+    assert!(!accepted.is_empty());
+    let mut correct = 0usize;
+    let mut wrong = 0usize;
+    for &i in &accepted {
+        let psm = &psms[i];
+        match dataset.labels()[psm.spectrum_index] {
+            Some(label)
+                if generator.peptide_library()[label as usize].sequence()
+                    == psm.peptide.sequence() =>
+            {
+                correct += 1
+            }
+            Some(_) => wrong += 1,
+            None => {} // noise spectrum identified: counted by FDR itself
+        }
+    }
+    let wrong_rate = wrong as f64 / (correct + wrong).max(1) as f64;
+    assert!(wrong_rate < 0.05, "wrong-peptide rate too high: {wrong}/{correct}");
+}
