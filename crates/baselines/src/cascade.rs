@@ -59,7 +59,10 @@ impl Draft {
         for &(bin, w) in v.entries() {
             sum.insert(bin, f64::from(w));
         }
-        Self { members: vec![member], sum }
+        Self {
+            members: vec![member],
+            sum,
+        }
     }
 
     /// Cosine of a spectrum against the representative.
@@ -193,9 +196,7 @@ mod tests {
             round_thresholds: vec![0.99, 0.9, 0.7],
             ..GreedyCascade::spectra_cluster()
         };
-        assert!(
-            strict.cluster(&ds).clustered_ratio() <= lax.cluster(&ds).clustered_ratio() + 1e-9
-        );
+        assert!(strict.cluster(&ds).clustered_ratio() <= lax.cluster(&ds).clustered_ratio() + 1e-9);
     }
 
     #[test]

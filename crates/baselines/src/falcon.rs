@@ -29,7 +29,12 @@ pub struct Falcon {
 
 impl Default for Falcon {
     fn default() -> Self {
-        Self { eps: 0.25, min_pts: 2, bin_width: 1.0005, resolution: 1.0 }
+        Self {
+            eps: 0.25,
+            min_pts: 2,
+            bin_width: 1.0005,
+            resolution: 1.0,
+        }
     }
 }
 
@@ -60,7 +65,13 @@ impl ClusteringTool for Falcon {
             let matrix = CondensedMatrix::from_fn(n, |i, j| {
                 vectors[bucket.members[i]].cosine_distance(&vectors[bucket.members[j]])
             });
-            let result = dbscan(&matrix, DbscanParams { eps: self.eps, min_pts: self.min_pts });
+            let result = dbscan(
+                &matrix,
+                DbscanParams {
+                    eps: self.eps,
+                    min_pts: self.min_pts,
+                },
+            );
             let assignment = result.to_assignment();
             for (&member, &label) in bucket.members.iter().zip(assignment.labels()) {
                 raw[member] = next + label;
@@ -100,14 +111,25 @@ mod tests {
     #[test]
     fn eps_controls_aggressiveness() {
         let ds = dataset(32);
-        let tight = Falcon { eps: 0.05, ..Default::default() }.cluster(&ds);
-        let loose = Falcon { eps: 0.5, ..Default::default() }.cluster(&ds);
+        let tight = Falcon {
+            eps: 0.05,
+            ..Default::default()
+        }
+        .cluster(&ds);
+        let loose = Falcon {
+            eps: 0.5,
+            ..Default::default()
+        }
+        .cluster(&ds);
         assert!(tight.clustered_ratio() <= loose.clustered_ratio() + 1e-9);
     }
 
     #[test]
     fn deterministic() {
         let ds = dataset(33);
-        assert_eq!(Falcon::default().cluster(&ds), Falcon::default().cluster(&ds));
+        assert_eq!(
+            Falcon::default().cluster(&ds),
+            Falcon::default().cluster(&ds)
+        );
     }
 }

@@ -56,8 +56,7 @@ impl ClusteringTool for Gleams {
             .spectra()
             .iter()
             .map(|s| {
-                BinnedSpectrum::from_spectrum(s, self.bin_width)
-                    .project(self.embed_dims, self.seed)
+                BinnedSpectrum::from_spectrum(s, self.bin_width).project(self.embed_dims, self.seed)
             })
             .collect();
         // Normalize embeddings to unit norm (GLEAMS trains with a
@@ -65,10 +64,15 @@ impl ClusteringTool for Gleams {
         let embedded: Vec<Vec<f32>> = embedded
             .into_iter()
             .map(|v| {
-                let norm: f64 =
-                    v.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt();
+                let norm: f64 = v
+                    .iter()
+                    .map(|&x| f64::from(x) * f64::from(x))
+                    .sum::<f64>()
+                    .sqrt();
                 if norm > 0.0 {
-                    v.into_iter().map(|x| (f64::from(x) / norm) as f32).collect()
+                    v.into_iter()
+                        .map(|x| (f64::from(x) / norm) as f32)
+                        .collect()
                 } else {
                     v
                 }
@@ -88,7 +92,9 @@ impl ClusteringTool for Gleams {
             let matrix = CondensedMatrix::from_fn(n, |i, j| {
                 euclidean(&embedded[bucket.members[i]], &embedded[bucket.members[j]])
             });
-            let cut = nn_chain(&matrix, Linkage::Average).dendrogram.cut(self.threshold);
+            let cut = nn_chain(&matrix, Linkage::Average)
+                .dendrogram
+                .cut(self.threshold);
             for (&member, &label) in bucket.members.iter().zip(cut.labels()) {
                 raw[member] = next + label;
             }
@@ -162,14 +168,25 @@ mod tests {
     #[test]
     fn threshold_monotone() {
         let ds = dataset(63);
-        let strict = Gleams { threshold: 0.1, ..Default::default() }.cluster(&ds);
-        let lax = Gleams { threshold: 1.2, ..Default::default() }.cluster(&ds);
+        let strict = Gleams {
+            threshold: 0.1,
+            ..Default::default()
+        }
+        .cluster(&ds);
+        let lax = Gleams {
+            threshold: 1.2,
+            ..Default::default()
+        }
+        .cluster(&ds);
         assert!(strict.clustered_ratio() <= lax.clustered_ratio() + 1e-9);
     }
 
     #[test]
     fn deterministic() {
         let ds = dataset(64);
-        assert_eq!(Gleams::default().cluster(&ds), Gleams::default().cluster(&ds));
+        assert_eq!(
+            Gleams::default().cluster(&ds),
+            Gleams::default().cluster(&ds)
+        );
     }
 }

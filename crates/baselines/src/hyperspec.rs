@@ -8,7 +8,9 @@
 //! tools are independent implementations, as in the paper's comparison.
 
 use crate::{expand_to_full, ClusteringTool};
-use spechd_cluster::{dbscan, medoid_all, nn_chain, ClusterAssignment, CondensedMatrix, DbscanParams};
+use spechd_cluster::{
+    dbscan, medoid_all, nn_chain, ClusterAssignment, CondensedMatrix, DbscanParams,
+};
 use spechd_hdc::{distance, EncoderConfig, IdLevelEncoder};
 use spechd_ms::SpectrumDataset;
 use spechd_preprocess::{PrecursorBucketer, PreprocessConfig, PreprocessPipeline};
@@ -32,7 +34,10 @@ pub struct HyperSpecHac {
 
 impl Default for HyperSpecHac {
     fn default() -> Self {
-        Self { threshold_fraction: 0.32, resolution: 1.0 }
+        Self {
+            threshold_fraction: 0.32,
+            resolution: 1.0,
+        }
     }
 }
 
@@ -94,7 +99,11 @@ pub struct HyperSpecDbscan {
 
 impl Default for HyperSpecDbscan {
     fn default() -> Self {
-        Self { eps_fraction: 0.28, min_pts: 2, resolution: 1.0 }
+        Self {
+            eps_fraction: 0.28,
+            min_pts: 2,
+            resolution: 1.0,
+        }
     }
 }
 
@@ -126,7 +135,13 @@ impl ClusteringTool for HyperSpecDbscan {
             let local: Vec<_> = bucket.members.iter().map(|&i| hvs[i].clone()).collect();
             let matrix =
                 CondensedMatrix::from_u16(local.len(), &distance::pairwise_condensed(&local));
-            let result = dbscan(&matrix, DbscanParams { eps, min_pts: self.min_pts });
+            let result = dbscan(
+                &matrix,
+                DbscanParams {
+                    eps,
+                    min_pts: self.min_pts,
+                },
+            );
             let assignment = result.to_assignment();
             for (&member, &label) in bucket.members.iter().zip(assignment.labels()) {
                 raw[member] = next + label;
@@ -192,8 +207,16 @@ mod tests {
     #[test]
     fn threshold_monotone() {
         let ds = dataset(4);
-        let tight = HyperSpecHac { threshold_fraction: 0.1, ..Default::default() }.cluster(&ds);
-        let loose = HyperSpecHac { threshold_fraction: 0.4, ..Default::default() }.cluster(&ds);
+        let tight = HyperSpecHac {
+            threshold_fraction: 0.1,
+            ..Default::default()
+        }
+        .cluster(&ds);
+        let loose = HyperSpecHac {
+            threshold_fraction: 0.4,
+            ..Default::default()
+        }
+        .cluster(&ds);
         assert!(tight.clustered_ratio() <= loose.clustered_ratio() + 1e-9);
     }
 }

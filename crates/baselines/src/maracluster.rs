@@ -27,7 +27,11 @@ pub struct MaRaCluster {
 
 impl Default for MaRaCluster {
     fn default() -> Self {
-        Self { threshold: 0.02, bin_width: 1.0005, resolution: 1.0 }
+        Self {
+            threshold: 0.02,
+            bin_width: 1.0005,
+            resolution: 1.0,
+        }
     }
 }
 
@@ -102,7 +106,9 @@ impl ClusteringTool for MaRaCluster {
                 );
                 (-score).exp() // strong evidence -> tiny distance
             });
-            let cut = nn_chain(&matrix, Linkage::Complete).dendrogram.cut(self.threshold);
+            let cut = nn_chain(&matrix, Linkage::Complete)
+                .dendrogram
+                .cut(self.threshold);
             for (&member, &label) in bucket.members.iter().zip(cut.labels()) {
                 raw[member] = next + label;
             }
@@ -135,15 +141,26 @@ mod tests {
         let a = MaRaCluster::default().cluster(&ds);
         let eval = ClusteringEval::compute(a.labels(), ds.labels());
         assert!(eval.clustered_ratio > 0.1, "{:.3}", eval.clustered_ratio);
-        assert!(eval.incorrect_ratio < 0.08, "rarity metric keeps ICR low: {:.3}",
-            eval.incorrect_ratio);
+        assert!(
+            eval.incorrect_ratio < 0.08,
+            "rarity metric keeps ICR low: {:.3}",
+            eval.incorrect_ratio
+        );
     }
 
     #[test]
     fn threshold_monotone() {
         let ds = dataset(52);
-        let strict = MaRaCluster { threshold: 0.001, ..Default::default() }.cluster(&ds);
-        let lax = MaRaCluster { threshold: 0.5, ..Default::default() }.cluster(&ds);
+        let strict = MaRaCluster {
+            threshold: 0.001,
+            ..Default::default()
+        }
+        .cluster(&ds);
+        let lax = MaRaCluster {
+            threshold: 0.5,
+            ..Default::default()
+        }
+        .cluster(&ds);
         assert!(strict.clustered_ratio() <= lax.clustered_ratio() + 1e-9);
     }
 

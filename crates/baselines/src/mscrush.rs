@@ -46,7 +46,10 @@ impl Default for MsCrush {
 impl MsCrush {
     /// LSH signature: sign pattern of `hash_bits` random projections.
     fn signature(&self, v: &BinnedSpectrum, table: usize) -> u64 {
-        let proj = v.project(self.hash_bits, self.seed.wrapping_add(table as u64 * 0x9E37));
+        let proj = v.project(
+            self.hash_bits,
+            self.seed.wrapping_add(table as u64 * 0x9E37),
+        );
         let mut sig = 0u64;
         for (bit, &x) in proj.iter().enumerate() {
             if x > 0.0 {
@@ -75,7 +78,7 @@ impl ClusteringTool for MsCrush {
         // Union-find over kept spectra.
         let n = pre.dataset.len();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -92,15 +95,17 @@ impl ClusteringTool for MsCrush {
                 let mut groups: std::collections::HashMap<u64, Vec<usize>> =
                     std::collections::HashMap::new();
                 for &m in &bucket.members {
-                    groups.entry(self.signature(&vectors[m], table)).or_default().push(m);
+                    groups
+                        .entry(self.signature(&vectors[m], table))
+                        .or_default()
+                        .push(m);
                 }
                 for members in groups.values() {
                     for (idx, &a) in members.iter().enumerate() {
                         for &b in &members[idx + 1..] {
                             let ra = find(&mut parent, a);
                             let rb = find(&mut parent, b);
-                            if ra != rb && vectors[a].cosine(&vectors[b]) >= self.min_similarity
-                            {
+                            if ra != rb && vectors[a].cosine(&vectors[b]) >= self.min_similarity {
                                 parent[rb] = ra;
                             }
                         }
@@ -142,22 +147,41 @@ mod tests {
     #[test]
     fn more_tables_cluster_at_least_as_much() {
         let ds = dataset(42);
-        let few = MsCrush { tables: 1, ..Default::default() }.cluster(&ds);
-        let many = MsCrush { tables: 10, ..Default::default() }.cluster(&ds);
+        let few = MsCrush {
+            tables: 1,
+            ..Default::default()
+        }
+        .cluster(&ds);
+        let many = MsCrush {
+            tables: 10,
+            ..Default::default()
+        }
+        .cluster(&ds);
         assert!(many.clustered_ratio() >= few.clustered_ratio() - 1e-9);
     }
 
     #[test]
     fn similarity_threshold_monotone() {
         let ds = dataset(43);
-        let strict = MsCrush { min_similarity: 0.95, ..Default::default() }.cluster(&ds);
-        let lax = MsCrush { min_similarity: 0.4, ..Default::default() }.cluster(&ds);
+        let strict = MsCrush {
+            min_similarity: 0.95,
+            ..Default::default()
+        }
+        .cluster(&ds);
+        let lax = MsCrush {
+            min_similarity: 0.4,
+            ..Default::default()
+        }
+        .cluster(&ds);
         assert!(strict.clustered_ratio() <= lax.clustered_ratio() + 1e-9);
     }
 
     #[test]
     fn deterministic() {
         let ds = dataset(44);
-        assert_eq!(MsCrush::default().cluster(&ds), MsCrush::default().cluster(&ds));
+        assert_eq!(
+            MsCrush::default().cluster(&ds),
+            MsCrush::default().cluster(&ds)
+        );
     }
 }

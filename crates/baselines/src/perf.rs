@@ -111,7 +111,12 @@ impl ToolPerfModel {
 
     /// The four tools of Fig. 7, in the paper's order.
     pub fn fig7_tools() -> [ToolPerfModel; 4] {
-        [Self::gleams(), Self::hyperspec_hac(), Self::mscrush(), Self::falcon()]
+        [
+            Self::gleams(),
+            Self::hyperspec_hac(),
+            Self::mscrush(),
+            Self::falcon(),
+        ]
     }
 
     /// Load-phase seconds.
@@ -173,7 +178,10 @@ mod tests {
         let falcon = ToolPerfModel::falcon().end_to_end_s(&shape) / spechd_t;
         let mscrush = ToolPerfModel::mscrush().end_to_end_s(&shape) / spechd_t;
         assert!((40.0..70.0).contains(&gleams), "GLEAMS speedup {gleams:.1}");
-        assert!((4.0..9.0).contains(&hyperspec), "HyperSpec speedup {hyperspec:.1}");
+        assert!(
+            (4.0..9.0).contains(&hyperspec),
+            "HyperSpec speedup {hyperspec:.1}"
+        );
         assert!(gleams > falcon && falcon > mscrush && mscrush > hyperspec,
             "ordering: GLEAMS {gleams:.1} > Falcon {falcon:.1} > msCRUSH {mscrush:.1} > HyperSpec {hyperspec:.1}");
     }
@@ -185,9 +193,18 @@ mod tests {
         let hyperspec = ToolPerfModel::hyperspec_hac().clustering_s(&shape) / spechd_t;
         let gleams = ToolPerfModel::gleams().clustering_s(&shape) / spechd_t;
         let falcon = ToolPerfModel::falcon().clustering_s(&shape) / spechd_t;
-        assert!((8.0..20.0).contains(&hyperspec), "HyperSpec {hyperspec:.1} (paper 12.3x)");
-        assert!((10.0..22.0).contains(&gleams), "GLEAMS {gleams:.1} (paper 14.3x)");
-        assert!((70.0..160.0).contains(&falcon), "Falcon {falcon:.1} (paper ~100x)");
+        assert!(
+            (8.0..20.0).contains(&hyperspec),
+            "HyperSpec {hyperspec:.1} (paper 12.3x)"
+        );
+        assert!(
+            (10.0..22.0).contains(&gleams),
+            "GLEAMS {gleams:.1} (paper 14.3x)"
+        );
+        assert!(
+            (70.0..160.0).contains(&falcon),
+            "Falcon {falcon:.1} (paper ~100x)"
+        );
     }
 
     #[test]
@@ -207,7 +224,10 @@ mod tests {
         assert!((8.0..22.0).contains(&e2e_db), "e2e DBSCAN {e2e_db:.1}");
         assert!((25.0..60.0).contains(&cl_hac), "cluster HAC {cl_hac:.1}");
         assert!((8.0..20.0).contains(&cl_db), "cluster DBSCAN {cl_db:.1}");
-        assert!(e2e_hac > e2e_db, "HAC is less efficient than DBSCAN end-to-end");
+        assert!(
+            e2e_hac > e2e_db,
+            "HAC is less efficient than DBSCAN end-to-end"
+        );
         assert!(cl_hac > cl_db);
     }
 
@@ -226,8 +246,12 @@ mod tests {
             let spechd_t = spechd().end_to_end(&shape).total_s;
             for tool in ToolPerfModel::fig7_tools() {
                 let ratio = tool.end_to_end_s(&shape) / spechd_t;
-                assert!(ratio > 2.0, "{} only {ratio:.1}x on {} spectra", tool.name,
-                    shape.num_spectra);
+                assert!(
+                    ratio > 2.0,
+                    "{} only {ratio:.1}x on {} spectra",
+                    tool.name,
+                    shape.num_spectra
+                );
             }
         }
     }

@@ -29,7 +29,9 @@ impl BinnedSpectrum {
         }
         let norm: f64 = map.values().map(|v| v * v).sum::<f64>().sqrt();
         let entries = if norm > 0.0 {
-            map.into_iter().map(|(b, v)| (b, (v / norm) as f32)).collect()
+            map.into_iter()
+                .map(|(b, v)| (b, (v / norm) as f32))
+                .collect()
         } else {
             Vec::new()
         };
@@ -78,7 +80,8 @@ impl BinnedSpectrum {
         for &(bin, weight) in &self.entries {
             // One deterministic SplitMix stream per (bin, seed); each draw
             // yields 64 sign bits.
-            let mut rng = spechd_rng::SplitMix64::new(seed ^ (u64::from(bin) << 20 | u64::from(bin)));
+            let mut rng =
+                spechd_rng::SplitMix64::new(seed ^ (u64::from(bin) << 20 | u64::from(bin)));
             let mut bits = 0u64;
             let mut have = 0usize;
             for slot in out.iter_mut() {
@@ -130,7 +133,11 @@ mod tests {
     #[test]
     fn unit_norm() {
         let b = BinnedSpectrum::from_spectrum(&spectrum(&[(100.0, 4.0), (200.0, 9.0)]), 1.0);
-        let norm: f64 = b.entries().iter().map(|&(_, v)| f64::from(v) * f64::from(v)).sum();
+        let norm: f64 = b
+            .entries()
+            .iter()
+            .map(|&(_, v)| f64::from(v) * f64::from(v))
+            .sum();
         assert!((norm - 1.0).abs() < 1e-6);
     }
 

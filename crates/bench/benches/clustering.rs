@@ -1,6 +1,6 @@
-//! Criterion benchmarks of NN-chain vs naive HAC scaling (the Fig. 2
+//! Benchmarks of NN-chain vs naive HAC scaling (the Fig. 2
 //! mechanism) and DBSCAN.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spechd_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spechd_cluster::{dbscan, naive_hac, nn_chain, CondensedMatrix, DbscanParams, Linkage};
 use spechd_rng::{Rng, Xoshiro256StarStar};
 use std::hint::black_box;
@@ -28,7 +28,15 @@ fn bench_hac(c: &mut Criterion) {
 fn bench_dbscan(c: &mut Criterion) {
     let m = random_matrix(400, 9);
     c.bench_function("dbscan_n400", |b| {
-        b.iter(|| black_box(dbscan(black_box(&m), DbscanParams { eps: 300.0, min_pts: 2 })))
+        b.iter(|| {
+            black_box(dbscan(
+                black_box(&m),
+                DbscanParams {
+                    eps: 300.0,
+                    min_pts: 2,
+                },
+            ))
+        })
     });
 }
 

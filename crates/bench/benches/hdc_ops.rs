@@ -1,6 +1,6 @@
-//! Criterion microbenchmarks of the HDC primitives the FPGA kernels
+//! Microbenchmarks of the HDC primitives the FPGA kernels
 //! accelerate: encoding throughput, XOR binding and Hamming distance.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spechd_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spechd_hdc::{distance, BinaryHypervector, EncoderConfig, IdLevelEncoder};
 use spechd_rng::{Rng, Xoshiro256StarStar};
 use std::hint::black_box;
@@ -35,8 +35,9 @@ fn bench_hamming(c: &mut Criterion) {
 
 fn bench_pairwise(c: &mut Criterion) {
     let mut rng = Xoshiro256StarStar::seed_from_u64(3);
-    let hvs: Vec<BinaryHypervector> =
-        (0..256).map(|_| BinaryHypervector::random(2048, &mut rng)).collect();
+    let hvs: Vec<BinaryHypervector> = (0..256)
+        .map(|_| BinaryHypervector::random(2048, &mut rng))
+        .collect();
     let mut group = c.benchmark_group("pairwise_condensed");
     group.throughput(Throughput::Elements((256 * 255 / 2) as u64));
     group.bench_function("n256_d2048", |b| {

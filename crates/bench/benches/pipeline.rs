@@ -1,5 +1,5 @@
-//! Criterion benchmark of the full SpecHD pipeline on synthetic runs.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+//! Benchmark of the full SpecHD pipeline on synthetic runs.
+use spechd_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spechd_core::{SpecHd, SpecHdConfig};
 use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
 use std::hint::black_box;

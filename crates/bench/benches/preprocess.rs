@@ -1,6 +1,6 @@
-//! Criterion benchmarks of the preprocessing stages (filter, bitonic
+//! Benchmarks of the preprocessing stages (filter, bitonic
 //! top-k, bucketing) the MSAS accelerator implements.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spechd_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
 use spechd_preprocess::{topk, PrecursorBucketer, SpectraFilter};
 use std::hint::black_box;

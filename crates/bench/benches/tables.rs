@@ -6,18 +6,40 @@ use spechd_bench::*;
 fn main() {
     print_table(
         "Table I: preprocessing performance (paper vs MSAS model)",
-        &["dataset", "sample", "#spectra", "size", "paper t(s)", "model t(s)", "paper E(J)", "model E(J)"],
+        &[
+            "dataset",
+            "sample",
+            "#spectra",
+            "size",
+            "paper t(s)",
+            "model t(s)",
+            "paper E(J)",
+            "model E(J)",
+        ],
         &table1_rows(),
     );
     print_table(
         "Fig. 2: naive vs NN-chain HAC",
-        &["n", "naive cmp (M)", "chain cmp (M)", "naive (s)", "chain (s)", "speedup"],
+        &[
+            "n",
+            "naive cmp (M)",
+            "chain cmp (M)",
+            "naive (s)",
+            "chain (s)",
+            "speedup",
+        ],
         &fig2_rows(&[100, 200, 400, 800]),
     );
     let (generator, dataset) = hard_dataset(1_500, 6);
     print_table(
         "Fig. 6a: linkage efficacy at ICR <= 1.5%",
-        &["linkage", "threshold", "clustered(%)", "ICR(%)", "completeness"],
+        &[
+            "linkage",
+            "threshold",
+            "clustered(%)",
+            "ICR(%)",
+            "completeness",
+        ],
         &fig6a_rows(&dataset, 0.015),
     );
     print_table(
@@ -27,7 +49,14 @@ fn main() {
     );
     print_table(
         "Fig. 7: end-to-end speedup over SpecHD=1",
-        &["dataset", "SpecHD (s)", "GLEAMS", "HyperSpec-HAC", "msCRUSH", "Falcon"],
+        &[
+            "dataset",
+            "SpecHD (s)",
+            "GLEAMS",
+            "HyperSpec-HAC",
+            "msCRUSH",
+            "Falcon",
+        ],
         &fig7_rows(),
     );
     print_table(
@@ -37,7 +66,13 @@ fn main() {
     );
     print_table(
         "Fig. 9: energy on PXD000561",
-        &["tool", "e2e (J)", "e2e ratio", "clustering (J)", "clustering ratio"],
+        &[
+            "tool",
+            "e2e (J)",
+            "e2e ratio",
+            "clustering (J)",
+            "clustering ratio",
+        ],
         &fig9_rows(),
     );
     print_table(
@@ -60,12 +95,26 @@ fn main() {
         .collect();
     print_table(
         "Fig. 11: unique peptides at 1% FDR (A=SpecHD, B=GLEAMS, C=HyperSpec)",
-        &["charge", "SpecHD", "GLEAMS", "HyperSpec", "all three", "vs GLEAMS"],
+        &[
+            "charge",
+            "SpecHD",
+            "GLEAMS",
+            "HyperSpec",
+            "all three",
+            "vs GLEAMS",
+        ],
         &rows,
     );
     print_table(
         "DSE Pareto front on PXD000561",
-        &["encoders", "cluster kernels", "MSAS channels", "p2p", "total (s)", "energy (J)"],
+        &[
+            "encoders",
+            "cluster kernels",
+            "MSAS channels",
+            "p2p",
+            "total (s)",
+            "energy (J)",
+        ],
         &dse_rows(),
     );
 }

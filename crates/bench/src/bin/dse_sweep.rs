@@ -4,7 +4,14 @@ use spechd_bench::{dse_rows, print_table};
 fn main() {
     print_table(
         "DSE Pareto front on PXD000561 (time vs energy)",
-        &["encoders", "cluster kernels", "MSAS channels", "p2p", "total (s)", "energy (J)"],
+        &[
+            "encoders",
+            "cluster kernels",
+            "MSAS channels",
+            "p2p",
+            "total (s)",
+            "energy (J)",
+        ],
         &dse_rows(),
     );
 }

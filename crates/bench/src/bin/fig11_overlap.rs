@@ -17,9 +17,12 @@ fn main() {
                 format!("{:+.2}%", o.venn.a_vs_b_percent()),
                 format!(
                     "{:+.2}%",
-                    if o.venn.total_c() == 0 { 0.0 } else {
+                    if o.venn.total_c() == 0 {
+                        0.0
+                    } else {
                         (o.venn.total_a() as f64 - o.venn.total_c() as f64)
-                            / o.venn.total_c() as f64 * 100.0
+                            / o.venn.total_c() as f64
+                            * 100.0
                     }
                 ),
             ]

@@ -4,7 +4,13 @@ use spechd_bench::{fig9_rows, print_table};
 fn main() {
     print_table(
         "Fig. 9: energy on PXD000561 (paper: e2e 14x/31x, clustering 12x/40x)",
-        &["tool", "e2e (J)", "e2e ratio", "clustering (J)", "clustering ratio"],
+        &[
+            "tool",
+            "e2e (J)",
+            "e2e ratio",
+            "clustering (J)",
+            "clustering ratio",
+        ],
         &fig9_rows(),
     );
 }

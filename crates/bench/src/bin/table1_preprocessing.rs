@@ -4,7 +4,16 @@ use spechd_bench::{print_table, table1_rows};
 fn main() {
     print_table(
         "Table I: preprocessing performance (paper vs MSAS model)",
-        &["dataset", "sample", "#spectra", "size", "paper t(s)", "model t(s)", "paper E(J)", "model E(J)"],
+        &[
+            "dataset",
+            "sample",
+            "#spectra",
+            "size",
+            "paper t(s)",
+            "model t(s)",
+            "paper E(J)",
+            "model E(J)",
+        ],
         &table1_rows(),
     );
 }

@@ -1,0 +1,210 @@
+//! Minimal, dependency-free microbenchmark harness.
+//!
+//! The workspace is deliberately std-only (Cargo.lock pins no external
+//! crates), so the bench targets cannot link `criterion`. This module
+//! provides the small slice of criterion's API the benches use —
+//! [`Criterion`], [`BenchmarkId`], [`Throughput`], benchmark groups and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — backed by a
+//! simple warmup-then-measure loop around [`std::time::Instant`].
+//!
+//! It reports median wall-clock time per iteration and, when a
+//! [`Throughput`] is set, derived elements/s or bytes/s. It makes no
+//! attempt at criterion's statistical rigor; it exists so `cargo bench`
+//! runs everywhere and regressions of 2x+ are visible at a glance.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Declared per-group throughput, used to derive rates from iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark body processes this many logical elements.
+    Elements(u64),
+    /// The benchmark body processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with both a name and a parameter, e.g. `nn_chain/400`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter, e.g. `2048`.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    elapsed_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: a short warmup, then `samples` timed runs.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        for _ in 0..self.samples.div_ceil(10).max(1) {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.elapsed_ns.push(start.elapsed().as_nanos());
+        }
+    }
+
+    fn median_ns(&mut self) -> u128 {
+        if self.elapsed_ns.is_empty() {
+            return 0;
+        }
+        self.elapsed_ns.sort_unstable();
+        self.elapsed_ns[self.elapsed_ns.len() / 2]
+    }
+}
+
+/// Top-level harness handle; one per bench binary.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n[{name}]");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 30,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A group of benchmarks sharing sample size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (default 30).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            elapsed_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        self.report(&id.label, bencher.median_ns());
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reporting is incremental; this is for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, label: &str, median_ns: u128) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median_ns > 0 => {
+                format!("  {:>12.0} elem/s", n as f64 / (median_ns as f64 * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) if median_ns > 0 => {
+                format!(
+                    "  {:>12.1} MiB/s",
+                    n as f64 / (median_ns as f64 * 1e-9) / (1u64 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!("  {label:<28} {}{rate}", format_ns(median_ns));
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:>9.3} s ", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:>9.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:>9.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns:>9} ns")
+    }
+}
+
+/// Collects benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the given group(s), mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};

@@ -20,6 +20,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
 use spechd_baselines::perf::ToolPerfModel;
 use spechd_baselines::{
     ClusteringTool, Falcon, Gleams, GreedyCascade, HyperSpecDbscan, HyperSpecHac, MaRaCluster,
@@ -255,7 +257,10 @@ pub fn fig9_rows() -> Vec<Vec<String>> {
         format!("{spechd_cluster:.0}"),
         "1.0x".to_string(),
     ]];
-    for tool in [ToolPerfModel::hyperspec_dbscan(), ToolPerfModel::hyperspec_hac()] {
+    for tool in [
+        ToolPerfModel::hyperspec_dbscan(),
+        ToolPerfModel::hyperspec_hac(),
+    ] {
         let e2e = tool.end_to_end_energy_j(&shape);
         let cl = tool.clustering_energy_j(&shape);
         rows.push(vec![
@@ -285,33 +290,57 @@ pub fn fig10_rows(dataset: &SpectrumDataset) -> Vec<Vec<String>> {
     };
     for t in [0.23, 0.26, 0.29, 0.32, 0.35] {
         let outcome = SpecHd::new(
-            SpecHdConfig::builder().distance_threshold_fraction(t).build(),
+            SpecHdConfig::builder()
+                .distance_threshold_fraction(t)
+                .build(),
         )
         .run(dataset);
-        push("SpecHD", format!("{t:.2}"), &outcome.assignment_full(dataset.len()));
+        push(
+            "SpecHD",
+            format!("{t:.2}"),
+            &outcome.assignment_full(dataset.len()),
+        );
     }
     for t in [0.26, 0.30, 0.34] {
-        let tool = HyperSpecHac { threshold_fraction: t, ..Default::default() };
+        let tool = HyperSpecHac {
+            threshold_fraction: t,
+            ..Default::default()
+        };
         push(tool.name(), format!("{t:.2}"), &tool.cluster(dataset));
     }
     for eps in [0.20, 0.25, 0.30] {
-        let tool = HyperSpecDbscan { eps_fraction: eps, ..Default::default() };
+        let tool = HyperSpecDbscan {
+            eps_fraction: eps,
+            ..Default::default()
+        };
         push(tool.name(), format!("{eps:.2}"), &tool.cluster(dataset));
     }
     for eps in [0.10, 0.16, 0.22] {
-        let tool = Falcon { eps, ..Default::default() };
+        let tool = Falcon {
+            eps,
+            ..Default::default()
+        };
         push(tool.name(), format!("{eps:.2}"), &tool.cluster(dataset));
     }
     for sim in [0.92, 0.86, 0.80] {
-        let tool = MsCrush { min_similarity: sim, ..Default::default() };
+        let tool = MsCrush {
+            min_similarity: sim,
+            ..Default::default()
+        };
         push(tool.name(), format!("{sim:.2}"), &tool.cluster(dataset));
     }
     for thr in [1e-5, 1e-4, 1e-3] {
-        let tool = MaRaCluster { threshold: thr, ..Default::default() };
+        let tool = MaRaCluster {
+            threshold: thr,
+            ..Default::default()
+        };
         push(tool.name(), format!("{thr:.0e}"), &tool.cluster(dataset));
     }
     for thr in [0.40, 0.52, 0.64] {
-        let tool = Gleams { threshold: thr, ..Default::default() };
+        let tool = Gleams {
+            threshold: thr,
+            ..Default::default()
+        };
         push(tool.name(), format!("{thr:.2}"), &tool.cluster(dataset));
     }
     {
@@ -347,8 +376,7 @@ pub fn fig11_overlap(
         outcome.consensus().to_vec()
     };
     let gleams_consensus = representatives(&Gleams::default().cluster(dataset), dataset);
-    let hyperspec_consensus =
-        representatives(&HyperSpecHac::default().cluster(dataset), dataset);
+    let hyperspec_consensus = representatives(&HyperSpecHac::default().cluster(dataset), dataset);
 
     let identify = |consensus: &[usize], charge: u8| -> Vec<String> {
         let spectra: Vec<_> = consensus
@@ -443,7 +471,10 @@ mod tests {
         assert_eq!(rows.len(), 2);
         let naive_small: f64 = rows[0][1].parse().unwrap();
         let naive_large: f64 = rows[1][1].parse().unwrap();
-        assert!(naive_large > naive_small * 10.0, "naive comparisons grow cubically");
+        assert!(
+            naive_large > naive_small * 10.0,
+            "naive comparisons grow cubically"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl CondensedMatrix {
     /// Panics if `n == 0`.
     pub fn zeros(n: usize) -> Self {
         assert!(n > 0, "matrix needs at least one point");
-        Self { n, data: vec![0.0; n * (n - 1) / 2] }
+        Self {
+            n,
+            data: vec![0.0; n * (n - 1) / 2],
+        }
     }
 
     /// Builds a matrix by evaluating `f(i, j)` for every pair `i > j`.
@@ -119,7 +122,11 @@ impl CondensedMatrix {
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
         assert!(i < self.n && j < self.n, "index out of bounds");
         assert_ne!(i, j, "diagonal is implicitly zero");
-        let idx = if i > j { Self::index(i, j) } else { Self::index(j, i) };
+        let idx = if i > j {
+            Self::index(i, j)
+        } else {
+            Self::index(j, i)
+        };
         self.data[idx] = value;
     }
 
@@ -147,7 +154,12 @@ impl CondensedMatrix {
 
 impl fmt::Debug for CondensedMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CondensedMatrix {{ n: {}, entries: {} }}", self.n, self.data.len())
+        write!(
+            f,
+            "CondensedMatrix {{ n: {}, entries: {} }}",
+            self.n,
+            self.data.len()
+        )
     }
 }
 

@@ -25,7 +25,10 @@ use crate::{ClusterAssignment, CondensedMatrix};
 /// assert_eq!(medoid(&m, &[0, 1, 2]), 1);
 /// ```
 pub fn medoid(matrix: &CondensedMatrix, members: &[usize]) -> usize {
-    assert!(!members.is_empty(), "cannot take the medoid of an empty cluster");
+    assert!(
+        !members.is_empty(),
+        "cannot take the medoid of an empty cluster"
+    );
     if members.len() == 1 {
         assert!(members[0] < matrix.n(), "member index out of range");
         return members[0];
@@ -54,7 +57,11 @@ pub fn medoid(matrix: &CondensedMatrix, members: &[usize]) -> usize {
 ///
 /// Panics if the assignment length differs from the matrix size.
 pub fn medoid_all(matrix: &CondensedMatrix, assignment: &ClusterAssignment) -> Vec<usize> {
-    assert_eq!(assignment.len(), matrix.n(), "assignment/matrix size mismatch");
+    assert_eq!(
+        assignment.len(),
+        matrix.n(),
+        "assignment/matrix size mismatch"
+    );
     assignment
         .clusters()
         .iter()

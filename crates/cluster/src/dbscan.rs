@@ -18,7 +18,10 @@ pub struct DbscanParams {
 
 impl Default for DbscanParams {
     fn default() -> Self {
-        Self { eps: 0.2, min_pts: 2 }
+        Self {
+            eps: 0.2,
+            min_pts: 2,
+        }
     }
 }
 
@@ -86,14 +89,19 @@ impl DbscanResult {
 /// ```
 pub fn dbscan(matrix: &CondensedMatrix, params: DbscanParams) -> DbscanResult {
     assert!(params.min_pts > 0, "min_pts must be positive");
-    assert!(params.eps >= 0.0 && !params.eps.is_nan(), "eps must be non-negative");
+    assert!(
+        params.eps >= 0.0 && !params.eps.is_nan(),
+        "eps must be non-negative"
+    );
     let n = matrix.n();
     let mut labels: Vec<Option<usize>> = vec![None; n];
     let mut visited = vec![false; n];
     let mut cluster = 0usize;
 
     let neighbors = |p: usize| -> Vec<usize> {
-        (0..n).filter(|&q| q != p && matrix.get(p, q) <= params.eps).collect()
+        (0..n)
+            .filter(|&q| q != p && matrix.get(p, q) <= params.eps)
+            .collect()
     };
 
     for p in 0..n {
@@ -127,7 +135,10 @@ pub fn dbscan(matrix: &CondensedMatrix, params: DbscanParams) -> DbscanResult {
         }
         cluster += 1;
     }
-    DbscanResult { labels, num_clusters: cluster }
+    DbscanResult {
+        labels,
+        num_clusters: cluster,
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +157,13 @@ mod tests {
 
     #[test]
     fn basic_two_clusters_one_noise() {
-        let r = dbscan(&chain_matrix(), DbscanParams { eps: 0.2, min_pts: 2 });
+        let r = dbscan(
+            &chain_matrix(),
+            DbscanParams {
+                eps: 0.2,
+                min_pts: 2,
+            },
+        );
         assert_eq!(r.num_clusters(), 2);
         assert_eq!(r.noise_count(), 1);
         assert_eq!(r.labels()[0], r.labels()[1]);
@@ -160,13 +177,25 @@ mod tests {
     fn density_chaining_transitive() {
         // With eps=0.15 the (2,0)=0.18 link is gone but 0-1-2 still chains
         // through point 1.
-        let r = dbscan(&chain_matrix(), DbscanParams { eps: 0.15, min_pts: 2 });
+        let r = dbscan(
+            &chain_matrix(),
+            DbscanParams {
+                eps: 0.15,
+                min_pts: 2,
+            },
+        );
         assert_eq!(r.labels()[0], r.labels()[2]);
     }
 
     #[test]
     fn min_pts_three_dissolves_pairs() {
-        let r = dbscan(&chain_matrix(), DbscanParams { eps: 0.2, min_pts: 3 });
+        let r = dbscan(
+            &chain_matrix(),
+            DbscanParams {
+                eps: 0.2,
+                min_pts: 3,
+            },
+        );
         // The 3-4 pair has only 2 members: noise. Chain 0-1-2: point 1 has
         // two neighbors (0, 2) => core with min_pts=3.
         assert_eq!(r.num_clusters(), 1);
@@ -176,21 +205,39 @@ mod tests {
 
     #[test]
     fn everything_noise_with_tiny_eps() {
-        let r = dbscan(&chain_matrix(), DbscanParams { eps: 0.01, min_pts: 2 });
+        let r = dbscan(
+            &chain_matrix(),
+            DbscanParams {
+                eps: 0.01,
+                min_pts: 2,
+            },
+        );
         assert_eq!(r.num_clusters(), 0);
         assert_eq!(r.noise_count(), 6);
     }
 
     #[test]
     fn everything_one_cluster_with_huge_eps() {
-        let r = dbscan(&chain_matrix(), DbscanParams { eps: 100.0, min_pts: 2 });
+        let r = dbscan(
+            &chain_matrix(),
+            DbscanParams {
+                eps: 100.0,
+                min_pts: 2,
+            },
+        );
         assert_eq!(r.num_clusters(), 1);
         assert_eq!(r.noise_count(), 0);
     }
 
     #[test]
     fn to_assignment_gives_noise_singletons() {
-        let r = dbscan(&chain_matrix(), DbscanParams { eps: 0.2, min_pts: 2 });
+        let r = dbscan(
+            &chain_matrix(),
+            DbscanParams {
+                eps: 0.2,
+                min_pts: 2,
+            },
+        );
         let a = r.to_assignment();
         assert_eq!(a.num_clusters(), 3); // 2 clusters + 1 noise singleton
         assert_eq!(a.len(), 6);
@@ -199,13 +246,22 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let p = DbscanParams { eps: 0.2, min_pts: 2 };
+        let p = DbscanParams {
+            eps: 0.2,
+            min_pts: 2,
+        };
         assert_eq!(dbscan(&chain_matrix(), p), dbscan(&chain_matrix(), p));
     }
 
     #[test]
     #[should_panic(expected = "min_pts")]
     fn zero_min_pts_panics() {
-        dbscan(&chain_matrix(), DbscanParams { eps: 0.1, min_pts: 0 });
+        dbscan(
+            &chain_matrix(),
+            DbscanParams {
+                eps: 0.1,
+                min_pts: 0,
+            },
+        );
     }
 }

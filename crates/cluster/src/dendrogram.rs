@@ -59,7 +59,7 @@ impl Dendrogram {
         let mut node_id: Vec<usize> = (0..n).collect();
         let mut size: Vec<usize> = vec![1; n];
 
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -75,7 +75,12 @@ impl Dendrogram {
             assert_ne!(ra, rb, "merge record joins points already in one cluster");
             let new_size = size[ra] + size[rb];
             let (left, right) = (node_id[ra].min(node_id[rb]), node_id[ra].max(node_id[rb]));
-            merges.push(Merge { left, right, height, size: new_size });
+            merges.push(Merge {
+                left,
+                right,
+                height,
+                size: new_size,
+            });
             // Union: attach rb under ra, reuse ra's slot for the new node.
             parent[rb] = ra;
             size[ra] = new_size;
@@ -111,7 +116,7 @@ impl Dendrogram {
     pub fn cut(&self, threshold: f64) -> ClusterAssignment {
         let mut parent: Vec<usize> = (0..self.n + self.merges.len()).collect();
 
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -143,7 +148,7 @@ impl Dendrogram {
         let threshold = self.merges[applied - 1].height;
         // Heights can tie; fall back to applying exactly `applied` merges.
         let mut parent: Vec<usize> = (0..self.n + self.merges.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];

@@ -32,12 +32,18 @@ impl ClusterAssignment {
             let id = *map.entry(r).or_insert(next);
             labels.push(id);
         }
-        Self { labels, num_clusters: map.len() }
+        Self {
+            labels,
+            num_clusters: map.len(),
+        }
     }
 
     /// Builds the all-singletons assignment over `n` items.
     pub fn singletons(n: usize) -> Self {
-        Self { labels: (0..n).collect(), num_clusters: n }
+        Self {
+            labels: (0..n).collect(),
+            num_clusters: n,
+        }
     }
 
     /// Number of items.

@@ -25,8 +25,12 @@ pub enum Linkage {
 
 impl Linkage {
     /// All supported criteria, in the order used by reports.
-    pub const ALL: [Linkage; 4] =
-        [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward];
+    pub const ALL: [Linkage; 4] = [
+        Linkage::Single,
+        Linkage::Complete,
+        Linkage::Average,
+        Linkage::Ward,
+    ];
 
     /// Lance–Williams update: the distance from the merged cluster
     /// `A ∪ B` to an outside cluster `I`, given the prior distances

@@ -31,7 +31,10 @@ pub fn naive_hac(matrix: &CondensedMatrix, linkage: Linkage) -> HacResult {
     let n = matrix.n();
     let mut stats = HacStats::default();
     if n == 1 {
-        return HacResult { dendrogram: Dendrogram::from_raw_merges(1, vec![]), stats };
+        return HacResult {
+            dendrogram: Dendrogram::from_raw_merges(1, vec![]),
+            stats,
+        };
     }
     let mut d = matrix.clone();
     let mut size = vec![1usize; n];
@@ -46,8 +49,8 @@ pub fn naive_hac(matrix: &CondensedMatrix, linkage: Linkage) -> HacResult {
             if !active[i] {
                 continue;
             }
-            for j in 0..i {
-                if !active[j] {
+            for (j, &active_j) in active.iter().enumerate().take(i) {
+                if !active_j {
                     continue;
                 }
                 stats.comparisons += 1;
@@ -74,7 +77,10 @@ pub fn naive_hac(matrix: &CondensedMatrix, linkage: Linkage) -> HacResult {
         raw.push((a, b, best_d));
         stats.merges += 1;
     }
-    HacResult { dendrogram: Dendrogram::from_raw_merges(n, raw), stats }
+    HacResult {
+        dendrogram: Dendrogram::from_raw_merges(n, raw),
+        stats,
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,10 @@ pub fn nn_chain(matrix: &CondensedMatrix, linkage: Linkage) -> HacResult {
     let n = matrix.n();
     let mut stats = HacStats::default();
     if n == 1 {
-        return HacResult { dendrogram: Dendrogram::from_raw_merges(1, vec![]), stats };
+        return HacResult {
+            dendrogram: Dendrogram::from_raw_merges(1, vec![]),
+            stats,
+        };
     }
     let mut d = matrix.clone();
     let mut size = vec![1usize; n];
@@ -51,7 +54,11 @@ pub fn nn_chain(matrix: &CondensedMatrix, linkage: Linkage) -> HacResult {
         }
         loop {
             let a = *chain.last().expect("chain is non-empty inside the loop");
-            let prev = if chain.len() >= 2 { Some(chain[chain.len() - 2]) } else { None };
+            let prev = if chain.len() >= 2 {
+                Some(chain[chain.len() - 2])
+            } else {
+                None
+            };
 
             // Nearest active neighbor of `a`; ties prefer the previous
             // chain element so an RNN is detected and the loop terminates.
@@ -62,8 +69,8 @@ pub fn nn_chain(matrix: &CondensedMatrix, linkage: Linkage) -> HacResult {
                 }
                 None => (usize::MAX, f64::INFINITY),
             };
-            for j in 0..n {
-                if j == a || !active[j] || Some(j) == prev {
+            for (j, &active_j) in active.iter().enumerate().take(n) {
+                if j == a || !active_j || Some(j) == prev {
                     continue;
                 }
                 stats.comparisons += 1;
@@ -85,14 +92,8 @@ pub fn nn_chain(matrix: &CondensedMatrix, linkage: Linkage) -> HacResult {
                     if !active[k] || k == a || k == b {
                         continue;
                     }
-                    let updated = linkage.update(
-                        d.get(a, k),
-                        d.get(b, k),
-                        best_d,
-                        size[a],
-                        size[b],
-                        size[k],
-                    );
+                    let updated =
+                        linkage.update(d.get(a, k), d.get(b, k), best_d, size[a], size[b], size[k]);
                     d.set(a, k, updated);
                     stats.updates += 1;
                 }
@@ -105,7 +106,10 @@ pub fn nn_chain(matrix: &CondensedMatrix, linkage: Linkage) -> HacResult {
             chain.push(best);
         }
     }
-    HacResult { dendrogram: Dendrogram::from_raw_merges(n, raw), stats }
+    HacResult {
+        dendrogram: Dendrogram::from_raw_merges(n, raw),
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +143,11 @@ mod tests {
         // {0,1} at 1.0, {2,3} at 1.5, inter-group 50.
         let m = CondensedMatrix::from_fn(4, |i, j| {
             if (i < 2) == (j < 2) {
-                if i < 2 { 1.0 } else { 1.5 }
+                if i < 2 {
+                    1.0
+                } else {
+                    1.5
+                }
             } else {
                 50.0
             }

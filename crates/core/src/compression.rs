@@ -22,7 +22,11 @@ impl CompressionReport {
     /// Panics if `dim == 0`.
     pub fn new(raw_bytes: usize, num_hypervectors: usize, dim: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
-        Self { raw_bytes, num_hypervectors, dim }
+        Self {
+            raw_bytes,
+            num_hypervectors,
+            dim,
+        }
     }
 
     /// Raw input bytes.
@@ -77,7 +81,11 @@ mod tests {
         assert!((r.factor() - 24.25).abs() < 0.5, "factor {:.1}", r.factor());
         // PXD001197: 25 GB, 1.1M spectra -> ~89x (towards the 108x ceiling).
         let r2 = CompressionReport::new(25_000_000_000, 1_100_000, 2048);
-        assert!(r2.factor() > 80.0 && r2.factor() < 110.0, "factor {:.1}", r2.factor());
+        assert!(
+            r2.factor() > 80.0 && r2.factor() < 110.0,
+            "factor {:.1}",
+            r2.factor()
+        );
     }
 
     #[test]

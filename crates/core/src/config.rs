@@ -55,7 +55,9 @@ impl Default for SpecHdConfig {
 impl SpecHdConfig {
     /// Starts a builder with default settings.
     pub fn builder() -> SpecHdConfigBuilder {
-        SpecHdConfigBuilder { config: Self::default() }
+        SpecHdConfigBuilder {
+            config: Self::default(),
+        }
     }
 
     /// The absolute Hamming threshold in bits.
@@ -164,14 +166,18 @@ mod tests {
 
     #[test]
     fn threshold_bits() {
-        let c = SpecHdConfig::builder().distance_threshold_fraction(0.25).build();
+        let c = SpecHdConfig::builder()
+            .distance_threshold_fraction(0.25)
+            .build();
         assert!((c.distance_threshold_bits() - 512.0).abs() < 1e-9);
     }
 
     #[test]
     #[should_panic(expected = "threshold fraction")]
     fn invalid_threshold_panics() {
-        SpecHdConfig::builder().distance_threshold_fraction(1.5).build();
+        SpecHdConfig::builder()
+            .distance_threshold_fraction(1.5)
+            .build();
     }
 
     #[test]

@@ -35,7 +35,12 @@ impl SpecHd {
         let encoder = IdLevelEncoder::new(config.encoder);
         let preprocess = PreprocessPipeline::new(config.preprocess);
         let bucketer = PrecursorBucketer::new(config.resolution);
-        Self { config, encoder, preprocess, bucketer }
+        Self {
+            config,
+            encoder,
+            preprocess,
+            bucketer,
+        }
     }
 
     /// The configuration.
@@ -91,8 +96,11 @@ impl SpecHd {
     /// Encodes every spectrum of a (preprocessed) dataset into
     /// hypervectors — the standalone encoding stage.
     pub fn encode_dataset(&self, dataset: &SpectrumDataset) -> Vec<BinaryHypervector> {
-        let peak_lists: Vec<Vec<(f64, f64)>> =
-            dataset.spectra().iter().map(|s| s.relative_peaks()).collect();
+        let peak_lists: Vec<Vec<(f64, f64)>> = dataset
+            .spectra()
+            .iter()
+            .map(|s| s.relative_peaks())
+            .collect();
         self.encoder.encode_batch(&peak_lists)
     }
 
@@ -122,13 +130,15 @@ impl SpecHd {
         // Per-bucket results, merged in bucket order for determinism.
         struct BucketOutcome {
             bucket_idx: usize,
-            labels: Vec<usize>, // local cluster ids per member
+            labels: Vec<usize>,  // local cluster ids per member
             medoids: Vec<usize>, // hv index per local cluster
             stats: HacStats,
         }
 
         let worker_count = if self.config.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.config.threads
         }
@@ -146,12 +156,15 @@ impl SpecHd {
                     }
                     let bucket = &buckets[bucket_idx];
                     let outcome = cluster_one_bucket(bucket, hvs, linkage, threshold);
-                    results.lock().expect("no panics hold the lock").push(BucketOutcome {
-                        bucket_idx,
-                        labels: outcome.0,
-                        medoids: outcome.1,
-                        stats: outcome.2,
-                    });
+                    results
+                        .lock()
+                        .expect("no panics hold the lock")
+                        .push(BucketOutcome {
+                            bucket_idx,
+                            labels: outcome.0,
+                            medoids: outcome.1,
+                            stats: outcome.2,
+                        });
                 });
             }
         });
@@ -191,8 +204,10 @@ impl SpecHd {
     /// Predicts the FPGA timeline for running this configuration on a
     /// workload of the given shape (see [`spechd_fpga::SystemModel`]).
     pub fn estimate_fpga_timeline(&self, shape: &WorkloadShape) -> Timeline {
-        let mut cfg = SystemConfig::default();
-        cfg.num_cluster_kernels = self.config.threads.max(1);
+        let cfg = SystemConfig {
+            num_cluster_kernels: self.config.threads.max(1),
+            ..SystemConfig::default()
+        };
         SystemModel::new(cfg).end_to_end(shape)
     }
 }
@@ -244,7 +259,10 @@ mod tests {
         let ds = dataset(300, 1);
         let outcome = SpecHd::new(SpecHdConfig::default()).run(&ds);
         assert_eq!(outcome.assignment().len(), outcome.kept().len());
-        assert_eq!(outcome.consensus().len(), outcome.assignment().num_clusters());
+        assert_eq!(
+            outcome.consensus().len(),
+            outcome.assignment().num_clusters()
+        );
         // Consensus indices refer to the original dataset.
         for &c in outcome.consensus() {
             assert!(c < ds.len());
@@ -259,8 +277,10 @@ mod tests {
         let b = SpecHd::new(SpecHdConfig::default()).run(&ds);
         assert_eq!(a.assignment(), b.assignment());
         assert_eq!(a.consensus(), b.consensus());
-        let mut cfg = SpecHdConfig::default();
-        cfg.threads = 1;
+        let cfg = SpecHdConfig {
+            threads: 1,
+            ..SpecHdConfig::default()
+        };
         let c = SpecHd::new(cfg).run(&ds);
         assert_eq!(a.assignment(), c.assignment());
         assert_eq!(a.consensus(), c.consensus());
@@ -271,25 +291,39 @@ mod tests {
         let ds = dataset(600, 3);
         let outcome = SpecHd::new(SpecHdConfig::default()).run(&ds);
         let eval = outcome.evaluate(&ds);
-        assert!(eval.clustered_ratio > 0.15, "clustered {:.3}", eval.clustered_ratio);
-        assert!(eval.incorrect_ratio < 0.08, "icr {:.3}", eval.incorrect_ratio);
-        assert!(eval.completeness > 0.5, "completeness {:.3}", eval.completeness);
+        assert!(
+            eval.clustered_ratio > 0.15,
+            "clustered {:.3}",
+            eval.clustered_ratio
+        );
+        assert!(
+            eval.incorrect_ratio < 0.08,
+            "icr {:.3}",
+            eval.incorrect_ratio
+        );
+        assert!(
+            eval.completeness > 0.5,
+            "completeness {:.3}",
+            eval.completeness
+        );
     }
 
     #[test]
     fn tighter_threshold_clusters_less() {
         let ds = dataset(300, 4);
         let loose = SpecHd::new(
-            SpecHdConfig::builder().distance_threshold_fraction(0.4).build(),
+            SpecHdConfig::builder()
+                .distance_threshold_fraction(0.4)
+                .build(),
         )
         .run(&ds);
         let tight = SpecHd::new(
-            SpecHdConfig::builder().distance_threshold_fraction(0.1).build(),
+            SpecHdConfig::builder()
+                .distance_threshold_fraction(0.1)
+                .build(),
         )
         .run(&ds);
-        assert!(
-            tight.assignment().clustered_ratio() <= loose.assignment().clustered_ratio()
-        );
+        assert!(tight.assignment().clustered_ratio() <= loose.assignment().clustered_ratio());
     }
 
     #[test]

@@ -48,7 +48,14 @@ impl SpecHdOutcome {
     ) -> Self {
         debug_assert_eq!(assignment.len(), kept.len());
         debug_assert_eq!(consensus.len(), assignment.num_clusters());
-        Self { assignment, kept, consensus, hvs, stats, compression }
+        Self {
+            assignment,
+            kept,
+            consensus,
+            hvs,
+            stats,
+            compression,
+        }
     }
 
     /// Flat clusters over the *kept* (preprocessed) spectra; index `i`

@@ -131,18 +131,29 @@ mod tests {
         for (bytes, secs) in rows {
             let model_t = MSAS_SETUP_S + bytes / MSAS_BANDWIDTH_BPS;
             let err = (model_t - secs).abs() / secs;
-            assert!(err < 0.08, "{bytes} B: model {model_t:.2}s vs paper {secs}s");
+            assert!(
+                err < 0.08,
+                "{bytes} B: model {model_t:.2}s vs paper {secs}s"
+            );
         }
     }
 
     #[test]
     fn msas_power_reproduces_table1_energy() {
-        let rows: [(f64, f64); 5] =
-            [(1.79, 17.38), (8.22, 77.27), (18.44, 166.53), (28.53, 268.22), (43.38, 382.62)];
+        let rows: [(f64, f64); 5] = [
+            (1.79, 17.38),
+            (8.22, 77.27),
+            (18.44, 166.53),
+            (28.53, 268.22),
+            (43.38, 382.62),
+        ];
         for (secs, joules) in rows {
             let model_e = MSAS_POWER_W * secs;
             let err = (model_e - joules).abs() / joules;
-            assert!(err < 0.08, "{secs}s: model {model_e:.1}J vs paper {joules}J");
+            assert!(
+                err < 0.08,
+                "{secs}s: model {model_e:.1}J vs paper {joules}J"
+            );
         }
     }
 
@@ -153,7 +164,10 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn p2p_beats_host_bounce() {
+        // Guards the calibration tables: P2P must stay strictly faster
+        // than the host-bounce path or every DSE conclusion inverts.
         assert!(P2P_BANDWIDTH_BPS > HOST_BOUNCE_BANDWIDTH_BPS);
     }
 }

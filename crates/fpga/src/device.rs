@@ -94,8 +94,8 @@ impl AlveoU280 {
         let dim = dim as u64;
         let item_bits = ((mz_bins + levels) as u64) * dim;
         ResourceBudget {
-            luts: 12 * dim,          // XOR + counter increment logic
-            ffs: 16 * dim,           // counter registers + pipeline
+            luts: 12 * dim, // XOR + counter increment logic
+            ffs: 16 * dim,  // counter registers + pipeline
             brams: item_bits.div_ceil(36 * 1024).max(4),
             urams: 0,
             dsps: 8,
@@ -162,7 +162,13 @@ mod tests {
 
     #[test]
     fn budget_arithmetic() {
-        let a = ResourceBudget { luts: 10, ffs: 20, brams: 1, urams: 0, dsps: 2 };
+        let a = ResourceBudget {
+            luts: 10,
+            ffs: 20,
+            brams: 1,
+            urams: 0,
+            dsps: 2,
+        };
         let b = a.times(3);
         assert_eq!(b.luts, 30);
         let c = a.plus(b);
@@ -171,11 +177,26 @@ mod tests {
 
     #[test]
     fn fits_in_and_utilization() {
-        let cap = ResourceBudget { luts: 100, ffs: 100, brams: 10, urams: 10, dsps: 10 };
-        let use_half = ResourceBudget { luts: 50, ffs: 20, brams: 5, urams: 0, dsps: 1 };
+        let cap = ResourceBudget {
+            luts: 100,
+            ffs: 100,
+            brams: 10,
+            urams: 10,
+            dsps: 10,
+        };
+        let use_half = ResourceBudget {
+            luts: 50,
+            ffs: 20,
+            brams: 5,
+            urams: 0,
+            dsps: 1,
+        };
         assert!(use_half.fits_in(cap));
         assert!((use_half.utilization_of(cap) - 0.5).abs() < 1e-12);
-        let too_big = ResourceBudget { luts: 200, ..use_half };
+        let too_big = ResourceBudget {
+            luts: 200,
+            ..use_half
+        };
         assert!(!too_big.fits_in(cap));
     }
 

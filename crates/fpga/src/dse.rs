@@ -55,11 +55,13 @@ pub fn explore(shape: &WorkloadShape, sweep: &DseSweep) -> Vec<DesignPoint> {
         for &ck in &sweep.cluster_kernels {
             for &ch in &sweep.msas_channels {
                 for p2p in [true, false] {
-                    let mut cfg = SystemConfig::default();
-                    cfg.num_encoders = enc;
-                    cfg.num_cluster_kernels = ck;
-                    cfg.msas = MsasModel::default().with_channels(ch);
-                    cfg.p2p_enabled = p2p;
+                    let cfg = SystemConfig {
+                        num_encoders: enc,
+                        num_cluster_kernels: ck,
+                        msas: MsasModel::default().with_channels(ch),
+                        p2p_enabled: p2p,
+                        ..SystemConfig::default()
+                    };
                     let model = SystemModel::new(cfg);
                     let t = model.end_to_end(shape);
                     let e = model.end_to_end_energy(shape);

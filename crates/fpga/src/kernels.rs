@@ -146,7 +146,10 @@ pub struct TopKKernelModel {
 
 impl Default for TopKKernelModel {
     fn default() -> Self {
-        Self { clock_hz: calib::KERNEL_CLOCK_HZ, comparators: 64.0 }
+        Self {
+            clock_hz: calib::KERNEL_CLOCK_HZ,
+            comparators: 64.0,
+        }
     }
 }
 
@@ -204,7 +207,10 @@ mod tests {
         let d = dist.cycles(n);
         let c = nn.cluster_cycles(n);
         let total = nn.bucket_cycles(&dist, n);
-        assert!(d > c, "distance fill ({d}) should dominate chain work ({c})");
+        assert!(
+            d > c,
+            "distance fill ({d}) should dominate chain work ({c})"
+        );
         assert!(total > d);
     }
 
@@ -219,7 +225,10 @@ mod tests {
 
     #[test]
     fn topk_cycles_match_network_size() {
-        let model = TopKKernelModel { clock_hz: 300e6, comparators: 1.0 };
+        let model = TopKKernelModel {
+            clock_hz: 300e6,
+            comparators: 1.0,
+        };
         // 8 lanes -> 24 comparators (see preprocess::topk tests).
         assert!((model.cycles_per_spectrum(8) - 24.0).abs() < 1e-9);
         assert_eq!(model.cycles_per_spectrum(1), 0.0);

@@ -112,7 +112,10 @@ mod tests {
         let wide = base.with_channels(16);
         assert!(wide.bandwidth() > base.bandwidth() * 1.9);
         assert!(wide.power_w > base.power_w);
-        assert!(wide.power_w < base.power_w * 2.0, "controller power is shared");
+        assert!(
+            wide.power_w < base.power_w * 2.0,
+            "controller power is shared"
+        );
     }
 
     #[test]

@@ -101,7 +101,10 @@ impl SystemModel {
     /// Panics if kernel counts are zero.
     pub fn new(config: SystemConfig) -> Self {
         assert!(config.num_encoders > 0, "need at least one encoder");
-        assert!(config.num_cluster_kernels > 0, "need at least one clustering kernel");
+        assert!(
+            config.num_cluster_kernels > 0,
+            "need at least one clustering kernel"
+        );
         Self { config }
     }
 
@@ -155,10 +158,17 @@ impl SystemModel {
         };
         let encode_s = self.encode_time(shape);
         let cluster_s = self.standalone_clustering_time(shape);
-        let host_s = calib::FPGA_SETUP_S
-            + shape.num_spectra as f64 * calib::HOST_OVERHEAD_PER_SPECTRUM_S;
+        let host_s =
+            calib::FPGA_SETUP_S + shape.num_spectra as f64 * calib::HOST_OVERHEAD_PER_SPECTRUM_S;
         let total_s = preprocess_s + transfer_s + encode_s + cluster_s + host_s;
-        Timeline { preprocess_s, transfer_s, encode_s, cluster_s, host_s, total_s }
+        Timeline {
+            preprocess_s,
+            transfer_s,
+            encode_s,
+            cluster_s,
+            host_s,
+            total_s,
+        }
     }
 
     /// Energy breakdown for a full run (Fig. 9a quantity).
@@ -169,7 +179,12 @@ impl SystemModel {
         let fpga_j = p.fpga_energy(t.transfer_s + t.encode_s + t.cluster_s)
             + p.fpga_idle_w * (t.preprocess_s + t.host_s);
         let host_j = p.orchestration_energy(t.host_s);
-        EnergyBreakdown { msas_j, fpga_j, host_j, total_j: msas_j + fpga_j + host_j }
+        EnergyBreakdown {
+            msas_j,
+            fpga_j,
+            host_j,
+            total_j: msas_j + fpga_j + host_j,
+        }
     }
 
     /// Energy of the standalone clustering phase (Fig. 9b quantity).
@@ -228,7 +243,11 @@ mod tests {
     fn pxd000561_end_to_end_about_five_minutes() {
         // §I / §V: the 131 GB human proteome clusters "in just 5 minutes".
         let t = model().end_to_end(&WorkloadShape::pxd000561());
-        assert!((180.0..420.0).contains(&t.total_s), "end-to-end {:.0}s", t.total_s);
+        assert!(
+            (180.0..420.0).contains(&t.total_s),
+            "end-to-end {:.0}s",
+            t.total_s
+        );
         // And preprocessing matches Table I within the MSAS tolerance.
         assert!((t.preprocess_s - 43.38).abs() / 43.38 < 0.08);
     }
@@ -285,8 +304,10 @@ mod tests {
 
     #[test]
     fn infeasible_configuration_detected() {
-        let mut cfg = SystemConfig::default();
-        cfg.num_cluster_kernels = 64;
+        let cfg = SystemConfig {
+            num_cluster_kernels: 64,
+            ..SystemConfig::default()
+        };
         let m = SystemModel::new(cfg);
         assert!(!m.feasibility(&WorkloadShape::pxd000561()).is_empty());
     }
@@ -301,8 +322,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one encoder")]
     fn zero_encoders_panics() {
-        let mut cfg = SystemConfig::default();
-        cfg.num_encoders = 0;
+        let cfg = SystemConfig {
+            num_encoders: 0,
+            ..SystemConfig::default()
+        };
         SystemModel::new(cfg);
     }
 }

@@ -44,7 +44,10 @@ impl MajorityAccumulator {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "accumulator dimensionality must be positive");
-        Self { counters: vec![0; dim], count: 0 }
+        Self {
+            counters: vec![0; dim],
+            count: 0,
+        }
     }
 
     /// Dimensionality of the accumulated vectors.
@@ -161,8 +164,9 @@ mod tests {
         // relies on for clustering quality.
         let mut rng = Xoshiro256StarStar::seed_from_u64(3);
         let dim = 2048;
-        let members: Vec<BinaryHypervector> =
-            (0..5).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+        let members: Vec<BinaryHypervector> = (0..5)
+            .map(|_| BinaryHypervector::random(dim, &mut rng))
+            .collect();
         let mut acc = MajorityAccumulator::new(dim);
         for m in &members {
             acc.add(m);
@@ -218,7 +222,10 @@ mod tests {
             acc.add(&hv);
         }
         for &c in acc.counters() {
-            assert!(c.unsigned_abs() as usize <= 9 && (c % 2 != 0), "counter {c}");
+            assert!(
+                c.unsigned_abs() as usize <= 9 && (c % 2 != 0),
+                "counter {c}"
+            );
         }
     }
 
@@ -253,7 +260,9 @@ mod tests {
     #[test]
     fn deterministic_for_same_input_order() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(8);
-        let hvs: Vec<_> = (0..4).map(|_| BinaryHypervector::random(96, &mut rng)).collect();
+        let hvs: Vec<_> = (0..4)
+            .map(|_| BinaryHypervector::random(96, &mut rng))
+            .collect();
         let run = |hvs: &[BinaryHypervector]| {
             let mut acc = MajorityAccumulator::new(96);
             for h in hvs {
@@ -267,8 +276,9 @@ mod tests {
     #[test]
     fn order_invariance() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(9);
-        let mut hvs: Vec<_> =
-            (0..5).map(|_| BinaryHypervector::random(96, &mut rng)).collect();
+        let mut hvs: Vec<_> = (0..5)
+            .map(|_| BinaryHypervector::random(96, &mut rng))
+            .collect();
         let mut acc1 = MajorityAccumulator::new(96);
         for h in &hvs {
             acc1.add(h);

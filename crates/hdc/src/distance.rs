@@ -35,7 +35,10 @@ pub fn pairwise_condensed(hvs: &[BinaryHypervector]) -> Vec<u16> {
         return Vec::new();
     }
     let dim = hvs[0].dim();
-    assert!(dim <= u16::MAX as usize, "dim {dim} exceeds 16-bit distance range");
+    assert!(
+        dim <= u16::MAX as usize,
+        "dim {dim} exceeds 16-bit distance range"
+    );
     let n = hvs.len();
     let mut out = Vec::with_capacity(n * (n - 1) / 2);
     for i in 1..n {
@@ -97,7 +100,9 @@ mod tests {
 
     fn random_set(n: usize, dim: usize, seed: u64) -> Vec<BinaryHypervector> {
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
-        (0..n).map(|_| BinaryHypervector::random(dim, &mut rng)).collect()
+        (0..n)
+            .map(|_| BinaryHypervector::random(dim, &mut rng))
+            .collect()
     }
 
     #[test]

@@ -78,12 +78,21 @@ impl IdLevelEncoder {
     /// two levels, or an empty m/z range).
     pub fn new(config: EncoderConfig) -> Self {
         let id_memory = ItemMemory::random(config.mz_bins, config.dim, config.seed);
-        let level_memory =
-            LevelMemory::new(config.intensity_levels, config.dim, config.seed.wrapping_add(1));
+        let level_memory = LevelMemory::new(
+            config.intensity_levels,
+            config.dim,
+            config.seed.wrapping_add(1),
+        );
         let mz_quantizer = MzQuantizer::new(config.mz_bins, config.mz_range);
         let intensity_quantizer =
             IntensityQuantizer::new(config.intensity_levels, IntensityScale::Sqrt);
-        Self { config, id_memory, level_memory, mz_quantizer, intensity_quantizer }
+        Self {
+            config,
+            id_memory,
+            level_memory,
+            mz_quantizer,
+            intensity_quantizer,
+        }
     }
 
     /// The configuration this encoder was built from.
@@ -130,11 +139,17 @@ impl IdLevelEncoder {
         peaks: &[(f64, f64)],
         acc: &mut MajorityAccumulator,
     ) -> BinaryHypervector {
-        assert_eq!(acc.dim(), self.config.dim, "accumulator dimensionality mismatch");
+        assert_eq!(
+            acc.dim(),
+            self.config.dim,
+            "accumulator dimensionality mismatch"
+        );
         acc.clear();
         for &(mz, intensity) in peaks {
             let id = self.id_memory.get(self.mz_quantizer.quantize(mz));
-            let level = self.level_memory.get(self.intensity_quantizer.quantize(intensity));
+            let level = self
+                .level_memory
+                .get(self.intensity_quantizer.quantize(intensity));
             // Bind: ID ⊕ L. Accumulate without materializing the XOR.
             let bound = id ^ level;
             acc.add(&bound);
@@ -145,7 +160,10 @@ impl IdLevelEncoder {
     /// Encodes a batch of peak lists, reusing one accumulator.
     pub fn encode_batch(&self, spectra: &[Vec<(f64, f64)>]) -> Vec<BinaryHypervector> {
         let mut acc = MajorityAccumulator::new(self.config.dim);
-        spectra.iter().map(|peaks| self.encode_into(peaks, &mut acc)).collect()
+        spectra
+            .iter()
+            .map(|peaks| self.encode_into(peaks, &mut acc))
+            .collect()
     }
 }
 
@@ -180,25 +198,33 @@ mod tests {
     #[test]
     fn different_seeds_give_different_codes() {
         let peaks = vec![(300.0, 1.0), (450.5, 0.4)];
-        let mut cfg = EncoderConfig::default();
-        cfg.seed = 1;
+        let cfg = EncoderConfig {
+            seed: 1,
+            ..EncoderConfig::default()
+        };
         let a = IdLevelEncoder::new(cfg).encode(&peaks);
-        cfg.seed = 2;
-        let b = IdLevelEncoder::new(cfg).encode(&peaks);
-        assert!(a.hamming(&b) > 700, "independent memories must decorrelate codes");
+        let b = IdLevelEncoder::new(EncoderConfig { seed: 2, ..cfg }).encode(&peaks);
+        assert!(
+            a.hamming(&b) > 700,
+            "independent memories must decorrelate codes"
+        );
     }
 
     #[test]
     fn similar_spectra_closer_than_dissimilar() {
         let enc = test_encoder();
-        let base: Vec<(f64, f64)> =
-            (0..30).map(|i| (250.0 + 55.0 * i as f64, 1.0 / (1.0 + i as f64))).collect();
+        let base: Vec<(f64, f64)> = (0..30)
+            .map(|i| (250.0 + 55.0 * i as f64, 1.0 / (1.0 + i as f64)))
+            .collect();
         // Perturb intensities slightly.
-        let similar: Vec<(f64, f64)> =
-            base.iter().map(|&(mz, it)| (mz, (it * 1.1_f64).min(1.0))).collect();
+        let similar: Vec<(f64, f64)> = base
+            .iter()
+            .map(|&(mz, it)| (mz, (it * 1.1_f64).min(1.0)))
+            .collect();
         // Entirely different m/z positions.
-        let different: Vec<(f64, f64)> =
-            (0..30).map(|i| (233.0 + 57.3 * i as f64, 1.0 / (1.0 + i as f64))).collect();
+        let different: Vec<(f64, f64)> = (0..30)
+            .map(|i| (233.0 + 57.3 * i as f64, 1.0 / (1.0 + i as f64)))
+            .collect();
         let h_base = enc.encode(&base);
         let h_sim = enc.encode(&similar);
         let h_diff = enc.encode(&different);
@@ -210,8 +236,9 @@ mod tests {
         let enc = test_encoder();
         let hv = enc.encode(&[(300.0, 1.0)]);
         let id = enc.id_memory().get(enc.mz_quantizer.quantize(300.0));
-        let level =
-            enc.level_memory().get(enc.intensity_quantizer.quantize(1.0));
+        let level = enc
+            .level_memory()
+            .get(enc.intensity_quantizer.quantize(1.0));
         assert_eq!(hv, id ^ level);
     }
 
@@ -260,7 +287,10 @@ mod tests {
         let h = enc.encode(&base);
         let d_int = h.hamming(&enc.encode(&intensity_shift));
         let d_mz = h.hamming(&enc.encode(&mz_shift));
-        assert!(d_int < d_mz, "intensity jitter ({d_int}) must cost less than mz jump ({d_mz})");
+        assert!(
+            d_int < d_mz,
+            "intensity jitter ({d_int}) must cost less than mz jump ({d_mz})"
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl BinaryHypervector {
     /// Panics if `dim == 0`.
     pub fn zeros(dim: usize) -> Self {
         assert!(dim > 0, "hypervector dimensionality must be positive");
-        Self { dim, words: vec![0; dim.div_ceil(64)] }
+        Self {
+            dim,
+            words: vec![0; dim.div_ceil(64)],
+        }
     }
 
     /// Creates an all-ones hypervector of the given dimensionality.
@@ -123,7 +126,11 @@ impl BinaryHypervector {
     ///
     /// Panics if `i >= dim`.
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.dim, "bit index {i} out of range for dim {}", self.dim);
+        assert!(
+            i < self.dim,
+            "bit index {i} out of range for dim {}",
+            self.dim
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -133,7 +140,11 @@ impl BinaryHypervector {
     ///
     /// Panics if `i >= dim`.
     pub fn set_bit(&mut self, i: usize, value: bool) {
-        assert!(i < self.dim, "bit index {i} out of range for dim {}", self.dim);
+        assert!(
+            i < self.dim,
+            "bit index {i} out of range for dim {}",
+            self.dim
+        );
         if value {
             self.words[i / 64] |= 1u64 << (i % 64);
         } else {
@@ -147,7 +158,11 @@ impl BinaryHypervector {
     ///
     /// Panics if `i >= dim`.
     pub fn flip_bit(&mut self, i: usize) {
-        assert!(i < self.dim, "bit index {i} out of range for dim {}", self.dim);
+        assert!(
+            i < self.dim,
+            "bit index {i} out of range for dim {}",
+            self.dim
+        );
         self.words[i / 64] ^= 1u64 << (i % 64);
     }
 
@@ -382,7 +397,7 @@ mod tests {
     #[test]
     fn and_or_operators() {
         let a = BinaryHypervector::from_fn(8, |i| i < 4);
-        let b = BinaryHypervector::from_fn(8, |i| i >= 2 && i < 6);
+        let b = BinaryHypervector::from_fn(8, |i| (2..6).contains(&i));
         assert_eq!((&a & &b).count_ones(), 2);
         assert_eq!((&a | &b).count_ones(), 6);
     }

@@ -62,7 +62,11 @@ impl MzQuantizer {
             range.0.is_finite() && range.1.is_finite() && range.0 < range.1,
             "mz range must be a non-empty finite interval"
         );
-        Self { bins, lo: range.0, hi: range.1 }
+        Self {
+            bins,
+            lo: range.0,
+            hi: range.1,
+        }
     }
 
     /// Number of bins `f`.
@@ -172,7 +176,10 @@ mod tests {
     #[test]
     fn mz_quantizer_covers_all_bins() {
         let q = MzQuantizer::new(5, (0.0, 5.0));
-        let bins: Vec<usize> = [0.1, 1.1, 2.1, 3.1, 4.1].iter().map(|&x| q.quantize(x)).collect();
+        let bins: Vec<usize> = [0.1, 1.1, 2.1, 3.1, 4.1]
+            .iter()
+            .map(|&x| q.quantize(x))
+            .collect();
         assert_eq!(bins, vec![0, 1, 2, 3, 4]);
     }
 
@@ -196,7 +203,11 @@ mod tests {
 
     #[test]
     fn intensity_quantizer_bounds() {
-        for scale in [IntensityScale::Linear, IntensityScale::Sqrt, IntensityScale::Log] {
+        for scale in [
+            IntensityScale::Linear,
+            IntensityScale::Sqrt,
+            IntensityScale::Log,
+        ] {
             let q = IntensityQuantizer::new(16, scale);
             assert_eq!(q.quantize(0.0), 0, "{scale:?}");
             assert_eq!(q.quantize(1.0), 15, "{scale:?}");

@@ -1,82 +1,117 @@
-//! Property-based tests for the HDC core invariants.
+//! Property-style tests for the HDC core invariants.
+//!
+//! The workspace is dependency-free by design (the lock file pins a
+//! std-only graph), so instead of `proptest` these tests draw their
+//! random cases from the in-repo deterministic PRNG: every test loops
+//! over a fixed number of seeded cases, which keeps failures perfectly
+//! reproducible.
 
-use proptest::prelude::*;
 use spechd_hdc::{
     BinaryHypervector, EncoderConfig, IdLevelEncoder, LevelMemory, MajorityAccumulator,
 };
-use spechd_rng::Xoshiro256StarStar;
+use spechd_rng::{Rng, Xoshiro256StarStar};
 
-fn hv_strategy(dim: usize) -> impl Strategy<Value = BinaryHypervector> {
-    any::<u64>().prop_map(move |seed| {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
-        BinaryHypervector::random(dim, &mut rng)
-    })
+const CASES: u64 = 64;
+
+fn random_hv(dim: usize, rng: &mut Xoshiro256StarStar) -> BinaryHypervector {
+    let mut sub = Xoshiro256StarStar::seed_from_u64(rng.next_u64());
+    BinaryHypervector::random(dim, &mut sub)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_peaks(rng: &mut Xoshiro256StarStar, min_len: usize, max_len: usize) -> Vec<(f64, f64)> {
+    let len = rng.range_usize(min_len, max_len);
+    (0..len)
+        .map(|_| (rng.range_f64(200.0, 2000.0), rng.range_f64(0.0, 1.0)))
+        .collect()
+}
 
-    #[test]
-    fn xor_is_involutive(a in hv_strategy(256), b in hv_strategy(256)) {
+#[test]
+fn xor_is_involutive() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x1000 + case);
+        let a = random_hv(256, &mut rng);
+        let b = random_hv(256, &mut rng);
         let bound = &a ^ &b;
-        prop_assert_eq!(&(&bound ^ &b), &a);
-        prop_assert_eq!(&(&bound ^ &a), &b);
+        assert_eq!(&(&bound ^ &b), &a);
+        assert_eq!(&(&bound ^ &a), &b);
     }
+}
 
-    #[test]
-    fn xor_is_commutative(a in hv_strategy(192), b in hv_strategy(192)) {
-        prop_assert_eq!(&a ^ &b, &b ^ &a);
+#[test]
+fn xor_is_commutative() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x2000 + case);
+        let a = random_hv(192, &mut rng);
+        let b = random_hv(192, &mut rng);
+        assert_eq!(&a ^ &b, &b ^ &a);
     }
+}
 
-    #[test]
-    fn hamming_metric_axioms(
-        a in hv_strategy(320),
-        b in hv_strategy(320),
-        c in hv_strategy(320),
-    ) {
+#[test]
+fn hamming_metric_axioms() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x3000 + case);
+        let a = random_hv(320, &mut rng);
+        let b = random_hv(320, &mut rng);
+        let c = random_hv(320, &mut rng);
         // Identity of indiscernibles (one direction) + symmetry + triangle.
-        prop_assert_eq!(a.hamming(&a), 0);
-        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
-        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+        assert_eq!(a.hamming(&a), 0);
+        assert_eq!(a.hamming(&b), b.hamming(&a));
+        assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
     }
+}
 
-    #[test]
-    fn hamming_bounded_by_dim(a in hv_strategy(128), b in hv_strategy(128)) {
-        prop_assert!(a.hamming(&b) <= 128);
+#[test]
+fn hamming_bounded_by_dim() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x4000 + case);
+        let a = random_hv(128, &mut rng);
+        let b = random_hv(128, &mut rng);
+        assert!(a.hamming(&b) <= 128);
     }
+}
 
-    #[test]
-    fn xor_distance_preservation(
-        a in hv_strategy(256),
-        b in hv_strategy(256),
-        key in hv_strategy(256),
-    ) {
+#[test]
+fn xor_distance_preservation() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x5000 + case);
+        let a = random_hv(256, &mut rng);
+        let b = random_hv(256, &mut rng);
+        let key = random_hv(256, &mut rng);
         // Binding with a shared key is an isometry of Hamming space.
-        prop_assert_eq!((&a ^ &key).hamming(&(&b ^ &key)), a.hamming(&b));
+        assert_eq!((&a ^ &key).hamming(&(&b ^ &key)), a.hamming(&b));
     }
+}
 
-    #[test]
-    fn count_ones_consistent_with_zero_distance(a in hv_strategy(512)) {
+#[test]
+fn count_ones_consistent_with_zero_distance() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x6000 + case);
+        let a = random_hv(512, &mut rng);
         let z = BinaryHypervector::zeros(512);
-        prop_assert_eq!(a.hamming(&z), a.count_ones());
+        assert_eq!(a.hamming(&z), a.count_ones());
     }
+}
 
-    #[test]
-    fn rotation_is_isometric(a in hv_strategy(200), b in hv_strategy(200), k in 0usize..400) {
-        prop_assert_eq!(a.rotate(k).hamming(&b.rotate(k)), a.hamming(&b));
+#[test]
+fn rotation_is_isometric() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x7000 + case);
+        let a = random_hv(200, &mut rng);
+        let b = random_hv(200, &mut rng);
+        let k = rng.range_usize(0, 400);
+        assert_eq!(a.rotate(k).hamming(&b.rotate(k)), a.hamming(&b));
     }
+}
 
-    #[test]
-    fn majority_within_union_bounds(seeds in proptest::collection::vec(any::<u64>(), 1..8)) {
+#[test]
+fn majority_within_union_bounds() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x8000 + case);
         // Every set bit of the majority must be set in at least one member.
         let dim = 160;
-        let hvs: Vec<BinaryHypervector> = seeds
-            .iter()
-            .map(|&s| {
-                let mut rng = Xoshiro256StarStar::seed_from_u64(s);
-                BinaryHypervector::random(dim, &mut rng)
-            })
-            .collect();
+        let n = rng.range_usize(1, 8);
+        let hvs: Vec<BinaryHypervector> = (0..n).map(|_| random_hv(dim, &mut rng)).collect();
         let mut acc = MajorityAccumulator::new(dim);
         for h in &hvs {
             acc.add(h);
@@ -86,41 +121,62 @@ proptest! {
         for h in &hvs {
             union = &union | h;
         }
-        prop_assert_eq!(&(&maj & &union), &maj, "majority must be subset of union");
+        assert_eq!(&(&maj & &union), &maj, "majority must be subset of union");
     }
+}
 
-    #[test]
-    fn level_memory_gap_monotone(q in 3usize..24, seed in any::<u64>()) {
+#[test]
+fn level_memory_gap_monotone() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x9000 + case);
+        let q = rng.range_usize(3, 24);
+        let seed = rng.next_u64();
         let levels = LevelMemory::new(q, 1024, seed);
         let base = levels.get(0);
         let mut prev = 0u32;
         for k in 1..q {
             let d = base.hamming(levels.get(k));
-            prop_assert!(d >= prev, "level distance must be non-decreasing in gap");
+            assert!(d >= prev, "level distance must be non-decreasing in gap");
             prev = d;
         }
     }
+}
 
-    #[test]
-    fn encoder_deterministic(
-        seed in any::<u64>(),
-        peaks in proptest::collection::vec((200.0f64..2000.0, 0.0f64..1.0), 0..40),
-    ) {
-        let cfg = EncoderConfig { seed, ..EncoderConfig { dim: 512, mz_bins: 128, intensity_levels: 16, mz_range: (200.0, 2000.0), seed: 0 } };
+#[test]
+fn encoder_deterministic() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xa000 + case);
+        let seed = rng.next_u64();
+        let peaks = random_peaks(&mut rng, 0, 40);
+        let cfg = EncoderConfig {
+            dim: 512,
+            mz_bins: 128,
+            intensity_levels: 16,
+            mz_range: (200.0, 2000.0),
+            seed,
+        };
         let a = IdLevelEncoder::new(cfg).encode(&peaks);
         let b = IdLevelEncoder::new(cfg).encode(&peaks);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn encoder_permutation_invariant(
-        peaks in proptest::collection::vec((200.0f64..2000.0, 0.0f64..1.0), 1..30),
-        rot in 0usize..30,
-    ) {
-        let cfg = EncoderConfig { dim: 512, mz_bins: 128, intensity_levels: 16, mz_range: (200.0, 2000.0), seed: 5 };
+#[test]
+fn encoder_permutation_invariant() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xb000 + case);
+        let peaks = random_peaks(&mut rng, 1, 30);
+        let rot = rng.range_usize(0, 30);
+        let cfg = EncoderConfig {
+            dim: 512,
+            mz_bins: 128,
+            intensity_levels: 16,
+            mz_range: (200.0, 2000.0),
+            seed: 5,
+        };
         let enc = IdLevelEncoder::new(cfg);
         let mut rotated = peaks.clone();
         rotated.rotate_left(rot % peaks.len().max(1));
-        prop_assert_eq!(enc.encode(&peaks), enc.encode(&rotated));
+        assert_eq!(enc.encode(&peaks), enc.encode(&rotated));
     }
 }

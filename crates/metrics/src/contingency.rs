@@ -32,7 +32,11 @@ impl Contingency {
     ///
     /// Panics if the slices have different lengths.
     pub fn build(predicted: &[usize], truth: &[Option<u32>]) -> Self {
-        assert_eq!(predicted.len(), truth.len(), "predicted/truth length mismatch");
+        assert_eq!(
+            predicted.len(),
+            truth.len(),
+            "predicted/truth length mismatch"
+        );
         let mut cells = HashMap::new();
         let mut cluster_totals = HashMap::new();
         let mut class_totals = HashMap::new();
@@ -45,7 +49,12 @@ impl Contingency {
                 total += 1;
             }
         }
-        Self { cells, cluster_totals, class_totals, total }
+        Self {
+            cells,
+            cluster_totals,
+            class_totals,
+            total,
+        }
     }
 
     /// Number of identified items covered by the table.

@@ -70,7 +70,11 @@ impl ClusteringEval {
     ///
     /// Panics if the two slices have different lengths.
     pub fn compute(predicted: &[usize], truth: &[Option<u32>]) -> Self {
-        assert_eq!(predicted.len(), truth.len(), "predicted/truth length mismatch");
+        assert_eq!(
+            predicted.len(),
+            truth.len(),
+            "predicted/truth length mismatch"
+        );
         let n = predicted.len();
 
         // Cluster sizes over ALL items for the clustered ratio.
@@ -80,7 +84,11 @@ impl ClusteringEval {
         }
         let num_clusters = sizes.len();
         let clustered: usize = predicted.iter().filter(|c| sizes[c] > 1).count();
-        let clustered_ratio = if n == 0 { 0.0 } else { clustered as f64 / n as f64 };
+        let clustered_ratio = if n == 0 {
+            0.0
+        } else {
+            clustered as f64 / n as f64
+        };
 
         let contingency = Contingency::build(predicted, truth);
         let incorrect_ratio = incorrect_clustering_ratio(predicted, truth, &sizes);
@@ -188,7 +196,10 @@ mod tests {
         assert_eq!(e.clustered_ratio, 1.0);
         // Majority is peptide 1 (tie broken to smaller id): 2 incorrect of 4.
         assert!((e.incorrect_ratio - 0.5).abs() < 1e-12);
-        assert!((e.completeness - 1.0).abs() < 1e-12, "one cluster is complete");
+        assert!(
+            (e.completeness - 1.0).abs() < 1e-12,
+            "one cluster is complete"
+        );
         assert!(e.homogeneity < 0.5);
     }
 

@@ -41,7 +41,11 @@ impl SpectrumDataset {
     ///
     /// Panics if the vectors have different lengths.
     pub fn from_parts(spectra: Vec<Spectrum>, labels: Vec<Option<u32>>) -> Self {
-        assert_eq!(spectra.len(), labels.len(), "spectra/labels length mismatch");
+        assert_eq!(
+            spectra.len(),
+            labels.len(),
+            "spectra/labels length mismatch"
+        );
         Self { spectra, labels }
     }
 
@@ -126,10 +130,18 @@ impl SpectrumDataset {
         DatasetStats {
             num_spectra: n,
             total_peaks,
-            mean_peaks: if n == 0 { 0.0 } else { total_peaks as f64 / n as f64 },
+            mean_peaks: if n == 0 {
+                0.0
+            } else {
+                total_peaks as f64 / n as f64
+            },
             identified: self.identified_count(),
             distinct_labels: self.distinct_labels(),
-            mz_range: if min_mz.is_finite() { Some((min_mz, max_mz)) } else { None },
+            mz_range: if min_mz.is_finite() {
+                Some((min_mz, max_mz))
+            } else {
+                None
+            },
         }
     }
 
@@ -253,10 +265,12 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let ds: SpectrumDataset =
-            vec![(spectrum("a", 500.0), Some(1)), (spectrum("b", 600.0), None)]
-                .into_iter()
-                .collect();
+        let ds: SpectrumDataset = vec![
+            (spectrum("a", 500.0), Some(1)),
+            (spectrum("b", 600.0), None),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.iter().count(), 2);
     }

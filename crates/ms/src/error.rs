@@ -23,7 +23,10 @@ pub enum MsError {
 impl MsError {
     /// Convenience constructor for parse errors.
     pub fn parse(line: usize, message: impl Into<String>) -> Self {
-        MsError::Parse { line, message: message.into() }
+        MsError::Parse {
+            line,
+            message: message.into(),
+        }
     }
 }
 

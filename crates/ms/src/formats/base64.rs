@@ -82,8 +82,9 @@ pub fn decode(text: &str) -> Result<Vec<u8>, MsError> {
             if padding > 0 {
                 return Err(MsError::parse(0, "base64 data after padding"));
             }
-            quad[fill] = decode_char(c)
-                .ok_or_else(|| MsError::parse(0, format!("invalid base64 character {:?}", c as char)))?;
+            quad[fill] = decode_char(c).ok_or_else(|| {
+                MsError::parse(0, format!("invalid base64 character {:?}", c as char))
+            })?;
             fill += 1;
         }
         if fill == 4 {
@@ -136,7 +137,10 @@ pub fn encode_f32(values: &[f32]) -> String {
 pub fn decode_f64(text: &str) -> Result<Vec<f64>, MsError> {
     let bytes = decode(text)?;
     if bytes.len() % 8 != 0 {
-        return Err(MsError::parse(0, "f64 array payload not a multiple of 8 bytes"));
+        return Err(MsError::parse(
+            0,
+            "f64 array payload not a multiple of 8 bytes",
+        ));
     }
     Ok(bytes
         .chunks_exact(8)
@@ -153,7 +157,10 @@ pub fn decode_f64(text: &str) -> Result<Vec<f64>, MsError> {
 pub fn decode_f32(text: &str) -> Result<Vec<f32>, MsError> {
     let bytes = decode(text)?;
     if bytes.len() % 4 != 0 {
-        return Err(MsError::parse(0, "f32 array payload not a multiple of 4 bytes"));
+        return Err(MsError::parse(
+            0,
+            "f32 array payload not a multiple of 4 bytes",
+        ));
     }
     Ok(bytes
         .chunks_exact(4)
@@ -208,7 +215,10 @@ mod tests {
     fn invalid_inputs_rejected() {
         assert!(decode("Z!==").is_err());
         assert!(decode("Zg").is_err(), "truncated quantum");
-        assert!(decode("Zg==Zg==").is_err(), "data after padding is rejected");
+        assert!(
+            decode("Zg==Zg==").is_err(),
+            "data after padding is rejected"
+        );
         assert!(decode("Z===").is_err(), "excess padding");
         assert!(decode("=Zg=").is_err(), "data after padding");
     }

@@ -63,11 +63,11 @@ pub fn read<R: Read>(reader: R) -> Result<Vec<Spectrum>, MsError> {
             if !in_block {
                 return Err(MsError::parse(lineno, "END IONS without BEGIN IONS"));
             }
-            let mz = pepmass
-                .ok_or_else(|| MsError::parse(lineno, "spectrum block missing PEPMASS"))?;
+            let mz =
+                pepmass.ok_or_else(|| MsError::parse(lineno, "spectrum block missing PEPMASS"))?;
             let z = charge.unwrap_or(2);
-            let precursor = Precursor::new(mz, z)
-                .map_err(|e| MsError::parse(lineno, e.to_string()))?;
+            let precursor =
+                Precursor::new(mz, z).map_err(|e| MsError::parse(lineno, e.to_string()))?;
             let spec_title = if title.is_empty() {
                 format!("index={}", spectra.len())
             } else {

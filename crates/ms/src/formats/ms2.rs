@@ -91,13 +91,13 @@ pub fn read<R: Read>(reader: R) -> Result<Vec<Spectrum>, MsError> {
                 let pending = current
                     .as_mut()
                     .ok_or_else(|| MsError::parse(lineno, "peak line before S record"))?;
-                let mz: f64 = first
-                    .parse()
-                    .map_err(|_| MsError::parse(lineno, format!("invalid peak line {trimmed:?}")))?;
-                let intensity: f32 = fields
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| MsError::parse(lineno, format!("invalid peak line {trimmed:?}")))?;
+                let mz: f64 = first.parse().map_err(|_| {
+                    MsError::parse(lineno, format!("invalid peak line {trimmed:?}"))
+                })?;
+                let intensity: f32 =
+                    fields.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                        MsError::parse(lineno, format!("invalid peak line {trimmed:?}"))
+                    })?;
                 pending.peaks.push(Peak::new(mz, intensity));
             }
             None => unreachable!("split_whitespace on non-empty line yields a token"),
@@ -174,8 +174,12 @@ mod tests {
             )
             .unwrap()
             .with_retention_time(65.2),
-            Spectrum::new("b", Precursor::new(612.4, 3).unwrap(), vec![Peak::new(250.0, 9.0)])
-                .unwrap(),
+            Spectrum::new(
+                "b",
+                Precursor::new(612.4, 3).unwrap(),
+                vec![Peak::new(250.0, 9.0)],
+            )
+            .unwrap(),
         ]
     }
 

@@ -54,8 +54,7 @@ pub fn read_str(text: &str) -> Result<Vec<Spectrum>, MsError> {
 }
 
 fn parse_spectrum_element(element: &str, index: usize) -> Result<Spectrum, MsError> {
-    let id = find_attr(element, "<spectrum ", "id")
-        .unwrap_or_else(|| format!("index={index}"));
+    let id = find_attr(element, "<spectrum ", "id").unwrap_or_else(|| format!("index={index}"));
 
     // Precursor information from cvParams.
     let precursor_mz = find_cv_value(element, "MS:1000744")
@@ -92,14 +91,20 @@ fn parse_spectrum_element(element: &str, index: usize) -> Result<Spectrum, MsErr
         let is_f32 = array.contains("MS:1000521");
         if is_mz {
             let values = if is_f32 {
-                base64::decode_f32(payload)?.into_iter().map(f64::from).collect()
+                base64::decode_f32(payload)?
+                    .into_iter()
+                    .map(f64::from)
+                    .collect()
             } else {
                 base64::decode_f64(payload)?
             };
             mz_values = Some(values);
         } else if is_intensity {
             let values = if is_f64 {
-                base64::decode_f64(payload)?.into_iter().map(|v| v as f32).collect()
+                base64::decode_f64(payload)?
+                    .into_iter()
+                    .map(|v| v as f32)
+                    .collect()
             } else {
                 base64::decode_f32(payload)?
             };
@@ -108,7 +113,8 @@ fn parse_spectrum_element(element: &str, index: usize) -> Result<Spectrum, MsErr
         let _ = is_f64;
     }
 
-    let mzs = mz_values.ok_or_else(|| MsError::parse(0, format!("spectrum {id:?} missing m/z array")))?;
+    let mzs =
+        mz_values.ok_or_else(|| MsError::parse(0, format!("spectrum {id:?} missing m/z array")))?;
     let intensities = intensity_values
         .ok_or_else(|| MsError::parse(0, format!("spectrum {id:?} missing intensity array")))?;
     if mzs.len() != intensities.len() {
@@ -153,7 +159,9 @@ fn find_cv_value(text: &str, accession: &str) -> Option<String> {
     let mut cursor = 0usize;
     while let Some(rel) = text[cursor..].find("<cvParam") {
         let start = cursor + rel;
-        let end = text[start..].find("/>").or_else(|| text[start..].find('>'))?;
+        let end = text[start..]
+            .find("/>")
+            .or_else(|| text[start..].find('>'))?;
         let tag = &text[start..start + end];
         cursor = start + end;
         if tag.contains(&format!("accession=\"{accession}\"")) {
@@ -229,7 +237,11 @@ pub fn write<W: Write>(mut writer: W, spectra: &[Spectrum]) -> Result<(), MsErro
         writeln!(writer, r#"          </precursor>"#)?;
         writeln!(writer, r#"        </precursorList>"#)?;
         writeln!(writer, r#"        <binaryDataArrayList count="2">"#)?;
-        writeln!(writer, r#"          <binaryDataArray encodedLength="{}">"#, mz_b64.len())?;
+        writeln!(
+            writer,
+            r#"          <binaryDataArray encodedLength="{}">"#,
+            mz_b64.len()
+        )?;
         writeln!(
             writer,
             r#"            <cvParam cvRef="MS" accession="MS:1000523" name="64-bit float"/>"#
@@ -244,7 +256,11 @@ pub fn write<W: Write>(mut writer: W, spectra: &[Spectrum]) -> Result<(), MsErro
         )?;
         writeln!(writer, r#"            <binary>{mz_b64}</binary>"#)?;
         writeln!(writer, r#"          </binaryDataArray>"#)?;
-        writeln!(writer, r#"          <binaryDataArray encodedLength="{}">"#, it_b64.len())?;
+        writeln!(
+            writer,
+            r#"          <binaryDataArray encodedLength="{}">"#,
+            it_b64.len()
+        )?;
         writeln!(
             writer,
             r#"            <cvParam cvRef="MS" accession="MS:1000521" name="32-bit float"/>"#

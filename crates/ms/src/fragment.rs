@@ -108,7 +108,10 @@ pub fn theoretical_spectrum(peptide: &Peptide, max_fragment_charge: u8) -> Vec<P
             let x = ion.ordinal as f64 / n as f64;
             let envelope = (4.0 * x * (1.0 - x)).max(0.08);
             let charge_factor = 1.0 / f64::from(ion.charge);
-            Peak::new(ion.mz, (1000.0 * series_factor * envelope * charge_factor) as f32)
+            Peak::new(
+                ion.mz,
+                (1000.0 * series_factor * envelope * charge_factor) as f32,
+            )
         })
         .collect()
 }

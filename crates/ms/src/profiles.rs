@@ -109,10 +109,9 @@ impl DatasetProfile {
         // keep that ratio so cluster-size structure scales sensibly.
         let num_peptides = (num_spectra / 4).max(8);
         // Deterministic per-profile seed derived from the accession.
-        let seed = self
-            .pride_id
-            .bytes()
-            .fold(0xD15E_A5E0_u64, |acc, b| acc.wrapping_mul(31).wrapping_add(u64::from(b)));
+        let seed = self.pride_id.bytes().fold(0xD15E_A5E0_u64, |acc, b| {
+            acc.wrapping_mul(31).wrapping_add(u64::from(b))
+        });
         SyntheticConfig {
             num_spectra,
             num_peptides,
@@ -184,8 +183,7 @@ mod tests {
     #[test]
     fn compression_factors_span_fig6b_range() {
         // Fig. 6b: 24×–108× at D=2048.
-        let factors: Vec<f64> =
-            TABLE1.iter().map(|p| p.compression_factor(2048)).collect();
+        let factors: Vec<f64> = TABLE1.iter().map(|p| p.compression_factor(2048)).collect();
         let min = factors.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = factors.iter().cloned().fold(0.0, f64::max);
         assert!((15.0..30.0).contains(&min), "min factor {min:.1}");

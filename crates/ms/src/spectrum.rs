@@ -28,10 +28,14 @@ impl Precursor {
     /// or `charge` is zero.
     pub fn new(mz: f64, charge: u8) -> Result<Self, MsError> {
         if !mz.is_finite() || mz <= 0.0 {
-            return Err(MsError::InvalidSpectrum(format!("precursor m/z {mz} must be positive")));
+            return Err(MsError::InvalidSpectrum(format!(
+                "precursor m/z {mz} must be positive"
+            )));
         }
         if charge == 0 {
-            return Err(MsError::InvalidSpectrum("precursor charge must be non-zero".into()));
+            return Err(MsError::InvalidSpectrum(
+                "precursor charge must be non-zero".into(),
+            ));
         }
         Ok(Self { mz, charge })
     }
@@ -104,7 +108,12 @@ impl Spectrum {
             }
         }
         peaks.sort_by(|a, b| a.mz.total_cmp(&b.mz));
-        Ok(Self { title: title.into(), precursor, retention_time: None, peaks })
+        Ok(Self {
+            title: title.into(),
+            precursor,
+            retention_time: None,
+            peaks,
+        })
     }
 
     /// Sets the retention time (seconds) and returns `self` for chaining.

@@ -294,8 +294,8 @@ fn generate_peptide_library(
     // Exclude I (isobaric with L) so every library peptide has a distinct
     // plausible sequence-to-mass story; keeps search-engine tests crisp.
     const RESIDUES: [char; 19] = [
-        'A', 'C', 'D', 'E', 'F', 'G', 'H', 'K', 'L', 'M', 'N', 'P', 'Q', 'R', 'S', 'T', 'V',
-        'W', 'Y',
+        'A', 'C', 'D', 'E', 'F', 'G', 'H', 'K', 'L', 'M', 'N', 'P', 'Q', 'R', 'S', 'T', 'V', 'W',
+        'Y',
     ];
     let mut seen = std::collections::HashSet::with_capacity(count);
     let mut peptides: Vec<Peptide> = Vec::with_capacity(count);
@@ -383,7 +383,9 @@ mod tests {
     #[test]
     fn changing_num_spectra_keeps_library() {
         let mut cfg = small_config();
-        let lib_a = SyntheticGenerator::new(cfg.clone()).peptide_library().to_vec();
+        let lib_a = SyntheticGenerator::new(cfg.clone())
+            .peptide_library()
+            .to_vec();
         cfg.num_spectra = 999;
         let lib_b = SyntheticGenerator::new(cfg).peptide_library().to_vec();
         assert_eq!(lib_a, lib_b);
@@ -431,7 +433,10 @@ mod tests {
         let max = counts.values().max().copied().unwrap();
         let singletons = counts.values().filter(|&&c| c == 1).count();
         assert!(max > 100, "head cluster should be large, got {max}");
-        assert!(singletons > 5, "tail should contain singletons, got {singletons}");
+        assert!(
+            singletons > 5,
+            "tail should contain singletons, got {singletons}"
+        );
     }
 
     #[test]
@@ -476,11 +481,16 @@ mod tests {
             std::collections::HashMap::new();
         for (i, (s, label)) in ds.iter().enumerate() {
             if let Some(l) = label {
-                by_key.entry((l, s.precursor().charge())).or_default().push(i);
+                by_key
+                    .entry((l, s.precursor().charge()))
+                    .or_default()
+                    .push(i);
             }
         }
-        let (key, replicates) =
-            by_key.iter().find(|(_, v)| v.len() >= 2).expect("replicates exist");
+        let (key, replicates) = by_key
+            .iter()
+            .find(|(_, v)| v.len() >= 2)
+            .expect("replicates exist");
         let other = by_key
             .iter()
             .find(|(k, v)| k.0 != key.0 && !v.is_empty())

@@ -121,7 +121,11 @@ pub fn bucket_stats(buckets: &[Bucket]) -> BucketStats {
     BucketStats {
         count,
         max_size,
-        mean_size: if count == 0 { 0.0 } else { total as f64 / count as f64 },
+        mean_size: if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        },
         pairwise_work,
     }
 }
@@ -164,8 +168,9 @@ mod tests {
 
     #[test]
     fn finer_resolution_means_more_buckets() {
-        let spectra: Vec<Spectrum> =
-            (0..100).map(|i| spectrum(400.0 + 0.37 * i as f64, 2)).collect();
+        let spectra: Vec<Spectrum> = (0..100)
+            .map(|i| spectrum(400.0 + 0.37 * i as f64, 2))
+            .collect();
         let coarse = PrecursorBucketer::new(1.0).bucketize(&spectra);
         let fine = PrecursorBucketer::new(0.05).bucketize(&spectra);
         assert!(fine.len() > coarse.len());
@@ -173,8 +178,9 @@ mod tests {
 
     #[test]
     fn bucketize_partitions_everything() {
-        let spectra: Vec<Spectrum> =
-            (0..57).map(|i| spectrum(400.0 + 3.1 * (i % 9) as f64, 2)).collect();
+        let spectra: Vec<Spectrum> = (0..57)
+            .map(|i| spectrum(400.0 + 3.1 * (i % 9) as f64, 2))
+            .collect();
         let buckets = PrecursorBucketer::new(1.0).bucketize(&spectra);
         let mut seen = vec![false; spectra.len()];
         for bucket in &buckets {
@@ -205,11 +211,7 @@ mod tests {
 
     #[test]
     fn stats_computation() {
-        let spectra = vec![
-            spectrum(500.2, 2),
-            spectrum(500.21, 2),
-            spectrum(800.0, 2),
-        ];
+        let spectra = vec![spectrum(500.2, 2), spectrum(500.21, 2), spectrum(800.0, 2)];
         let buckets = PrecursorBucketer::new(1.0).bucketize(&spectra);
         let st = bucket_stats(&buckets);
         assert_eq!(st.count, 2);

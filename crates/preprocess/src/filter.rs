@@ -150,9 +150,15 @@ mod tests {
     #[test]
     fn custom_threshold() {
         let s = spectrum(vec![Peak::new(300.0, 100.0), Peak::new(310.0, 4.0)]);
-        let strict = SpectraFilter { min_relative_intensity: 0.05, ..Default::default() };
+        let strict = SpectraFilter {
+            min_relative_intensity: 0.05,
+            ..Default::default()
+        };
         assert_eq!(strict.apply(&s).peak_count(), 1);
-        let lax = SpectraFilter { min_relative_intensity: 0.01, ..Default::default() };
+        let lax = SpectraFilter {
+            min_relative_intensity: 0.01,
+            ..Default::default()
+        };
         assert_eq!(lax.apply(&s).peak_count(), 2);
     }
 }

@@ -34,7 +34,9 @@ pub fn unit_norm(spectrum: &Spectrum) -> Spectrum {
         .iter()
         .map(|p| Peak::new(p.mz, (f64::from(p.intensity) / norm) as f32))
         .collect();
-    spectrum.with_peaks(peaks).expect("scaling preserves validity")
+    spectrum
+        .with_peaks(peaks)
+        .expect("scaling preserves validity")
 }
 
 /// The composed scale-and-normalize stage: `sqrt` then unit norm.
@@ -53,7 +55,9 @@ pub fn rank_transform(spectrum: &Spectrum) -> Spectrum {
     for (rank, &idx) in order.iter().enumerate() {
         ranked[idx] = Peak::new(peaks[idx].mz, (rank + 1) as f32);
     }
-    spectrum.with_peaks(ranked).expect("ranking preserves validity")
+    spectrum
+        .with_peaks(ranked)
+        .expect("ranking preserves validity")
 }
 
 #[cfg(test)]

@@ -118,7 +118,11 @@ impl PreprocessPipeline {
             kept.push(index);
         }
         stats.spectra_out = out.len();
-        PreprocessResult { dataset: out, kept, stats }
+        PreprocessResult {
+            dataset: out,
+            kept,
+            stats,
+        }
     }
 }
 
@@ -172,8 +176,9 @@ mod tests {
             .unwrap(),
             Some(1),
         );
-        let dense_peaks: Vec<Peak> =
-            (0..30).map(|i| Peak::new(250.0 + 10.0 * i as f64, 10.0)).collect();
+        let dense_peaks: Vec<Peak> = (0..30)
+            .map(|i| Peak::new(250.0 + 10.0 * i as f64, 10.0))
+            .collect();
         ds.push(
             Spectrum::new("dense", Precursor::new(600.0, 2).unwrap(), dense_peaks).unwrap(),
             Some(2),
@@ -209,8 +214,10 @@ mod tests {
 
     #[test]
     fn scale_disabled_keeps_raw_intensities() {
-        let mut cfg = PreprocessConfig::default();
-        cfg.scale = false;
+        let cfg = PreprocessConfig {
+            scale: false,
+            ..PreprocessConfig::default()
+        };
         let result = PreprocessPipeline::new(cfg).run(&synthetic(20));
         let max = result
             .dataset
@@ -235,8 +242,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "top_k")]
     fn zero_top_k_panics() {
-        let mut cfg = PreprocessConfig::default();
-        cfg.top_k = 0;
+        let cfg = PreprocessConfig {
+            top_k: 0,
+            ..PreprocessConfig::default()
+        };
         PreprocessPipeline::new(cfg);
     }
 }

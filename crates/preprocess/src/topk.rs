@@ -101,7 +101,7 @@ pub fn bitonic_comparator_count(len: usize) -> u64 {
     }
     let n = len.next_power_of_two() as u64;
     let stages = n.trailing_zeros() as u64; // log2(n)
-    // Sum over k=1..log2(n) of k comparator columns, each n/2 comparators.
+                                            // Sum over k=1..log2(n) of k comparator columns, each n/2 comparators.
     n / 2 * stages * (stages + 1) / 2
 }
 

@@ -41,7 +41,12 @@ impl Zipf {
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf requires n > 0");
         assert!(s > 0.0 && s.is_finite(), "Zipf requires finite s > 0");
-        let mut z = Self { n, s, h_lo: 0.0, h_hi: 0.0 };
+        let mut z = Self {
+            n,
+            s,
+            h_lo: 0.0,
+            h_hi: 0.0,
+        };
         z.h_lo = z.h(0.5);
         z.h_hi = z.h(n as f64 + 0.5);
         z
@@ -116,7 +121,10 @@ impl Poisson {
     ///
     /// Panics if `lambda` is not finite or is negative.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda.is_finite() && lambda >= 0.0, "Poisson requires lambda >= 0");
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "Poisson requires lambda >= 0"
+        );
         Self { lambda }
     }
 

@@ -48,7 +48,11 @@ impl PeptideDatabase {
             });
             let d = t.decoy();
             if d.sequence() != t.sequence() {
-                entries.push(DbEntry { mass: d.monoisotopic_mass(), peptide: d, is_decoy: true });
+                entries.push(DbEntry {
+                    mass: d.monoisotopic_mass(),
+                    peptide: d,
+                    is_decoy: true,
+                });
             }
         }
         entries.sort_by(|a, b| a.mass.total_cmp(&b.mass));
@@ -77,12 +81,8 @@ impl PeptideDatabase {
 
     /// Entries whose neutral mass lies within `± tol_da` of `mass`.
     pub fn candidates(&self, mass: f64, tol_da: f64) -> &[DbEntry] {
-        let lo = self
-            .entries
-            .partition_point(|e| e.mass < mass - tol_da);
-        let hi = self
-            .entries
-            .partition_point(|e| e.mass <= mass + tol_da);
+        let lo = self.entries.partition_point(|e| e.mass < mass - tol_da);
+        let hi = self.entries.partition_point(|e| e.mass <= mass + tol_da);
         &self.entries[lo..hi]
     }
 }

@@ -17,7 +17,11 @@ pub struct SearchConfig {
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        Self { precursor_tol_da: 0.05, fragment_tol_da: 0.05, min_matched_ions: 4 }
+        Self {
+            precursor_tol_da: 0.05,
+            fragment_tol_da: 0.05,
+            min_matched_ions: 4,
+        }
     }
 }
 
@@ -71,8 +75,14 @@ impl SearchEngine {
     ///
     /// Panics if tolerances are non-positive.
     pub fn new(db: PeptideDatabase, config: SearchConfig) -> Self {
-        assert!(config.precursor_tol_da > 0.0, "precursor tolerance must be positive");
-        assert!(config.fragment_tol_da > 0.0, "fragment tolerance must be positive");
+        assert!(
+            config.precursor_tol_da > 0.0,
+            "precursor tolerance must be positive"
+        );
+        assert!(
+            config.fragment_tol_da > 0.0,
+            "fragment tolerance must be positive"
+        );
         Self { db, config }
     }
 
@@ -92,7 +102,11 @@ impl SearchEngine {
         let neutral = spectrum.precursor().neutral_mass();
         let mut best: Option<Psm> = None;
         for entry in self.db.candidates(neutral, self.config.precursor_tol_da) {
-            let matched = match_ions(&entry.peptide, spectrum.peaks(), self.config.fragment_tol_da);
+            let matched = match_ions(
+                &entry.peptide,
+                spectrum.peaks(),
+                self.config.fragment_tol_da,
+            );
             if matched.total() < self.config.min_matched_ions {
                 continue;
             }
@@ -178,7 +192,10 @@ mod tests {
         let ds = gen.generate();
         let engine = engine_for(&gen);
         let hits = engine.search_dataset(ds.spectra()).iter().flatten().count();
-        assert!(hits < 30, "noise should mostly fail the ion gate, got {hits}");
+        assert!(
+            hits < 30,
+            "noise should mostly fail the ion gate, got {hits}"
+        );
     }
 
     #[test]
@@ -200,8 +217,11 @@ mod tests {
     fn min_matched_ions_gate() {
         let pep: Peptide = "ACDEFGHK".parse().unwrap();
         let db = PeptideDatabase::build(std::slice::from_ref(&pep));
-        let mut cfg = SearchConfig::default();
-        cfg.min_matched_ions = 100; // impossible
+        // An impossible min_matched_ions gate: every PSM is rejected.
+        let cfg = SearchConfig {
+            min_matched_ions: 100,
+            ..SearchConfig::default()
+        };
         let engine = SearchEngine::new(db, cfg);
         let s = Spectrum::new(
             "q",
@@ -225,8 +245,10 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn invalid_tolerance_panics() {
         let db = PeptideDatabase::build(&[]);
-        let mut cfg = SearchConfig::default();
-        cfg.fragment_tol_da = 0.0;
+        let cfg = SearchConfig {
+            fragment_tol_da: 0.0,
+            ..SearchConfig::default()
+        };
         SearchEngine::new(db, cfg);
     }
 }

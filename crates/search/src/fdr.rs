@@ -87,13 +87,21 @@ mod tests {
     }
 
     fn fakes(spec: &[(f64, bool)]) -> Vec<Fake> {
-        spec.iter().map(|&(score, decoy)| Fake { score, decoy }).collect()
+        spec.iter()
+            .map(|&(score, decoy)| Fake { score, decoy })
+            .collect()
     }
 
     #[test]
     fn clean_separation_gives_zero_q_for_top_targets() {
         // Targets score 10..7, decoys 3..1.
-        let m = fakes(&[(10.0, false), (9.0, false), (8.0, false), (3.0, true), (2.0, true)]);
+        let m = fakes(&[
+            (10.0, false),
+            (9.0, false),
+            (8.0, false),
+            (3.0, true),
+            (2.0, true),
+        ]);
         let q = assign_q_values(&m);
         assert_eq!(q[0], 0.0);
         assert_eq!(q[1], 0.0);
@@ -115,7 +123,10 @@ mod tests {
         let mut order: Vec<usize> = (0..m.len()).collect();
         order.sort_by(|&a, &b| m[b].score.total_cmp(&m[a].score));
         let ranked: Vec<f64> = order.iter().map(|&i| q[i]).collect();
-        assert!(ranked.windows(2).all(|w| w[0] <= w[1] + 1e-12), "{ranked:?}");
+        assert!(
+            ranked.windows(2).all(|w| w[0] <= w[1] + 1e-12),
+            "{ranked:?}"
+        );
     }
 
     #[test]

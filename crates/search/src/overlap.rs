@@ -82,7 +82,10 @@ pub fn venn3<'a>(
     let sb: BTreeSet<&str> = b.into_iter().collect();
     let sc: BTreeSet<&str> = c.into_iter().collect();
     let mut v = Venn3::default();
-    let all: BTreeSet<&str> = sa.union(&sb).cloned().collect::<BTreeSet<_>>()
+    let all: BTreeSet<&str> = sa
+        .union(&sb)
+        .cloned()
+        .collect::<BTreeSet<_>>()
         .union(&sc)
         .cloned()
         .collect();
@@ -107,7 +110,7 @@ mod tests {
 
     #[test]
     fn disjoint_sets() {
-        let v = venn3(["A"].into_iter(), ["B"].into_iter(), ["C"].into_iter());
+        let v = venn3(["A"], ["B"], ["C"]);
         assert_eq!(v.only_a, 1);
         assert_eq!(v.only_b, 1);
         assert_eq!(v.only_c, 1);
@@ -118,7 +121,7 @@ mod tests {
     #[test]
     fn identical_sets() {
         let items = ["X", "Y", "Z"];
-        let v = venn3(items.into_iter(), items.into_iter(), items.into_iter());
+        let v = venn3(items, items, items);
         assert_eq!(v.abc, 3);
         assert_eq!(v.union(), 3);
         assert_eq!(v.total_a(), 3);
@@ -130,7 +133,7 @@ mod tests {
         let a = ["1", "2", "3", "4"];
         let b = ["3", "4", "5"];
         let c = ["4", "5", "6", "7"];
-        let v = venn3(a.into_iter(), b.into_iter(), c.into_iter());
+        let v = venn3(a, b, c);
         assert_eq!(v.total_a(), 4);
         assert_eq!(v.total_b(), 3);
         assert_eq!(v.total_c(), 4);
@@ -141,13 +144,16 @@ mod tests {
     fn percent_difference() {
         let a = ["1", "2", "3"];
         let b = ["1", "2", "3", "4"];
-        let v = venn3(a.into_iter(), b.into_iter(), std::iter::empty());
-        assert!((v.a_vs_b_percent() + 25.0).abs() < 1e-12, "A trails B by 25%");
+        let v = venn3(a, b, std::iter::empty());
+        assert!(
+            (v.a_vs_b_percent() + 25.0).abs() < 1e-12,
+            "A trails B by 25%"
+        );
     }
 
     #[test]
     fn duplicates_collapse() {
-        let v = venn3(["P", "P", "P"].into_iter(), ["P"].into_iter(), std::iter::empty());
+        let v = venn3(["P", "P", "P"], ["P"], std::iter::empty());
         assert_eq!(v.ab, 1);
         assert_eq!(v.union(), 1);
     }

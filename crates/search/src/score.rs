@@ -74,7 +74,8 @@ pub fn shared_peak_count(peptide: &Peptide, peaks: &[Peak], frag_tol_da: f64) ->
 /// more than isolated matches, which is what separates true hits from
 /// decoys.
 pub fn hyperscore(matched: &MatchedIons) -> f64 {
-    ln_factorial(matched.b_count) + ln_factorial(matched.y_count)
+    ln_factorial(matched.b_count)
+        + ln_factorial(matched.y_count)
         + (1.0 + matched.b_intensity).ln()
         + (1.0 + matched.y_intensity).ln()
 }
@@ -158,8 +159,18 @@ mod tests {
 
     #[test]
     fn hyperscore_monotone_in_matches() {
-        let a = MatchedIons { b_count: 2, y_count: 2, b_intensity: 10.0, y_intensity: 10.0 };
-        let b = MatchedIons { b_count: 4, y_count: 4, b_intensity: 10.0, y_intensity: 10.0 };
+        let a = MatchedIons {
+            b_count: 2,
+            y_count: 2,
+            b_intensity: 10.0,
+            y_intensity: 10.0,
+        };
+        let b = MatchedIons {
+            b_count: 4,
+            y_count: 4,
+            b_intensity: 10.0,
+            y_intensity: 10.0,
+        };
         assert!(hyperscore(&b) > hyperscore(&a));
     }
 }

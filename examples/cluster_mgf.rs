@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Parse the MGF (titles, precursors, peaks).
     let spectra = mgf::read(BufReader::new(File::open(&input_path)?))?;
-    println!("parsed {} spectra from {}", spectra.len(), input_path.display());
+    println!(
+        "parsed {} spectra from {}",
+        spectra.len(),
+        input_path.display()
+    );
     let dataset = SpectrumDataset::from_spectra(spectra);
 
     // Cluster.

@@ -25,13 +25,7 @@ fn main() {
     for p in &points {
         println!(
             "{:>4} {:>6} {:>9} {:>6} {:>10.1} {:>12.0} {:>9}",
-            p.encoders,
-            p.cluster_kernels,
-            p.msas_channels,
-            p.p2p,
-            p.total_s,
-            p.total_j,
-            p.feasible
+            p.encoders, p.cluster_kernels, p.msas_channels, p.p2p, p.total_s, p.total_j, p.feasible
         );
     }
 

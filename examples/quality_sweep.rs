@@ -38,32 +38,50 @@ fn main() {
 
     // Comparator tools at a few operating points each.
     for t in [0.24, 0.32, 0.40] {
-        let tool = HyperSpecHac { threshold_fraction: t, ..Default::default() };
+        let tool = HyperSpecHac {
+            threshold_fraction: t,
+            ..Default::default()
+        };
         let eval = run(&tool, &dataset);
         print_row(tool.name(), &format!("{t:.2}"), &eval);
     }
     for eps in [0.22, 0.28, 0.34] {
-        let tool = HyperSpecDbscan { eps_fraction: eps, ..Default::default() };
+        let tool = HyperSpecDbscan {
+            eps_fraction: eps,
+            ..Default::default()
+        };
         let eval = run(&tool, &dataset);
         print_row(tool.name(), &format!("{eps:.2}"), &eval);
     }
     for eps in [0.15, 0.25, 0.35] {
-        let tool = Falcon { eps, ..Default::default() };
+        let tool = Falcon {
+            eps,
+            ..Default::default()
+        };
         let eval = run(&tool, &dataset);
         print_row(tool.name(), &format!("{eps:.2}"), &eval);
     }
     for sim in [0.85, 0.75, 0.65] {
-        let tool = MsCrush { min_similarity: sim, ..Default::default() };
+        let tool = MsCrush {
+            min_similarity: sim,
+            ..Default::default()
+        };
         let eval = run(&tool, &dataset);
         print_row(tool.name(), &format!("{sim:.2}"), &eval);
     }
     for thr in [0.005, 0.02, 0.08] {
-        let tool = MaRaCluster { threshold: thr, ..Default::default() };
+        let tool = MaRaCluster {
+            threshold: thr,
+            ..Default::default()
+        };
         let eval = run(&tool, &dataset);
         print_row(tool.name(), &format!("{thr:.3}"), &eval);
     }
     for thr in [0.45, 0.62, 0.80] {
-        let tool = Gleams { threshold: thr, ..Default::default() };
+        let tool = Gleams {
+            threshold: thr,
+            ..Default::default()
+        };
         let eval = run(&tool, &dataset);
         print_row(tool.name(), &format!("{thr:.2}"), &eval);
     }

@@ -25,7 +25,12 @@ fn main() {
         let t = model.end_to_end(&shape);
         println!(
             "{:<12} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
-            profile.pride_id, t.preprocess_s, t.transfer_s, t.encode_s, t.cluster_s, t.host_s,
+            profile.pride_id,
+            t.preprocess_s,
+            t.transfer_s,
+            t.encode_s,
+            t.cluster_s,
+            t.host_s,
             t.total_s
         );
     }
@@ -61,7 +66,10 @@ fn main() {
         "SpecHD: {:.0} J total (MSAS {:.0} J, FPGA {:.0} J, host {:.0} J)",
         e.total_j, e.msas_j, e.fpga_j, e.host_j
     );
-    for tool in [ToolPerfModel::hyperspec_hac(), ToolPerfModel::hyperspec_dbscan()] {
+    for tool in [
+        ToolPerfModel::hyperspec_hac(),
+        ToolPerfModel::hyperspec_dbscan(),
+    ] {
         let tool_j = tool.end_to_end_energy_j(&human);
         println!(
             "{:<18} {:>10.0} J -> SpecHD is {:>5.1}x more energy-efficient",

@@ -1,7 +1,9 @@
 //! Cross-tool quality comparisons: the Fig. 10 orderings the paper
 //! reports, checked on the hard labelled dataset.
 
-use spechd_baselines::{ClusteringTool, Falcon, GreedyCascade, HyperSpecDbscan, HyperSpecHac, MsCrush};
+use spechd_baselines::{
+    ClusteringTool, Falcon, GreedyCascade, HyperSpecDbscan, HyperSpecHac, MsCrush,
+};
 use spechd_core::Linkage;
 use spechd_metrics::ClusteringEval;
 
@@ -35,19 +37,34 @@ fn spechd_beats_the_lsh_family() {
             })
             .collect(),
     );
-    let eval_of = |a: &spechd_cluster::ClusterAssignment| {
-        ClusteringEval::compute(a.labels(), ds.labels())
-    };
+    let eval_of =
+        |a: &spechd_cluster::ClusterAssignment| ClusteringEval::compute(a.labels(), ds.labels());
     let mscrush = best(
         [0.92, 0.86, 0.80, 0.74]
             .iter()
-            .map(|&s| eval_of(&MsCrush { min_similarity: s, ..Default::default() }.cluster(&ds)))
+            .map(|&s| {
+                eval_of(
+                    &MsCrush {
+                        min_similarity: s,
+                        ..Default::default()
+                    }
+                    .cluster(&ds),
+                )
+            })
             .collect(),
     );
     let falcon = best(
         [0.08, 0.12, 0.16, 0.20]
             .iter()
-            .map(|&e| eval_of(&Falcon { eps: e, ..Default::default() }.cluster(&ds)))
+            .map(|&e| {
+                eval_of(
+                    &Falcon {
+                        eps: e,
+                        ..Default::default()
+                    }
+                    .cluster(&ds),
+                )
+            })
             .collect(),
     );
     let cascade = best(vec![
@@ -55,7 +72,11 @@ fn spechd_beats_the_lsh_family() {
         eval_of(&GreedyCascade::mscluster().cluster(&ds)),
     ]);
 
-    for (name, other) in [("msCRUSH", mscrush), ("Falcon", falcon), ("cascade", cascade)] {
+    for (name, other) in [
+        ("msCRUSH", mscrush),
+        ("Falcon", falcon),
+        ("cascade", cascade),
+    ] {
         assert!(
             spechd_score > other - 0.02,
             "SpecHD ({spechd_score:.3}) should not lose to {name} ({other:.3})"
@@ -121,7 +142,6 @@ fn all_tools_degrade_gracefully_on_pure_noise() {
             a.clustered_ratio()
         );
     }
-    let outcome =
-        spechd_core::SpecHd::new(spechd_core::SpecHdConfig::default()).run(&ds);
+    let outcome = spechd_core::SpecHd::new(spechd_core::SpecHdConfig::default()).run(&ds);
     assert!(outcome.assignment_full(ds.len()).clustered_ratio() < 0.25);
 }

@@ -44,13 +44,22 @@ fn fig8_standalone_clustering_ratios() {
     let model = SystemModel::new(SystemConfig::default());
     let shape = WorkloadShape::pxd000561();
     let spechd = model.standalone_clustering_time(&shape);
-    assert!((60.0..100.0).contains(&spechd), "SpecHD clustering {spechd:.0}s (paper 80s)");
+    assert!(
+        (60.0..100.0).contains(&spechd),
+        "SpecHD clustering {spechd:.0}s (paper 80s)"
+    );
     let hyperspec = ToolPerfModel::hyperspec_hac().clustering_s(&shape) / spechd;
-    assert!((10.0..16.0).contains(&hyperspec), "{hyperspec:.1}x (paper 12.3x)");
+    assert!(
+        (10.0..16.0).contains(&hyperspec),
+        "{hyperspec:.1}x (paper 12.3x)"
+    );
     let gleams = ToolPerfModel::gleams().clustering_s(&shape) / spechd;
     assert!((11.0..18.0).contains(&gleams), "{gleams:.1}x (paper 14.3x)");
     let falcon = ToolPerfModel::falcon().clustering_s(&shape) / spechd;
-    assert!((80.0..130.0).contains(&falcon), "{falcon:.1}x (paper ~100x)");
+    assert!(
+        (80.0..130.0).contains(&falcon),
+        "{falcon:.1}x (paper ~100x)"
+    );
 }
 
 #[test]
@@ -62,12 +71,21 @@ fn fig7_speedups_grow_with_scale_and_bracket_paper_range() {
     let last = gleams.end_to_end_s(&shapes[4]) / model.end_to_end(&shapes[4]).total_s;
     // Paper: 31x (PXD001511) to 54x (PXD000561), growing with size.
     assert!(last > first, "speedup must grow with dataset scale");
-    assert!((25.0..45.0).contains(&first), "small-dataset speedup {first:.1}");
-    assert!((45.0..60.0).contains(&last), "flagship speedup {last:.1} (paper 54x)");
+    assert!(
+        (25.0..45.0).contains(&first),
+        "small-dataset speedup {first:.1}"
+    );
+    assert!(
+        (45.0..60.0).contains(&last),
+        "flagship speedup {last:.1} (paper 54x)"
+    );
     // HyperSpec-HAC: ~6x on the flagship.
     let hs = ToolPerfModel::hyperspec_hac().end_to_end_s(&shapes[4])
         / model.end_to_end(&shapes[4]).total_s;
-    assert!((4.5..8.0).contains(&hs), "HyperSpec speedup {hs:.1} (paper 6x)");
+    assert!(
+        (4.5..8.0).contains(&hs),
+        "HyperSpec speedup {hs:.1} (paper 6x)"
+    );
 }
 
 #[test]
@@ -83,10 +101,22 @@ fn fig9_energy_efficiency_ratios() {
     let r_e2e_db = db.end_to_end_energy_j(&shape) / e2e;
     let r_cl_hac = hac.clustering_energy_j(&shape) / cluster;
     let r_cl_db = db.clustering_energy_j(&shape) / cluster;
-    assert!((18.0..40.0).contains(&r_e2e_hac), "e2e HAC {r_e2e_hac:.1} (paper 31x)");
-    assert!((10.0..20.0).contains(&r_e2e_db), "e2e DBSCAN {r_e2e_db:.1} (paper 14x)");
-    assert!((25.0..50.0).contains(&r_cl_hac), "cluster HAC {r_cl_hac:.1} (paper 40x)");
-    assert!((8.0..16.0).contains(&r_cl_db), "cluster DBSCAN {r_cl_db:.1} (paper 12x)");
+    assert!(
+        (18.0..40.0).contains(&r_e2e_hac),
+        "e2e HAC {r_e2e_hac:.1} (paper 31x)"
+    );
+    assert!(
+        (10.0..20.0).contains(&r_e2e_db),
+        "e2e DBSCAN {r_e2e_db:.1} (paper 14x)"
+    );
+    assert!(
+        (25.0..50.0).contains(&r_cl_hac),
+        "cluster HAC {r_cl_hac:.1} (paper 40x)"
+    );
+    assert!(
+        (8.0..16.0).contains(&r_cl_db),
+        "cluster DBSCAN {r_cl_db:.1} (paper 12x)"
+    );
 }
 
 #[test]

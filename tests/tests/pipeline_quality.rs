@@ -19,10 +19,26 @@ fn default_pipeline_clusters_replicates_with_low_icr() {
     let ds = easy_dataset(1_000, 101);
     let outcome = SpecHd::new(SpecHdConfig::default()).run(&ds);
     let eval = outcome.evaluate(&ds);
-    assert!(eval.clustered_ratio > 0.35, "clustered {:.3}", eval.clustered_ratio);
-    assert!(eval.incorrect_ratio < 0.03, "icr {:.3}", eval.incorrect_ratio);
-    assert!(eval.completeness > 0.6, "completeness {:.3}", eval.completeness);
-    assert!(eval.homogeneity > 0.9, "homogeneity {:.3}", eval.homogeneity);
+    assert!(
+        eval.clustered_ratio > 0.35,
+        "clustered {:.3}",
+        eval.clustered_ratio
+    );
+    assert!(
+        eval.incorrect_ratio < 0.03,
+        "icr {:.3}",
+        eval.incorrect_ratio
+    );
+    assert!(
+        eval.completeness > 0.6,
+        "completeness {:.3}",
+        eval.completeness
+    );
+    assert!(
+        eval.homogeneity > 0.9,
+        "homogeneity {:.3}",
+        eval.homogeneity
+    );
 }
 
 #[test]
@@ -31,10 +47,13 @@ fn hard_dataset_operating_point_matches_fig10_regime() {
     // reach a meaningful clustered ratio while keeping ICR around the
     // paper's 1-2% operating band.
     let (_, ds) = spechd_bench::hard_dataset(1_200, 102);
-    let (threshold, eval) =
-        spechd_bench::tune_spechd_threshold(&ds, Linkage::Complete, 0.02);
+    let (threshold, eval) = spechd_bench::tune_spechd_threshold(&ds, Linkage::Complete, 0.02);
     assert!(threshold > 0.1 && threshold < 0.5, "threshold {threshold}");
-    assert!(eval.incorrect_ratio <= 0.02, "icr {:.3}", eval.incorrect_ratio);
+    assert!(
+        eval.incorrect_ratio <= 0.02,
+        "icr {:.3}",
+        eval.incorrect_ratio
+    );
     assert!(
         eval.clustered_ratio > 0.12,
         "clustered {:.3} at icr {:.3}",
@@ -118,7 +137,10 @@ fn dimensionality_sweep_trades_quality_for_memory() {
     let ds = easy_dataset(600, 107);
     let eval_at = |dim: usize| {
         let cfg = SpecHdConfig::builder()
-            .encoder(spechd_core::EncoderConfig { dim, ..Default::default() })
+            .encoder(spechd_core::EncoderConfig {
+                dim,
+                ..Default::default()
+            })
             .build();
         let outcome = SpecHd::new(cfg).run(&ds);
         outcome.evaluate(&ds)

@@ -81,10 +81,16 @@ fn consensus_search_reduces_work_with_small_id_loss() {
         searched_reduction > 1.4,
         "consensus search should skip >=1.4x spectra, got {searched_reduction:.2}"
     );
-    let psms: Vec<_> = engine.search_dataset(&consensus).into_iter().flatten().collect();
+    let psms: Vec<_> = engine
+        .search_dataset(&consensus)
+        .into_iter()
+        .flatten()
+        .collect();
     let accepted = filter_at_fdr(&psms, 0.01);
-    let peptides: std::collections::BTreeSet<&str> =
-        accepted.iter().map(|&i| psms[i].peptide.sequence()).collect();
+    let peptides: std::collections::BTreeSet<&str> = accepted
+        .iter()
+        .map(|&i| psms[i].peptide.sequence())
+        .collect();
     let recovered = peptides.intersection(&full_peptides).count();
     assert!(
         recovered * 10 >= full_peptides.len() * 8,
@@ -133,5 +139,8 @@ fn fdr_control_is_effective_end_to_end() {
         }
     }
     let wrong_rate = wrong as f64 / (correct + wrong).max(1) as f64;
-    assert!(wrong_rate < 0.05, "wrong-peptide rate too high: {wrong}/{correct}");
+    assert!(
+        wrong_rate < 0.05,
+        "wrong-peptide rate too high: {wrong}/{correct}"
+    );
 }

@@ -1,0 +1,72 @@
+//! Workspace-wiring smoke test.
+//!
+//! Drives the umbrella `spechd` crate's re-exports through the same path
+//! the quickstart example uses (synthetic generator → `SpecHd` pipeline →
+//! cluster result), so example-level API breakage fails `cargo test`
+//! instead of only surfacing when someone builds the examples.
+
+use spechd::ms::synth::{SyntheticConfig, SyntheticGenerator};
+use spechd::{SpecHd, SpecHdConfig};
+
+#[test]
+fn umbrella_quickstart_path() {
+    let dataset = SyntheticGenerator::new(SyntheticConfig {
+        num_spectra: 400,
+        num_peptides: 80,
+        seed: 42,
+        ..SyntheticConfig::default()
+    })
+    .generate();
+
+    let spechd = SpecHd::new(SpecHdConfig::default());
+    let outcome = spechd.run(&dataset);
+
+    // Every kept spectrum gets an assignment; consensus picks are valid
+    // indices into the original dataset.
+    assert_eq!(outcome.assignment().len(), outcome.kept().len());
+    assert!(outcome.kept().len() <= dataset.len());
+    assert!(outcome.assignment().num_clusters() >= 1);
+    for &idx in outcome.consensus() {
+        assert!(idx < dataset.len());
+        let _ = dataset.spectrum(idx).title();
+    }
+
+    // Pipeline stats are populated and self-consistent.
+    let stats = outcome.stats();
+    assert_eq!(stats.preprocess.spectra_in, dataset.len());
+    assert!(stats.preprocess.spectra_out <= stats.preprocess.spectra_in);
+    assert!(stats.buckets.count >= 1);
+
+    // Quality evaluation against ground truth stays in range.
+    let eval = outcome.evaluate(&dataset);
+    assert!((0.0..=1.0).contains(&eval.clustered_ratio));
+    assert!((0.0..=1.0).contains(&eval.incorrect_ratio));
+    assert!((0.0..=1.0).contains(&eval.completeness));
+    assert!(
+        eval.clustered_ratio > 0.1,
+        "pipeline should cluster something"
+    );
+}
+
+#[test]
+fn umbrella_reexports_are_wired() {
+    // Touch one symbol from each re-exported layer so a dropped module
+    // re-export in `spechd/src/lib.rs` breaks this test at compile time.
+    use spechd::rng::{Rng, Xoshiro256StarStar};
+
+    let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+    let hv = spechd::hdc::BinaryHypervector::random(256, &mut rng);
+    assert_eq!(hv.hamming(&hv), 0);
+
+    let _ = spechd::cluster::Linkage::Complete;
+    let _ = spechd::preprocess::PreprocessConfig::default();
+    let _ = spechd::metrics::Contingency::build(&[0, 0, 1], &[Some(0), Some(0), Some(1)]);
+    let _ = spechd::fpga::AlveoU280::capacity();
+    let _ = spechd::search::SearchConfig::default();
+    let _ = spechd::baselines::Falcon::default();
+
+    // Builder round-trip through the root-lifted types.
+    let cfg: SpecHdConfig = SpecHdConfig::builder().build();
+    let _ = SpecHd::new(cfg);
+    assert!(rng.next_f64() < 1.0);
+}
