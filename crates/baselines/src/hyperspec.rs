@@ -9,11 +9,21 @@
 
 use crate::{expand_to_full, ClusteringTool};
 use spechd_cluster::{
-    dbscan, medoid_all, nn_chain, ClusterAssignment, CondensedMatrix, DbscanParams,
+    dbscan_packed, medoid_all, nn_chain, ClusterAssignment, CondensedMatrix, DbscanParams,
 };
-use spechd_hdc::{distance, EncoderConfig, IdLevelEncoder};
+use spechd_hdc::{EncoderConfig, HvPack, IdLevelEncoder};
 use spechd_ms::SpectrumDataset;
 use spechd_preprocess::{PrecursorBucketer, PreprocessConfig, PreprocessPipeline};
+
+/// Encodes the preprocessed spectra straight into a contiguous pack.
+fn encode_packed(encoder: &IdLevelEncoder, dataset: &SpectrumDataset) -> HvPack {
+    let peak_lists: Vec<Vec<(f64, f64)>> = dataset
+        .spectra()
+        .iter()
+        .map(|s| s.relative_peaks())
+        .collect();
+    encoder.encode_batch_packed(&peak_lists)
+}
 
 fn hyperspec_encoder() -> EncoderConfig {
     EncoderConfig {
@@ -49,12 +59,7 @@ impl ClusteringTool for HyperSpecHac {
     fn cluster(&self, dataset: &SpectrumDataset) -> ClusterAssignment {
         let encoder = IdLevelEncoder::new(hyperspec_encoder());
         let pre = PreprocessPipeline::new(PreprocessConfig::default()).run(dataset);
-        let hvs: Vec<_> = pre
-            .dataset
-            .spectra()
-            .iter()
-            .map(|s| encoder.encode(&s.relative_peaks()))
-            .collect();
+        let pack = encode_packed(&encoder, &pre.dataset);
         let buckets = PrecursorBucketer::new(self.resolution).bucketize(pre.dataset.spectra());
         let threshold = self.threshold_fraction * encoder.dim() as f64;
 
@@ -66,9 +71,7 @@ impl ClusteringTool for HyperSpecHac {
                 next += 1;
                 continue;
             }
-            let local: Vec<_> = bucket.members.iter().map(|&i| hvs[i].clone()).collect();
-            let matrix =
-                CondensedMatrix::from_u16(local.len(), &distance::pairwise_condensed(&local));
+            let matrix = CondensedMatrix::from_pack(&pack.gather(&bucket.members));
             // fastcluster default: average linkage.
             let cut = nn_chain(&matrix, spechd_cluster::Linkage::Average)
                 .dendrogram
@@ -115,12 +118,7 @@ impl ClusteringTool for HyperSpecDbscan {
     fn cluster(&self, dataset: &SpectrumDataset) -> ClusterAssignment {
         let encoder = IdLevelEncoder::new(hyperspec_encoder());
         let pre = PreprocessPipeline::new(PreprocessConfig::default()).run(dataset);
-        let hvs: Vec<_> = pre
-            .dataset
-            .spectra()
-            .iter()
-            .map(|s| encoder.encode(&s.relative_peaks()))
-            .collect();
+        let pack = encode_packed(&encoder, &pre.dataset);
         let buckets = PrecursorBucketer::new(self.resolution).bucketize(pre.dataset.spectra());
         let eps = self.eps_fraction * encoder.dim() as f64;
 
@@ -132,11 +130,9 @@ impl ClusteringTool for HyperSpecDbscan {
                 next += 1;
                 continue;
             }
-            let local: Vec<_> = bucket.members.iter().map(|&i| hvs[i].clone()).collect();
-            let matrix =
-                CondensedMatrix::from_u16(local.len(), &distance::pairwise_condensed(&local));
-            let result = dbscan(
-                &matrix,
+            // Density query straight off the packed rows — no O(n²) matrix.
+            let result = dbscan_packed(
+                &pack.gather(&bucket.members),
                 DbscanParams {
                     eps,
                     min_pts: self.min_pts,

@@ -1,7 +1,10 @@
 //! Benchmarks of NN-chain vs naive HAC scaling (the Fig. 2
-//! mechanism) and DBSCAN.
+//! mechanism) and DBSCAN — matrix-backed vs packed-neighborhood.
 use spechd_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spechd_cluster::{dbscan, naive_hac, nn_chain, CondensedMatrix, DbscanParams, Linkage};
+use spechd_cluster::{
+    dbscan, dbscan_packed, naive_hac, nn_chain, CondensedMatrix, DbscanParams, Linkage,
+};
+use spechd_hdc::{BinaryHypervector, HvPack};
 use spechd_rng::{Rng, Xoshiro256StarStar};
 use std::hint::black_box;
 
@@ -40,5 +43,38 @@ fn bench_dbscan(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_hac, bench_dbscan);
+/// Matrix-backed vs packed DBSCAN over the same encoded hypervectors:
+/// the packed path runs the tiled epsilon-neighborhood kernel and never
+/// materializes the O(n²) matrix.
+fn bench_dbscan_packed_vs_matrix(c: &mut Criterion) {
+    let dim = 2048;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(10);
+    let hvs: Vec<BinaryHypervector> = (0..400)
+        .map(|_| BinaryHypervector::random(dim, &mut rng))
+        .collect();
+    let pack = HvPack::from_hypervectors(dim, &hvs);
+    let params = DbscanParams {
+        eps: 983.0,
+        min_pts: 2,
+    };
+    let mut group = c.benchmark_group("dbscan_hv_n400_d2048");
+    group.sample_size(10);
+    group.bench_function("matrix_backed", |b| {
+        b.iter(|| {
+            let m = CondensedMatrix::from_pack(black_box(&pack));
+            black_box(dbscan(&m, params))
+        })
+    });
+    group.bench_function("packed_neighbors", |b| {
+        b.iter(|| black_box(dbscan_packed(black_box(&pack), params)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hac,
+    bench_dbscan,
+    bench_dbscan_packed_vs_matrix
+);
 criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Benchmarks of the contiguous hypervector store and the tiled packed
+//! distance kernels against the scalar per-pair reference.
+use spechd_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spechd_hdc::distance::{self, PackedDistanceEngine};
+use spechd_hdc::{BinaryHypervector, EncoderConfig, HvPack, IdLevelEncoder};
+use spechd_rng::{Rng, Xoshiro256StarStar};
+use std::hint::black_box;
+
+const DIM: usize = 2048;
+
+fn random_pack(n: usize, seed: u64) -> (Vec<BinaryHypervector>, HvPack) {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let hvs: Vec<BinaryHypervector> = (0..n)
+        .map(|_| BinaryHypervector::random(DIM, &mut rng))
+        .collect();
+    let pack = HvPack::from_hypervectors(DIM, &hvs);
+    (hvs, pack)
+}
+
+fn bench_pairwise_scalar_vs_packed(c: &mut Criterion) {
+    let n = 256;
+    let (hvs, pack) = random_pack(n, 1);
+    let mut group = c.benchmark_group("pairwise_condensed");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements((n * (n - 1) / 2) as u64));
+    group.bench_function("scalar_n256_d2048", |b| {
+        b.iter(|| black_box(distance::pairwise_condensed(black_box(&hvs))))
+    });
+    let tiled = PackedDistanceEngine::new().threads(1);
+    group.bench_function("packed_tiled_1t_n256_d2048", |b| {
+        b.iter(|| black_box(tiled.pairwise_condensed(black_box(&pack))))
+    });
+    let parallel = PackedDistanceEngine::new();
+    group.bench_function("packed_tiled_auto_n256_d2048", |b| {
+        b.iter(|| black_box(parallel.pairwise_condensed(black_box(&pack))))
+    });
+    group.finish();
+}
+
+fn bench_one_to_many(c: &mut Criterion) {
+    let n = 4096;
+    let (hvs, pack) = random_pack(n, 2);
+    let query = hvs[0].clone();
+    let mut group = c.benchmark_group("one_to_many");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("scalar_n4096_d2048", |b| {
+        b.iter(|| black_box(distance::one_to_many(black_box(&query), black_box(&hvs))))
+    });
+    group.bench_function("packed_n4096_d2048", |b| {
+        b.iter(|| {
+            black_box(distance::one_to_many_packed(
+                black_box(&query),
+                black_box(&pack),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_neighbors_within(c: &mut Criterion) {
+    let n = 512;
+    let (_, pack) = random_pack(n, 3);
+    let mut group = c.benchmark_group("neighbors_within");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements((n * n) as u64));
+    group.bench_with_input(
+        BenchmarkId::new("eps983_n512_d2048", n),
+        &pack,
+        |b, pack| b.iter(|| black_box(distance::neighbors_within(black_box(pack), 983))),
+    );
+    group.finish();
+}
+
+fn bench_batch_encode(c: &mut Criterion) {
+    let encoder = IdLevelEncoder::new(EncoderConfig::default());
+    let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+    let spectra: Vec<Vec<(f64, f64)>> = (0..64)
+        .map(|_| {
+            (0..50)
+                .map(|_| (rng.range_f64(200.0, 2000.0), rng.next_f64()))
+                .collect()
+        })
+        .collect();
+    let mut group = c.benchmark_group("encode_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("boxed_64x50_d2048", |b| {
+        b.iter(|| black_box(encoder.encode_batch(black_box(&spectra))))
+    });
+    group.bench_function("packed_64x50_d2048", |b| {
+        b.iter(|| black_box(encoder.encode_batch_packed(black_box(&spectra))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pairwise_scalar_vs_packed,
+    bench_one_to_many,
+    bench_neighbors_within,
+    bench_batch_encode,
+);
+criterion_main!(benches);

@@ -24,5 +24,26 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// The standalone packed encoding stage (spectra → contiguous HvPack),
+/// which `run` now uses internally.
+fn bench_encode_packed(c: &mut Criterion) {
+    let n = 1000;
+    let ds = SyntheticGenerator::new(SyntheticConfig {
+        num_spectra: n,
+        num_peptides: n / 5,
+        seed: 6,
+        ..SyntheticConfig::default()
+    })
+    .generate();
+    let spechd = SpecHd::new(SpecHdConfig::default());
+    let mut group = c.benchmark_group("encode_dataset_packed");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
+        b.iter(|| black_box(spechd.encode_dataset_packed(black_box(ds))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_encode_packed);
 criterion_main!(benches);

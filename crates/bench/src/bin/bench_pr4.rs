@@ -1,0 +1,181 @@
+//! Emits machine-readable distance-kernel benchmarks as `BENCH_pr4.json`:
+//! the scalar per-pair baseline ("before") against the tiled packed engine
+//! ("after"), at the acceptance point n = 2000, D = 2048.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_pr4 [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks n for the CI bit-rot check; `--out` defaults to
+//! `BENCH_pr4.json` in the current directory. The output is a JSON array
+//! of `{kernel, n, dim, threads, ns_per_op}` records, where `ns_per_op`
+//! is the median wall-clock time of one full kernel invocation.
+
+use spechd_hdc::distance::{self, PackedDistanceEngine};
+use spechd_hdc::{BinaryHypervector, HvPack};
+use spechd_rng::Xoshiro256StarStar;
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+const DIM: usize = 2048;
+
+struct Record {
+    kernel: &'static str,
+    n: usize,
+    threads: usize,
+    ns_per_op: u128,
+}
+
+/// Measures all kernels with their samples interleaved round-robin, so
+/// clock-speed drift on shared machines biases every kernel equally
+/// instead of penalizing whichever ran last. Returns median ns per kernel.
+/// A named, thread-annotated benchmark body.
+type Kernel<'a> = (&'static str, usize, Box<dyn FnMut() + 'a>);
+
+fn measure_interleaved(samples: usize, kernels: &mut [Kernel<'_>]) -> Vec<u128> {
+    let mut elapsed: Vec<Vec<u128>> = vec![Vec::with_capacity(samples); kernels.len()];
+    // One warmup round, then `samples` timed rounds.
+    for (_, _, f) in kernels.iter_mut() {
+        f();
+    }
+    for _ in 0..samples {
+        for (k, (_, _, f)) in kernels.iter_mut().enumerate() {
+            let start = Instant::now();
+            f();
+            elapsed[k].push(start.elapsed().as_nanos());
+        }
+    }
+    elapsed
+        .into_iter()
+        .map(|mut v| {
+            v.sort_unstable();
+            v[v.len() / 2]
+        })
+        .collect()
+}
+
+fn main() {
+    let mut n = 2000usize;
+    let mut samples = 7usize;
+    let mut out_path = String::from("BENCH_pr4.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                n = 192;
+                samples = 3;
+            }
+            "--out" => {
+                out_path = args.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_pr4 [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x5BEC);
+    let hvs: Vec<BinaryHypervector> = (0..n)
+        .map(|_| BinaryHypervector::random(DIM, &mut rng))
+        .collect();
+    let pack = HvPack::from_hypervectors(DIM, &hvs);
+    let auto_threads = PackedDistanceEngine::new().resolved_threads();
+    let query = hvs[0].clone();
+    let eps = (DIM as u32) * 48 / 100;
+
+    println!("[bench_pr4] n={n} dim={DIM} samples={samples}");
+    let tiled_1t = PackedDistanceEngine::new().threads(1);
+    let tiled_auto = PackedDistanceEngine::new();
+
+    // Bit-exactness gate before timing anything: a fast-but-wrong kernel
+    // must fail the bench run, so the CI smoke catches kernel bit-rot.
+    assert_eq!(
+        tiled_auto.pairwise_condensed(&pack),
+        distance::pairwise_condensed(&hvs),
+        "packed kernel diverged from the scalar reference"
+    );
+    println!("[bench_pr4] packed/scalar bit-exactness check passed");
+    let mut kernels: Vec<Kernel<'_>> = vec![
+        (
+            "pairwise_condensed_scalar",
+            1,
+            Box::new(|| {
+                black_box(distance::pairwise_condensed(black_box(&hvs)));
+            }),
+        ),
+        (
+            "pairwise_condensed_packed",
+            1,
+            Box::new(|| {
+                black_box(tiled_1t.pairwise_condensed(black_box(&pack)));
+            }),
+        ),
+        (
+            "pairwise_condensed_packed_auto",
+            auto_threads,
+            Box::new(|| {
+                black_box(tiled_auto.pairwise_condensed(black_box(&pack)));
+            }),
+        ),
+        (
+            "one_to_many_scalar",
+            1,
+            Box::new(|| {
+                black_box(distance::one_to_many(black_box(&query), black_box(&hvs)));
+            }),
+        ),
+        (
+            "one_to_many_packed",
+            auto_threads,
+            Box::new(|| {
+                black_box(tiled_auto.one_to_many(black_box(&query), black_box(&pack)));
+            }),
+        ),
+        (
+            "neighbors_within_packed",
+            auto_threads,
+            Box::new(|| {
+                black_box(tiled_auto.neighbors_within(black_box(&pack), eps));
+            }),
+        ),
+    ];
+    let medians = measure_interleaved(samples, &mut kernels);
+    let mut records: Vec<Record> = Vec::new();
+    for ((kernel, threads, _), ns) in kernels.iter().zip(&medians) {
+        println!("  {kernel:<32} threads={threads:<2} {ns:>12} ns/op");
+        records.push(Record {
+            kernel,
+            n,
+            threads: *threads,
+            ns_per_op: *ns,
+        });
+    }
+
+    let scalar_ns = records[0].ns_per_op;
+    let packed_1t_ns = records[1].ns_per_op.max(1);
+    let packed_auto_ns = records[2].ns_per_op.max(1);
+    println!(
+        "[bench_pr4] pairwise speedup: tiled 1t {:.2}x, tiled {}t {:.2}x",
+        scalar_ns as f64 / packed_1t_ns as f64,
+        auto_threads,
+        scalar_ns as f64 / packed_auto_ns as f64,
+    );
+
+    let mut json = String::from("[\n");
+    for (k, r) in records.iter().enumerate() {
+        let comma = if k + 1 < records.len() { "," } else { "" };
+        json.push_str(&format!(
+            "  {{\"kernel\": \"{}\", \"n\": {}, \"dim\": {}, \"threads\": {}, \"ns_per_op\": {}}}{}\n",
+            r.kernel, r.n, DIM, r.threads, r.ns_per_op, comma
+        ));
+    }
+    json.push_str("]\n");
+    let mut f = std::fs::File::create(&out_path).expect("create bench output file");
+    f.write_all(json.as_bytes()).expect("write bench output");
+    println!("[bench_pr4] wrote {out_path}");
+}

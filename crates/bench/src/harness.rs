@@ -11,9 +11,38 @@
 //! [`Throughput`] is set, derived elements/s or bytes/s. It makes no
 //! attempt at criterion's statistical rigor; it exists so `cargo bench`
 //! runs everywhere and regressions of 2x+ are visible at a glance.
+//!
+//! Set `SPECHD_BENCH_JSON=<path>` to additionally append one JSON line per
+//! benchmark (`{"kernel": "<group>/<label>", "ns_per_op": N}`) to that
+//! file, for scripted consumers. (The `bench_pr4` binary writes its own
+//! structured `BENCH_pr4.json` with an interleaved measurement loop.)
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::Instant;
+
+/// Environment variable naming the JSON-lines sink for benchmark results.
+pub const JSON_ENV: &str = "SPECHD_BENCH_JSON";
+
+/// Appends one pre-formatted JSON line to the `SPECHD_BENCH_JSON` sink, if
+/// configured. I/O errors are reported to stderr, never panicked on.
+pub fn emit_json_line(line: &str) {
+    let Some(path) = std::env::var_os(JSON_ENV) else {
+        return;
+    };
+    let open = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path);
+    match open {
+        Ok(mut f) => {
+            if let Err(e) = writeln!(f, "{line}") {
+                eprintln!("bench json sink write failed: {e}");
+            }
+        }
+        Err(e) => eprintln!("bench json sink open failed: {e}"),
+    }
+}
 
 /// Declared per-group throughput, used to derive rates from iteration time.
 #[derive(Debug, Clone, Copy)]
@@ -95,6 +124,7 @@ impl Criterion {
         println!("\n[{name}]");
         BenchmarkGroup {
             _parent: self,
+            name: name.to_string(),
             sample_size: 30,
             throughput: None,
         }
@@ -111,6 +141,7 @@ impl Criterion {
 /// A group of benchmarks sharing sample size and throughput settings.
 pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
+    name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
 }
@@ -171,7 +202,25 @@ impl BenchmarkGroup<'_> {
             _ => String::new(),
         };
         println!("  {label:<28} {}{rate}", format_ns(median_ns));
+        emit_json_line(&format!(
+            "{{\"kernel\":\"{}/{}\",\"ns_per_op\":{}}}",
+            json_escape(&self.name),
+            json_escape(label),
+            median_ns
+        ));
     }
+}
+
+/// Escapes the characters that would break a JSON string literal.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn format_ns(ns: u128) -> String {

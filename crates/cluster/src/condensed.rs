@@ -35,7 +35,8 @@ impl CondensedMatrix {
         assert!(n > 0, "matrix needs at least one point");
         Self {
             n,
-            data: vec![0.0; n * (n - 1) / 2],
+            // condensed_len guards n·(n−1)/2 against usize overflow.
+            data: vec![0.0; spechd_hdc::distance::condensed_len(n)],
         }
     }
 
@@ -63,7 +64,11 @@ impl CondensedMatrix {
     /// Panics if the length does not match `n` or `n == 0`.
     pub fn from_condensed(n: usize, data: Vec<f64>) -> Self {
         assert!(n > 0, "matrix needs at least one point");
-        assert_eq!(data.len(), n * (n - 1) / 2, "condensed length mismatch");
+        assert_eq!(
+            data.len(),
+            spechd_hdc::distance::condensed_len(n),
+            "condensed length mismatch"
+        );
         Self { n, data }
     }
 
@@ -75,6 +80,22 @@ impl CondensedMatrix {
     /// Panics if the length does not match `n` or `n == 0`.
     pub fn from_u16(n: usize, data: &[u16]) -> Self {
         Self::from_condensed(n, data.iter().map(|&d| f64::from(d)).collect())
+    }
+
+    /// Builds the matrix directly from a packed hypervector store, running
+    /// the tiled XOR+popcount kernel
+    /// ([`spechd_hdc::distance::pairwise_condensed_packed`]) over the
+    /// contiguous buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pack is empty or its dimensionality exceeds the
+    /// 16-bit distance range.
+    pub fn from_pack(pack: &spechd_hdc::HvPack) -> Self {
+        Self::from_u16(
+            pack.len(),
+            &spechd_hdc::distance::pairwise_condensed_packed(pack),
+        )
     }
 
     /// Number of points.
@@ -202,6 +223,20 @@ mod tests {
         assert_eq!(m.get(3, 0), 4.0);
         assert_eq!(m.get(3, 1), 5.0);
         assert_eq!(m.get(3, 2), 6.0);
+    }
+
+    #[test]
+    fn from_pack_matches_pairwise_hamming() {
+        use spechd_hdc::{BinaryHypervector, HvPack};
+        let hvs = vec![
+            BinaryHypervector::zeros(64),
+            BinaryHypervector::ones(64),
+            BinaryHypervector::from_fn(64, |i| i < 32),
+        ];
+        let m = CondensedMatrix::from_pack(&HvPack::from_hypervectors(64, &hvs));
+        assert_eq!(m.get(1, 0), 64.0);
+        assert_eq!(m.get(2, 0), 32.0);
+        assert_eq!(m.get(2, 1), 32.0);
     }
 
     #[test]

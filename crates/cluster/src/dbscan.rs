@@ -5,6 +5,7 @@
 //! operates on the same [`CondensedMatrix`] the HAC kernels use.
 
 use crate::{ClusterAssignment, CondensedMatrix};
+use std::borrow::Cow;
 
 /// DBSCAN parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,21 +89,71 @@ impl DbscanResult {
 /// assert_eq!(r.noise_count(), 1);
 /// ```
 pub fn dbscan(matrix: &CondensedMatrix, params: DbscanParams) -> DbscanResult {
-    assert!(params.min_pts > 0, "min_pts must be positive");
     assert!(
         params.eps >= 0.0 && !params.eps.is_nan(),
         "eps must be non-negative"
     );
     let n = matrix.n();
+    dbscan_core(n, params.min_pts, &|p| {
+        Cow::Owned(
+            (0..n)
+                .filter(|&q| q != p && matrix.get(p, q) <= params.eps)
+                .collect(),
+        )
+    })
+}
+
+/// Runs DBSCAN over precomputed epsilon-neighborhood lists: `neighbors[p]`
+/// must hold every point within `eps` of `p`, excluding `p` itself.
+///
+/// This is the entry point the packed pipeline uses: the lists come from
+/// [`spechd_hdc::distance::PackedDistanceEngine::neighbors_within`], so the
+/// O(n²) distance matrix is never materialized. Produces labels identical
+/// to [`dbscan`] over the corresponding matrix.
+///
+/// # Panics
+///
+/// Panics if `min_pts == 0` or any list references an out-of-range point.
+pub fn dbscan_from_neighbors(neighbors: &[Vec<usize>], min_pts: usize) -> DbscanResult {
+    let n = neighbors.len();
+    assert!(
+        neighbors.iter().flatten().all(|&q| q < n),
+        "neighbor index out of range"
+    );
+    dbscan_core(n, min_pts, &|p| Cow::Borrowed(neighbors[p].as_slice()))
+}
+
+/// Runs DBSCAN directly over a packed hypervector store using the tiled
+/// epsilon-neighborhood kernel; `params.eps` is in Hamming-distance bits.
+///
+/// Label-identical to building a [`CondensedMatrix`] from the pack and
+/// calling [`dbscan`], without the O(n²) matrix.
+///
+/// # Panics
+///
+/// Panics if `min_pts == 0` or `eps` is negative/NaN.
+pub fn dbscan_packed(pack: &spechd_hdc::HvPack, params: DbscanParams) -> DbscanResult {
+    assert!(
+        params.eps >= 0.0 && !params.eps.is_nan(),
+        "eps must be non-negative"
+    );
+    // Integer distances: d <= eps  ⟺  d <= floor(eps), capped at dim.
+    let eps_bits = params.eps.min(pack.dim() as f64).floor() as u32;
+    let adjacency = spechd_hdc::distance::neighbors_within(pack, eps_bits);
+    dbscan_from_neighbors(&adjacency, params.min_pts)
+}
+
+/// The shared expansion loop over an abstract neighborhood oracle. The
+/// oracle returns `Cow` so precomputed adjacency is borrowed, not cloned.
+fn dbscan_core<'a>(
+    n: usize,
+    min_pts: usize,
+    neighbors: &'a dyn Fn(usize) -> Cow<'a, [usize]>,
+) -> DbscanResult {
+    assert!(min_pts > 0, "min_pts must be positive");
     let mut labels: Vec<Option<usize>> = vec![None; n];
     let mut visited = vec![false; n];
     let mut cluster = 0usize;
-
-    let neighbors = |p: usize| -> Vec<usize> {
-        (0..n)
-            .filter(|&q| q != p && matrix.get(p, q) <= params.eps)
-            .collect()
-    };
 
     for p in 0..n {
         if visited[p] {
@@ -110,12 +161,12 @@ pub fn dbscan(matrix: &CondensedMatrix, params: DbscanParams) -> DbscanResult {
         }
         visited[p] = true;
         let nbrs = neighbors(p);
-        if nbrs.len() + 1 < params.min_pts {
+        if nbrs.len() + 1 < min_pts {
             continue; // noise (may later be claimed as border point)
         }
         // Expand a new cluster from core point p.
         labels[p] = Some(cluster);
-        let mut queue: std::collections::VecDeque<usize> = nbrs.into();
+        let mut queue: std::collections::VecDeque<usize> = nbrs.iter().copied().collect();
         while let Some(q) = queue.pop_front() {
             if labels[q].is_none() {
                 labels[q] = Some(cluster);
@@ -125,8 +176,8 @@ pub fn dbscan(matrix: &CondensedMatrix, params: DbscanParams) -> DbscanResult {
             }
             visited[q] = true;
             let q_nbrs = neighbors(q);
-            if q_nbrs.len() + 1 >= params.min_pts {
-                for r in q_nbrs {
+            if q_nbrs.len() + 1 >= min_pts {
+                for &r in q_nbrs.iter() {
                     if !visited[r] || labels[r].is_none() {
                         queue.push_back(r);
                     }
@@ -251,6 +302,60 @@ mod tests {
             min_pts: 2,
         };
         assert_eq!(dbscan(&chain_matrix(), p), dbscan(&chain_matrix(), p));
+    }
+
+    #[test]
+    fn from_neighbors_matches_matrix_path() {
+        let m = chain_matrix();
+        let params = DbscanParams {
+            eps: 0.2,
+            min_pts: 2,
+        };
+        let lists: Vec<Vec<usize>> = (0..m.n())
+            .map(|p| {
+                (0..m.n())
+                    .filter(|&q| q != p && m.get(p, q) <= params.eps)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(
+            dbscan_from_neighbors(&lists, params.min_pts),
+            dbscan(&m, params)
+        );
+    }
+
+    #[test]
+    fn packed_matches_matrix_path_on_hypervectors() {
+        use spechd_hdc::{BinaryHypervector, HvPack};
+        use spechd_rng::Xoshiro256StarStar;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+        // Three noisy copies each of two prototypes, plus two random points.
+        let mut hvs = Vec::new();
+        for _ in 0..2 {
+            let proto = BinaryHypervector::random(512, &mut rng);
+            for _ in 0..3 {
+                let mut member = proto.clone();
+                member.flip_random_bits(20, &mut rng);
+                hvs.push(member);
+            }
+        }
+        hvs.push(BinaryHypervector::random(512, &mut rng));
+        hvs.push(BinaryHypervector::random(512, &mut rng));
+        let params = DbscanParams {
+            eps: 80.0,
+            min_pts: 2,
+        };
+        let pack = HvPack::from_hypervectors(512, &hvs);
+        let via_pack = dbscan_packed(&pack, params);
+        let via_matrix = dbscan(&CondensedMatrix::from_pack(&pack), params);
+        assert_eq!(via_pack, via_matrix);
+        assert_eq!(via_pack.num_clusters(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "neighbor index")]
+    fn from_neighbors_rejects_out_of_range() {
+        dbscan_from_neighbors(&[vec![1], vec![2]], 1);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   against in Fig. 2.
 //! * [`Dendrogram`] — merge tree with threshold cutting into flat clusters.
 //! * [`dbscan`] — density clustering over the same matrices
-//!   (the HyperSpec-DBSCAN comparison flavour).
+//!   (the HyperSpec-DBSCAN comparison flavour); [`dbscan_packed`] runs it
+//!   straight off a packed hypervector store via the tiled
+//!   epsilon-neighborhood kernel, never materializing the O(n²) matrix.
 //! * [`medoid`] — consensus selection: the member with the lowest average
 //!   distance to the rest of its cluster, per §III-C.
 //!
@@ -48,7 +50,7 @@ mod nnchain;
 
 pub use condensed::CondensedMatrix;
 pub use consensus::{medoid, medoid_all};
-pub use dbscan::{dbscan, DbscanParams, DbscanResult};
+pub use dbscan::{dbscan, dbscan_from_neighbors, dbscan_packed, DbscanParams, DbscanResult};
 pub use dendrogram::{Dendrogram, Merge};
 pub use flat::ClusterAssignment;
 pub use linkage::Linkage;

@@ -3,7 +3,8 @@
 use crate::{CompressionReport, RunStats, SpecHdConfig, SpecHdOutcome};
 use spechd_cluster::{medoid, nn_chain, ClusterAssignment, CondensedMatrix, HacStats};
 use spechd_fpga::{SystemConfig, SystemModel, Timeline, WorkloadShape};
-use spechd_hdc::{distance, BinaryHypervector, IdLevelEncoder};
+use spechd_hdc::distance::PackedDistanceEngine;
+use spechd_hdc::{BinaryHypervector, HvPack, IdLevelEncoder};
 use spechd_ms::SpectrumDataset;
 use spechd_preprocess::{bucket_stats, PrecursorBucketer, PreprocessPipeline};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -61,25 +62,25 @@ impl SpecHd {
         let preprocess_s = start.elapsed().as_secs_f64();
 
         let t_encode = std::time::Instant::now();
-        let hvs = self.encode_dataset(&pre.dataset);
+        let pack = self.encode_dataset_packed(&pre.dataset);
         let encode_s = t_encode.elapsed().as_secs_f64();
 
         let t_cluster = std::time::Instant::now();
         let buckets = self.bucketer.bucketize(pre.dataset.spectra());
         let bstats = bucket_stats(&buckets);
-        let (assignment, consensus_local, hac) = self.cluster_buckets(&buckets, &hvs);
+        let (assignment, consensus_local, hac) = self.cluster_buckets(&buckets, &pack);
         let cluster_s = t_cluster.elapsed().as_secs_f64();
 
         // Consensus indices in the ORIGINAL dataset's index space.
         let consensus: Vec<usize> = consensus_local.iter().map(|&i| pre.kept[i]).collect();
         let compression =
-            CompressionReport::new(dataset.approx_bytes(), hvs.len(), self.config.encoder.dim);
+            CompressionReport::new(dataset.approx_bytes(), pack.len(), self.config.encoder.dim);
 
         SpecHdOutcome::new(
             assignment,
             pre.kept,
             consensus,
-            hvs,
+            pack.to_hypervectors(),
             RunStats {
                 preprocess: pre.stats,
                 buckets: bstats,
@@ -96,12 +97,19 @@ impl SpecHd {
     /// Encodes every spectrum of a (preprocessed) dataset into
     /// hypervectors — the standalone encoding stage.
     pub fn encode_dataset(&self, dataset: &SpectrumDataset) -> Vec<BinaryHypervector> {
+        self.encode_dataset_packed(dataset).to_hypervectors()
+    }
+
+    /// Encodes every spectrum straight into a contiguous [`HvPack`] — the
+    /// allocation-free batch path the pipeline and the packed distance
+    /// kernels run on. Bit-exact with [`SpecHd::encode_dataset`].
+    pub fn encode_dataset_packed(&self, dataset: &SpectrumDataset) -> HvPack {
         let peak_lists: Vec<Vec<(f64, f64)>> = dataset
             .spectra()
             .iter()
             .map(|s| s.relative_peaks())
             .collect();
-        self.encoder.encode_batch(&peak_lists)
+        self.encoder.encode_batch_packed(&peak_lists)
     }
 
     /// Clusters pre-encoded hypervectors whose bucket memberships are
@@ -116,13 +124,24 @@ impl SpecHd {
         buckets: &[spechd_preprocess::Bucket],
         hvs: &[BinaryHypervector],
     ) -> (ClusterAssignment, Vec<usize>, HacStats) {
-        self.cluster_buckets(buckets, hvs)
+        let pack = HvPack::from_hypervectors(self.encoder.dim(), hvs);
+        self.cluster_buckets(buckets, &pack)
+    }
+
+    /// [`SpecHd::cluster_encoded`] over an already-packed store, skipping
+    /// the per-hypervector copy.
+    pub fn cluster_encoded_packed(
+        &self,
+        buckets: &[spechd_preprocess::Bucket],
+        pack: &HvPack,
+    ) -> (ClusterAssignment, Vec<usize>, HacStats) {
+        self.cluster_buckets(buckets, pack)
     }
 
     fn cluster_buckets(
         &self,
         buckets: &[spechd_preprocess::Bucket],
-        hvs: &[BinaryHypervector],
+        pack: &HvPack,
     ) -> (ClusterAssignment, Vec<usize>, HacStats) {
         let threshold = self.config.distance_threshold_bits();
         let linkage = self.config.linkage;
@@ -155,7 +174,7 @@ impl SpecHd {
                         break;
                     }
                     let bucket = &buckets[bucket_idx];
-                    let outcome = cluster_one_bucket(bucket, hvs, linkage, threshold);
+                    let outcome = cluster_one_bucket(bucket, pack, linkage, threshold);
                     results
                         .lock()
                         .expect("no panics hold the lock")
@@ -212,11 +231,12 @@ impl SpecHd {
     }
 }
 
-/// Clusters one bucket: distance matrix → NN-chain → threshold cut →
-/// per-cluster medoid. Returns (local labels, medoid hv-indices, stats).
+/// Clusters one bucket: gather packed rows → tiled distance kernel →
+/// NN-chain → threshold cut → per-cluster medoid. Returns (local labels,
+/// medoid hv-indices, stats).
 fn cluster_one_bucket(
     bucket: &spechd_preprocess::Bucket,
-    hvs: &[BinaryHypervector],
+    pack: &HvPack,
     linkage: spechd_cluster::Linkage,
     threshold: f64,
 ) -> (Vec<usize>, Vec<usize>, HacStats) {
@@ -224,10 +244,13 @@ fn cluster_one_bucket(
     if n == 1 {
         return (vec![0], vec![bucket.members[0]], HacStats::default());
     }
-    let members: Vec<&BinaryHypervector> = bucket.members.iter().map(|&i| &hvs[i]).collect();
+    // Gather the bucket's rows into a contiguous sub-pack and run the
+    // tiled kernel single-threaded — buckets already run in parallel.
+    let sub = pack.gather(&bucket.members);
+    let condensed_u16 = PackedDistanceEngine::new()
+        .threads(1)
+        .pairwise_condensed(&sub);
     // 16-bit lower-triangular matrix, exactly as the FPGA stores it.
-    let owned: Vec<BinaryHypervector> = members.iter().map(|&h| h.clone()).collect();
-    let condensed_u16 = distance::pairwise_condensed(&owned);
     let matrix = CondensedMatrix::from_u16(n, &condensed_u16);
     let result = nn_chain(&matrix, linkage);
     let cut = result.dendrogram.cut(threshold);
@@ -355,6 +378,20 @@ mod tests {
         let buckets =
             PrecursorBucketer::new(engine.config().resolution).bucketize(pre.dataset.spectra());
         let (assignment, _, _) = engine.cluster_encoded(&buckets, &hvs);
+        assert_eq!(assignment, *full.assignment());
+    }
+
+    #[test]
+    fn packed_staging_matches_run() {
+        let ds = dataset(200, 6);
+        let engine = SpecHd::new(SpecHdConfig::default());
+        let full = engine.run(&ds);
+        let pre = PreprocessPipeline::new(engine.config().preprocess).run(&ds);
+        let pack = engine.encode_dataset_packed(&pre.dataset);
+        assert_eq!(pack.to_hypervectors().as_slice(), full.hypervectors());
+        let buckets =
+            PrecursorBucketer::new(engine.config().resolution).bucketize(pre.dataset.spectra());
+        let (assignment, _, _) = engine.cluster_encoded_packed(&buckets, &pack);
         assert_eq!(assignment, *full.assignment());
     }
 

@@ -108,6 +108,30 @@ impl MajorityAccumulator {
         BinaryHypervector::from_fn(self.counters.len(), |i| self.counters[i] > 0)
     }
 
+    /// Binarizes directly into a packed word row (little-endian bit order,
+    /// tail bits beyond `dim` zeroed) — the allocation-free path the batch
+    /// encoder uses to fill [`crate::HvPack`] rows in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != dim.div_ceil(64)`.
+    pub fn finalize_into_words(&self, row: &mut [u64]) {
+        assert_eq!(
+            row.len(),
+            self.counters.len().div_ceil(64),
+            "row word count must match accumulator dimensionality"
+        );
+        for (word, lanes) in row.iter_mut().zip(self.counters.chunks(64)) {
+            let mut w = 0u64;
+            for (bit, &c) in lanes.iter().enumerate() {
+                if c > 0 {
+                    w |= 1u64 << bit;
+                }
+            }
+            *word = w;
+        }
+    }
+
     /// Resets the accumulator for reuse without reallocating.
     pub fn clear(&mut self) {
         self.counters.fill(0);
@@ -227,6 +251,31 @@ mod tests {
                 "counter {c}"
             );
         }
+    }
+
+    #[test]
+    fn finalize_into_words_matches_finalize() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(10);
+        for dim in [63usize, 64, 65, 130, 2048] {
+            let mut acc = MajorityAccumulator::new(dim);
+            for _ in 0..5 {
+                acc.add(&BinaryHypervector::random(dim, &mut rng));
+            }
+            let mut row = vec![u64::MAX; dim.div_ceil(64)];
+            acc.finalize_into_words(&mut row);
+            assert_eq!(
+                BinaryHypervector::from_words(dim, row),
+                acc.finalize(),
+                "dim {dim}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "word count")]
+    fn finalize_into_words_wrong_len_panics() {
+        let acc = MajorityAccumulator::new(64);
+        acc.finalize_into_words(&mut [0u64; 2]);
     }
 
     #[test]

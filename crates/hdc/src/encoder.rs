@@ -1,7 +1,7 @@
 //! The ID-Level spectrum encoder (Eq. 2 of the SpecHD paper).
 
 use crate::{
-    BinaryHypervector, IntensityQuantizer, IntensityScale, ItemMemory, LevelMemory,
+    BinaryHypervector, HvPack, IntensityQuantizer, IntensityScale, ItemMemory, LevelMemory,
     MajorityAccumulator, MzQuantizer,
 };
 
@@ -144,16 +144,7 @@ impl IdLevelEncoder {
             self.config.dim,
             "accumulator dimensionality mismatch"
         );
-        acc.clear();
-        for &(mz, intensity) in peaks {
-            let id = self.id_memory.get(self.mz_quantizer.quantize(mz));
-            let level = self
-                .level_memory
-                .get(self.intensity_quantizer.quantize(intensity));
-            // Bind: ID ⊕ L. Accumulate without materializing the XOR.
-            let bound = id ^ level;
-            acc.add(&bound);
-        }
+        self.accumulate(peaks, acc);
         acc.finalize()
     }
 
@@ -164,6 +155,34 @@ impl IdLevelEncoder {
             .iter()
             .map(|peaks| self.encode_into(peaks, &mut acc))
             .collect()
+    }
+
+    /// Encodes a batch of peak lists straight into a contiguous [`HvPack`],
+    /// reusing one accumulator and binarizing each spectrum in place into
+    /// its packed row — no per-spectrum `BinaryHypervector` allocation.
+    /// Bit-exact with [`IdLevelEncoder::encode_batch`].
+    pub fn encode_batch_packed(&self, spectra: &[Vec<(f64, f64)>]) -> HvPack {
+        let mut pack = HvPack::with_capacity(self.config.dim, spectra.len());
+        let mut acc = MajorityAccumulator::new(self.config.dim);
+        for peaks in spectra {
+            self.accumulate(peaks, &mut acc);
+            acc.finalize_into_words(pack.push_zeroed());
+        }
+        pack
+    }
+
+    /// Clears `acc` and accumulates every bound `ID ⊕ L` term of `peaks`.
+    fn accumulate(&self, peaks: &[(f64, f64)], acc: &mut MajorityAccumulator) {
+        acc.clear();
+        for &(mz, intensity) in peaks {
+            let id = self.id_memory.get(self.mz_quantizer.quantize(mz));
+            let level = self
+                .level_memory
+                .get(self.intensity_quantizer.quantize(intensity));
+            // Bind: ID ⊕ L, then accumulate the bound vector.
+            let bound = id ^ level;
+            acc.add(&bound);
+        }
     }
 }
 
@@ -274,6 +293,21 @@ mod tests {
         for (hv, peaks) in batch.iter().zip(&spectra) {
             assert_eq!(*hv, enc.encode(peaks));
         }
+    }
+
+    #[test]
+    fn encode_batch_packed_matches_encode_batch() {
+        let enc = test_encoder();
+        let spectra = vec![
+            vec![(300.0, 1.0)],
+            vec![(400.0, 0.5), (600.0, 0.25), (850.0, 0.9)],
+            vec![],
+            vec![(1999.0, 0.1)],
+        ];
+        let pack = enc.encode_batch_packed(&spectra);
+        assert_eq!(pack.len(), spectra.len());
+        assert_eq!(pack.dim(), enc.dim());
+        assert_eq!(pack.to_hypervectors(), enc.encode_batch(&spectra));
     }
 
     #[test]

@@ -16,8 +16,13 @@
 //!   vectors for m/z bins and *correlated* `L[0,q]` vectors for quantized
 //!   intensities.
 //! * [`IdLevelEncoder`] — the full spectrum encoder:
-//!   `spectra_i = Σ (ID_i ⊕ L_j)` followed by a pointwise majority.
-//! * [`distance`] — batch Hamming distance helpers.
+//!   `spectra_i = Σ (ID_i ⊕ L_j)` followed by a pointwise majority; batch
+//!   encoding can write straight into an [`HvPack`].
+//! * [`HvPack`] — contiguous struct-of-arrays storage for N packed
+//!   hypervectors, the substrate of the batch distance kernels.
+//! * [`distance`] — batch Hamming distance kernels: scalar reference
+//!   helpers plus the tiled, multithreaded
+//!   [`distance::PackedDistanceEngine`] over an [`HvPack`].
 //!
 //! # Example: encode two peak lists and compare them
 //!
@@ -45,10 +50,12 @@ pub mod distance;
 mod encoder;
 mod hypervector;
 mod item_memory;
+mod pack;
 mod quantize;
 
 pub use accumulator::MajorityAccumulator;
 pub use encoder::{EncoderConfig, IdLevelEncoder};
 pub use hypervector::BinaryHypervector;
 pub use item_memory::{ItemMemory, LevelMemory};
+pub use pack::HvPack;
 pub use quantize::{IntensityQuantizer, IntensityScale, MzQuantizer};

@@ -1,0 +1,321 @@
+//! Contiguous struct-of-arrays storage for packed hypervectors.
+//!
+//! [`BinaryHypervector`] owns its words in a private `Vec<u64>`, so a
+//! collection of N hypervectors is N separate heap allocations — fine for
+//! algebra on a handful of vectors, hostile to the batch distance kernel
+//! that wants to stream millions of XOR+popcount lanes the way the FPGA
+//! streams packed spectra out of HBM. [`HvPack`] is the batch counterpart:
+//! all N rows live back-to-back in one flat `Vec<u64>` with a fixed
+//! per-row stride of `dim.div_ceil(64)` words, giving the tiled kernels in
+//! [`crate::distance`] cache-friendly, allocation-free row views.
+
+use crate::BinaryHypervector;
+
+/// A contiguous store of `len` bit-packed hypervectors sharing one
+/// dimensionality.
+///
+/// Rows are stored back-to-back in a single `Vec<u64>`; row `i` occupies
+/// `words[i * stride .. (i + 1) * stride]` with `stride = dim.div_ceil(64)`
+/// (little-endian bit order within each word, identical to
+/// [`BinaryHypervector::words`]).
+///
+/// The tail invariant of [`BinaryHypervector`] carries over: bits beyond
+/// `dim` in the last word of every row are zero. All constructors and the
+/// batch encoder preserve it; code writing through [`HvPack::row_mut`] or
+/// [`HvPack::push_zeroed`] must do the same (the distance kernels rely on
+/// it so that the masked tail never contributes to a popcount).
+///
+/// # Examples
+///
+/// ```
+/// use spechd_hdc::{BinaryHypervector, HvPack};
+///
+/// let a = BinaryHypervector::from_fn(100, |i| i % 2 == 0);
+/// let b = BinaryHypervector::from_fn(100, |i| i % 3 == 0);
+/// let pack = HvPack::from_hypervectors(100, &[a.clone(), b.clone()]);
+/// assert_eq!(pack.len(), 2);
+/// assert_eq!(pack.stride(), 2);
+/// assert_eq!(pack.hamming(0, 1), a.hamming(&b));
+/// assert_eq!(pack.hypervector(0), a);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct HvPack {
+    dim: usize,
+    stride: usize,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl HvPack {
+    /// Creates an empty pack for hypervectors of dimensionality `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        Self::with_capacity(dim, 0)
+    }
+
+    /// Creates an empty pack with storage reserved for `n` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or if `n` rows of storage would overflow
+    /// `usize`.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "hypervector dimensionality must be positive");
+        let stride = dim.div_ceil(64);
+        let cap = stride
+            .checked_mul(n)
+            .unwrap_or_else(|| panic!("HvPack storage for {n} rows of dim {dim} overflows usize"));
+        Self {
+            dim,
+            stride,
+            len: 0,
+            words: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Packs a slice of hypervectors into contiguous storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or any element's dimensionality differs from
+    /// `dim`.
+    pub fn from_hypervectors(dim: usize, hvs: &[BinaryHypervector]) -> Self {
+        let mut pack = Self::with_capacity(dim, hvs.len());
+        for hv in hvs {
+            pack.push(hv);
+        }
+        pack
+    }
+
+    /// Appends one hypervector as a new row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionality differs from the pack's.
+    pub fn push(&mut self, hv: &BinaryHypervector) {
+        assert_eq!(
+            hv.dim(),
+            self.dim,
+            "pack/hypervector dimensionality mismatch"
+        );
+        self.words.extend_from_slice(hv.words());
+        self.len += 1;
+    }
+
+    /// Appends an all-zero row and returns a mutable view of it, for
+    /// callers that fill rows in place (the batch encoder does this to
+    /// avoid intermediate allocations).
+    ///
+    /// Writers must keep bits beyond `dim` in the last word zero.
+    pub fn push_zeroed(&mut self) -> &mut [u64] {
+        self.words.resize(self.words.len() + self.stride, 0);
+        self.len += 1;
+        let start = (self.len - 1) * self.stride;
+        &mut self.words[start..start + self.stride]
+    }
+
+    /// Copies the selected rows (in order, repeats allowed) into a new
+    /// pack — the bucket-gather step of the clustering pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather(&self, indices: &[usize]) -> Self {
+        let mut out = Self::with_capacity(self.dim, indices.len());
+        for &i in indices {
+            assert!(
+                i < self.len,
+                "row index {i} out of bounds for len {}",
+                self.len
+            );
+            out.words.extend_from_slice(self.row(i));
+        }
+        out.len = indices.len();
+        out
+    }
+
+    /// Number of stored hypervectors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the pack holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality `D` shared by every row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Words per row, `dim.div_ceil(64)`.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The entire flat word buffer (row `i` at `i * stride`).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Borrowed view of row `i`'s packed words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.words[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Mutable view of row `i`'s packed words. Writers must keep bits
+    /// beyond `dim` in the last word zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.words[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Hamming distance between rows `i` and `j` (XOR + popcount over the
+    /// shared stride).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn hamming(&self, i: usize, j: usize) -> u32 {
+        self.row(i)
+            .iter()
+            .zip(self.row(j))
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Materializes row `i` as an owned [`BinaryHypervector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn hypervector(&self, i: usize) -> BinaryHypervector {
+        BinaryHypervector::from_words(self.dim, self.row(i).to_vec())
+    }
+
+    /// Unpacks every row into owned hypervectors.
+    pub fn to_hypervectors(&self) -> Vec<BinaryHypervector> {
+        (0..self.len).map(|i| self.hypervector(i)).collect()
+    }
+
+    /// Storage footprint of the flat buffer in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+impl std::fmt::Debug for HvPack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HvPack {{ len: {}, dim: {}, stride: {} }}",
+            self.len, self.dim, self.stride
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechd_rng::Xoshiro256StarStar;
+
+    fn random_set(n: usize, dim: usize, seed: u64) -> Vec<BinaryHypervector> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        (0..n)
+            .map(|_| BinaryHypervector::random(dim, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_through_pack() {
+        for dim in [63, 64, 65, 2048] {
+            let hvs = random_set(7, dim, dim as u64);
+            let pack = HvPack::from_hypervectors(dim, &hvs);
+            assert_eq!(pack.len(), 7);
+            assert_eq!(pack.stride(), dim.div_ceil(64));
+            assert_eq!(pack.to_hypervectors(), hvs, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn hamming_matches_hypervector_hamming() {
+        let hvs = random_set(5, 130, 1);
+        let pack = HvPack::from_hypervectors(130, &hvs);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(pack.hamming(i, j), hvs[i].hamming(&hvs[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn gather_selects_rows_in_order() {
+        let hvs = random_set(6, 96, 2);
+        let pack = HvPack::from_hypervectors(96, &hvs);
+        let sub = pack.gather(&[4, 0, 4]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.hypervector(0), hvs[4]);
+        assert_eq!(sub.hypervector(1), hvs[0]);
+        assert_eq!(sub.hypervector(2), hvs[4]);
+    }
+
+    #[test]
+    fn push_zeroed_appends_blank_row() {
+        let mut pack = HvPack::new(100);
+        let row = pack.push_zeroed();
+        assert_eq!(row.len(), 2);
+        assert!(row.iter().all(|&w| w == 0));
+        assert_eq!(pack.len(), 1);
+        assert_eq!(pack.hypervector(0), BinaryHypervector::zeros(100));
+    }
+
+    #[test]
+    fn empty_pack_properties() {
+        let pack = HvPack::new(2048);
+        assert!(pack.is_empty());
+        assert_eq!(pack.storage_bytes(), 0);
+        assert!(pack.to_hypervectors().is_empty());
+    }
+
+    #[test]
+    fn storage_is_contiguous_with_stride() {
+        let hvs = random_set(3, 65, 3);
+        let pack = HvPack::from_hypervectors(65, &hvs);
+        assert_eq!(pack.words().len(), 3 * 2);
+        assert_eq!(&pack.words()[2..4], pack.row(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn push_wrong_dim_panics() {
+        let mut pack = HvPack::new(64);
+        pack.push(&BinaryHypervector::zeros(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_out_of_bounds_panics() {
+        let pack = HvPack::from_hypervectors(64, &random_set(2, 64, 4));
+        pack.gather(&[2]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let pack = HvPack::new(64);
+        assert!(format!("{pack:?}").contains("dim: 64"));
+    }
+}
