@@ -11,7 +11,7 @@
 //! Phases and devices:
 //!
 //! * **load** — file parsing + preprocessing on the host CPU (prior work
-//!   [14] attributes "an average of 82% of the total execution time" to
+//!   \[14\] attributes "an average of 82% of the total execution time" to
 //!   this stage for conventional tools).
 //! * **embed** — per-spectrum vectorization/encoding/DNN inference,
 //!   on GPU for HyperSpec and GLEAMS.

@@ -1,0 +1,200 @@
+//! Tolerance-aware bench-regression gate: compares a current
+//! `BENCH_pr*.json` against a committed baseline and exits non-zero when
+//! any kernel regressed beyond the tolerance.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate --baseline PATH --current PATH
+//!            [--tolerance 0.30] [--reference KERNEL] [--min-match N]
+//! ```
+//!
+//! Records are matched on `(kernel, n, dim)` — never on `threads`, which
+//! varies with the machine. Two comparison modes:
+//!
+//! * **Relative (default when `--reference` is given)** — each kernel's
+//!   `ns_per_op` is first normalized by the reference kernel measured *in
+//!   the same file*, and the gate compares normalized values. Absolute
+//!   machine speed cancels out, so a baseline recorded on one box gates
+//!   runs on CI's heterogeneous fleet: a regression means the kernel got
+//!   slower *relative to the reference workload on the same hardware*,
+//!   which is what a code regression looks like. The reference kernel
+//!   itself is excluded from gating and from `--min-match` (its ratio is
+//!   identically 1.0); a regression confined to the reference cannot be
+//!   seen in this mode, so pick a stable baseline kernel that PRs are not
+//!   expected to touch.
+//! * **Absolute (no `--reference`)** — raw `ns_per_op` ratios; only
+//!   meaningful when baseline and current come from the same machine.
+//!
+//! `--min-match` (default 1) guards against a vacuous pass when file
+//! schemas drift and nothing matches. Exit codes: 0 pass, 1 regression,
+//! 2 usage/IO error.
+
+use spechd_bench::kernel_bench::{read_records, KernelRecord};
+
+struct GateConfig {
+    baseline: String,
+    current: String,
+    tolerance: f64,
+    reference: Option<String>,
+    min_match: usize,
+}
+
+fn parse_args() -> Result<GateConfig, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = 0.30f64;
+    let mut reference = None;
+    let mut min_match = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--current" => current = Some(value("--current")?),
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+            }
+            "--reference" => reference = Some(value("--reference")?),
+            "--min-match" => {
+                min_match = value("--min-match")?
+                    .parse()
+                    .map_err(|e| format!("--min-match: {e}"))?;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(GateConfig {
+        baseline: baseline.ok_or("--baseline is required")?,
+        current: current.ok_or("--current is required")?,
+        tolerance,
+        reference,
+        min_match,
+    })
+}
+
+/// The reference record for normalization: matched by kernel name (any n,
+/// so full-size baselines can normalize smoke runs if ever needed — within
+/// one file there is a single n in practice).
+fn find_reference<'a>(records: &'a [KernelRecord], name: &str) -> Option<&'a KernelRecord> {
+    records.iter().find(|r| r.kernel == name)
+}
+
+fn main() {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            eprintln!(
+                "usage: bench_gate --baseline PATH --current PATH \
+                 [--tolerance 0.30] [--reference KERNEL] [--min-match N]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let load = |path: &str| -> Vec<KernelRecord> {
+        match read_records(path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let baseline = load(&config.baseline);
+    let current = load(&config.current);
+
+    // Normalizers: ns of the reference kernel in each file, or 1 (absolute
+    // mode) when no reference is configured.
+    let (base_norm, cur_norm) = match &config.reference {
+        Some(name) => {
+            let base = find_reference(&baseline, name);
+            let cur = find_reference(&current, name);
+            match (base, cur) {
+                (Some(b), Some(c)) => (b.ns_per_op.max(1) as f64, c.ns_per_op.max(1) as f64),
+                _ => {
+                    eprintln!(
+                        "bench_gate: reference kernel '{name}' missing from {}",
+                        if base.is_none() {
+                            &config.baseline
+                        } else {
+                            &config.current
+                        }
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => (1.0, 1.0),
+    };
+    let mode = if config.reference.is_some() {
+        "relative"
+    } else {
+        "absolute"
+    };
+    println!(
+        "[bench_gate] {} vs {} ({mode}, tolerance {:.0}%)",
+        config.current,
+        config.baseline,
+        config.tolerance * 100.0
+    );
+
+    let mut matched = 0usize;
+    let mut regressions = 0usize;
+    for cur in &current {
+        // In relative mode the reference kernel would compare against
+        // itself at an exact 1.0, so it can neither regress nor count as
+        // a meaningful comparison toward --min-match.
+        if config.reference.as_deref() == Some(cur.kernel.as_str()) {
+            println!(
+                "  {:<32} (reference kernel; normalizes the others, not gated itself)",
+                cur.kernel
+            );
+            continue;
+        }
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.kernel == cur.kernel && b.n == cur.n && b.dim == cur.dim)
+        else {
+            println!("  {:<32} (no baseline record; skipped)", cur.kernel);
+            continue;
+        };
+        matched += 1;
+        // In relative mode both sides are dimensionless multiples of the
+        // reference kernel's time in their own file.
+        let base_value = base.ns_per_op.max(1) as f64 / base_norm;
+        let cur_value = cur.ns_per_op.max(1) as f64 / cur_norm;
+        let ratio = cur_value / base_value;
+        let regressed = ratio > 1.0 + config.tolerance;
+        if regressed {
+            regressions += 1;
+        }
+        println!(
+            "  {:<32} baseline {:>12} ns  current {:>12} ns  ratio {:>5.2} {}",
+            cur.kernel,
+            base.ns_per_op,
+            cur.ns_per_op,
+            ratio,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+
+    if matched < config.min_match {
+        eprintln!(
+            "bench_gate: only {matched} kernel(s) matched the baseline \
+             (need {}); the comparison is vacuous",
+            config.min_match
+        );
+        std::process::exit(2);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_gate: {regressions} kernel(s) regressed more than {:.0}%",
+            config.tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("[bench_gate] pass: {matched} kernel(s) within tolerance");
+}

@@ -10,52 +10,18 @@
 //!
 //! `--smoke` shrinks n for the CI bit-rot check; `--out` defaults to
 //! `BENCH_pr4.json` in the current directory. The output is a JSON array
-//! of `{kernel, n, dim, threads, ns_per_op}` records, where `ns_per_op`
-//! is the median wall-clock time of one full kernel invocation.
+//! of `{kernel, n, dim, threads, ns_per_op}` records (see
+//! `spechd_bench::kernel_bench`), where `ns_per_op` is the median
+//! wall-clock time of one full kernel invocation. `bench_gate` compares
+//! two such files.
 
+use spechd_bench::kernel_bench::{measure_interleaved, write_records, Kernel, KernelRecord};
 use spechd_hdc::distance::{self, PackedDistanceEngine};
 use spechd_hdc::{BinaryHypervector, HvPack};
 use spechd_rng::Xoshiro256StarStar;
 use std::hint::black_box;
-use std::io::Write as _;
-use std::time::Instant;
 
 const DIM: usize = 2048;
-
-struct Record {
-    kernel: &'static str,
-    n: usize,
-    threads: usize,
-    ns_per_op: u128,
-}
-
-/// Measures all kernels with their samples interleaved round-robin, so
-/// clock-speed drift on shared machines biases every kernel equally
-/// instead of penalizing whichever ran last. Returns median ns per kernel.
-/// A named, thread-annotated benchmark body.
-type Kernel<'a> = (&'static str, usize, Box<dyn FnMut() + 'a>);
-
-fn measure_interleaved(samples: usize, kernels: &mut [Kernel<'_>]) -> Vec<u128> {
-    let mut elapsed: Vec<Vec<u128>> = vec![Vec::with_capacity(samples); kernels.len()];
-    // One warmup round, then `samples` timed rounds.
-    for (_, _, f) in kernels.iter_mut() {
-        f();
-    }
-    for _ in 0..samples {
-        for (k, (_, _, f)) in kernels.iter_mut().enumerate() {
-            let start = Instant::now();
-            f();
-            elapsed[k].push(start.elapsed().as_nanos());
-        }
-    }
-    elapsed
-        .into_iter()
-        .map(|mut v| {
-            v.sort_unstable();
-            v[v.len() / 2]
-        })
-        .collect()
-}
 
 fn main() {
     let mut n = 2000usize;
@@ -145,12 +111,13 @@ fn main() {
         ),
     ];
     let medians = measure_interleaved(samples, &mut kernels);
-    let mut records: Vec<Record> = Vec::new();
+    let mut records: Vec<KernelRecord> = Vec::new();
     for ((kernel, threads, _), ns) in kernels.iter().zip(&medians) {
         println!("  {kernel:<32} threads={threads:<2} {ns:>12} ns/op");
-        records.push(Record {
-            kernel,
+        records.push(KernelRecord {
+            kernel: kernel.to_string(),
             n,
+            dim: DIM,
             threads: *threads,
             ns_per_op: *ns,
         });
@@ -166,16 +133,6 @@ fn main() {
         scalar_ns as f64 / packed_auto_ns as f64,
     );
 
-    let mut json = String::from("[\n");
-    for (k, r) in records.iter().enumerate() {
-        let comma = if k + 1 < records.len() { "," } else { "" };
-        json.push_str(&format!(
-            "  {{\"kernel\": \"{}\", \"n\": {}, \"dim\": {}, \"threads\": {}, \"ns_per_op\": {}}}{}\n",
-            r.kernel, r.n, DIM, r.threads, r.ns_per_op, comma
-        ));
-    }
-    json.push_str("]\n");
-    let mut f = std::fs::File::create(&out_path).expect("create bench output file");
-    f.write_all(json.as_bytes()).expect("write bench output");
+    write_records(&out_path, &records);
     println!("[bench_pr4] wrote {out_path}");
 }

@@ -1,0 +1,188 @@
+//! Emits machine-readable streaming-pipeline benchmarks as
+//! `BENCH_pr5.json`: the batch `SpecHd::run` baseline against the sharded
+//! streaming mode at several watermarks, plus the mass-sorted early
+//! retirement path, on one labelled synthetic workload.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_pr5 [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks n for the CI regression gate; `--out` defaults to
+//! `BENCH_pr5.json`. Output is a JSON array of
+//! `{kernel, n, dim, threads, ns_per_op}` records (see
+//! `spechd_bench::kernel_bench`); `bench_gate` compares two such files
+//! with `batch_pipeline` as the machine-normalizing reference.
+//!
+//! Before any timing, every streaming configuration is checked
+//! **bit-identical** to the batch run — a faster-but-different pipeline
+//! must fail the bench, so the CI smoke catches divergence the same way
+//! `bench_pr4` catches kernel bit-rot.
+
+use spechd_bench::kernel_bench::{measure_interleaved, write_records, Kernel, KernelRecord};
+use spechd_core::{SpecHd, SpecHdConfig, StreamConfig};
+use spechd_ms::stream::{sort_dataset_by_mass, AssertSorted, DatasetStream};
+use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+use std::hint::black_box;
+
+const DIM: usize = 2048;
+
+fn main() {
+    let mut n = 3000usize;
+    let mut samples = 5usize;
+    let mut out_path = String::from("BENCH_pr5.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                n = 300;
+                samples = 3;
+            }
+            "--out" => {
+                out_path = args.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_pr5 [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let dataset = SyntheticGenerator::new(SyntheticConfig {
+        num_spectra: n,
+        num_peptides: (n / 5).max(10),
+        seed: 0x5BEC5,
+        ..SyntheticConfig::default()
+    })
+    .generate();
+    let sorted = sort_dataset_by_mass(&dataset);
+    let engine = SpecHd::new(SpecHdConfig::default());
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let wm64 = StreamConfig::default();
+    let wm1 = StreamConfig {
+        watermark: 1,
+        ..StreamConfig::default()
+    };
+    let no_archive = StreamConfig {
+        keep_hypervectors: false,
+        ..StreamConfig::default()
+    };
+
+    println!("[bench_pr5] n={n} dim={DIM} samples={samples} workers={workers}");
+
+    // ── Bit-identity gates before timing anything. ──
+    let batch = engine.run(&dataset);
+    for (name, cfg) in [
+        ("watermark=64", &wm64),
+        ("watermark=1", &wm1),
+        ("no_archive", &no_archive),
+    ] {
+        let streamed = engine.run_streaming(DatasetStream::new(&dataset), cfg);
+        assert_eq!(
+            streamed.outcome.assignment(),
+            batch.assignment(),
+            "streaming ({name}) diverged from batch labels"
+        );
+        assert_eq!(
+            streamed.outcome.consensus(),
+            batch.consensus(),
+            "streaming ({name}) diverged from batch consensus"
+        );
+    }
+    let batch_sorted = engine.run(&sorted);
+    let streamed_sorted =
+        engine.run_streaming(AssertSorted::new(DatasetStream::new(&sorted)), &wm64);
+    assert_eq!(
+        streamed_sorted.outcome.assignment(),
+        batch_sorted.assignment(),
+        "sorted streaming diverged from batch labels"
+    );
+    println!("[bench_pr5] streaming/batch bit-identity checks passed");
+
+    // Memory-shape observability for the ROADMAP perf notes.
+    let probe = engine.run_streaming(DatasetStream::new(&dataset), &wm64);
+    let st = probe.stream;
+    println!(
+        "[bench_pr5] shards={} peak_open={} peak_buffered_raw={} peak_shard_rows={} \
+         encode_flushes={} (kept {} of {})",
+        st.shards_opened,
+        st.peak_open_shards,
+        st.peak_buffered_spectra,
+        st.peak_shard_rows,
+        st.encode_flushes,
+        probe.outcome.kept().len(),
+        n,
+    );
+
+    let mut kernels: Vec<Kernel<'_>> = vec![
+        (
+            "batch_pipeline",
+            workers,
+            Box::new(|| {
+                black_box(engine.run(black_box(&dataset)));
+            }),
+        ),
+        (
+            "streaming_pipeline",
+            workers,
+            Box::new(|| {
+                black_box(engine.run_streaming(DatasetStream::new(black_box(&dataset)), &wm64));
+            }),
+        ),
+        (
+            "streaming_pipeline_wm1",
+            workers,
+            Box::new(|| {
+                black_box(engine.run_streaming(DatasetStream::new(black_box(&dataset)), &wm1));
+            }),
+        ),
+        (
+            "streaming_sorted",
+            workers,
+            Box::new(|| {
+                black_box(engine.run_streaming(
+                    AssertSorted::new(DatasetStream::new(black_box(&sorted))),
+                    &wm64,
+                ));
+            }),
+        ),
+        (
+            "streaming_no_archive",
+            workers,
+            Box::new(|| {
+                black_box(
+                    engine.run_streaming(DatasetStream::new(black_box(&dataset)), &no_archive),
+                );
+            }),
+        ),
+    ];
+    let medians = measure_interleaved(samples, &mut kernels);
+    let mut records: Vec<KernelRecord> = Vec::new();
+    for ((kernel, threads, _), ns) in kernels.iter().zip(&medians) {
+        let rate = n as f64 / (*ns as f64 * 1e-9);
+        println!("  {kernel:<24} threads={threads:<2} {ns:>12} ns/op  {rate:>9.0} spectra/s");
+        records.push(KernelRecord {
+            kernel: kernel.to_string(),
+            n,
+            dim: DIM,
+            threads: *threads,
+            ns_per_op: *ns,
+        });
+    }
+
+    let batch_ns = records[0].ns_per_op.max(1);
+    let streaming_ns = records[1].ns_per_op.max(1);
+    println!(
+        "[bench_pr5] streaming/batch wall-clock ratio: {:.2}x (sorted overlap: {:.2}x)",
+        streaming_ns as f64 / batch_ns as f64,
+        records[3].ns_per_op.max(1) as f64 / batch_ns as f64,
+    );
+
+    write_records(&out_path, &records);
+    println!("[bench_pr5] wrote {out_path}");
+}

@@ -1,0 +1,263 @@
+//! Machine-readable kernel benchmarking shared by the `bench_pr*` bins
+//! and the `bench_gate` regression comparator.
+//!
+//! A *kernel record* is one measured data point:
+//! `{kernel, n, dim, threads, ns_per_op}`. The `bench_pr4` / `bench_pr5`
+//! binaries write arrays of them (`BENCH_pr4.json`, `BENCH_pr5.json`);
+//! `bench_gate` reads two such files and fails on regressions. Reading and
+//! writing live together here so the two sides cannot drift apart — and
+//! because the workspace is std-only, the JSON codec is hand-rolled for
+//! exactly this shape.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+/// One measured kernel data point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelRecord {
+    /// Kernel name, unique within a file.
+    pub kernel: String,
+    /// Problem size (spectra / hypervectors).
+    pub n: usize,
+    /// Hypervector dimensionality.
+    pub dim: usize,
+    /// Worker threads the kernel ran with (informational: machines
+    /// differ, so the gate never matches on it).
+    pub threads: usize,
+    /// Median wall-clock nanoseconds of one full kernel invocation.
+    pub ns_per_op: u128,
+}
+
+/// A named, thread-annotated benchmark body: `(name, threads, body)`.
+pub type Kernel<'a> = (&'static str, usize, Box<dyn FnMut() + 'a>);
+
+/// Measures all kernels with their samples interleaved round-robin, so
+/// clock-speed drift on shared machines biases every kernel equally
+/// instead of penalizing whichever ran last. Returns median ns per kernel.
+pub fn measure_interleaved(samples: usize, kernels: &mut [Kernel<'_>]) -> Vec<u128> {
+    let mut elapsed: Vec<Vec<u128>> = vec![Vec::with_capacity(samples); kernels.len()];
+    // One warmup round, then `samples` timed rounds.
+    for (_, _, f) in kernels.iter_mut() {
+        f();
+    }
+    for _ in 0..samples {
+        for (k, (_, _, f)) in kernels.iter_mut().enumerate() {
+            let start = Instant::now();
+            f();
+            elapsed[k].push(start.elapsed().as_nanos());
+        }
+    }
+    elapsed
+        .into_iter()
+        .map(|mut v| {
+            v.sort_unstable();
+            v[v.len() / 2]
+        })
+        .collect()
+}
+
+/// Serializes records as the `BENCH_pr*.json` array format.
+pub fn to_json(records: &[KernelRecord]) -> String {
+    let mut json = String::from("[\n");
+    for (k, r) in records.iter().enumerate() {
+        let comma = if k + 1 < records.len() { "," } else { "" };
+        json.push_str(&format!(
+            "  {{\"kernel\": \"{}\", \"n\": {}, \"dim\": {}, \"threads\": {}, \"ns_per_op\": {}}}{}\n",
+            r.kernel, r.n, r.dim, r.threads, r.ns_per_op, comma
+        ));
+    }
+    json.push_str("]\n");
+    json
+}
+
+/// Writes records to `path` in the `BENCH_pr*.json` format.
+///
+/// # Panics
+///
+/// Panics on I/O errors — a bench run without its output is useless.
+pub fn write_records(path: &str, records: &[KernelRecord]) {
+    let mut f =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("create bench output {path}: {e}"));
+    f.write_all(to_json(records).as_bytes())
+        .unwrap_or_else(|e| panic!("write bench output {path}: {e}"));
+}
+
+/// Reads a `BENCH_pr*.json` file back into records.
+pub fn read_records(path: &str) -> Result<Vec<KernelRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse_records(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses the array-of-flat-objects JSON the writers emit. Tolerates
+/// whitespace and field order, ignores unknown fields with scalar values.
+pub fn parse_records(text: &str) -> Result<Vec<KernelRecord>, String> {
+    let mut records = Vec::new();
+    let mut rest = text.trim();
+    rest = rest
+        .strip_prefix('[')
+        .ok_or("expected a JSON array")?
+        .trim_end()
+        .strip_suffix(']')
+        .ok_or("unterminated JSON array")?
+        .trim();
+    while !rest.is_empty() {
+        rest = rest.trim_start_matches(',').trim();
+        if rest.is_empty() {
+            break;
+        }
+        let body_start = rest.strip_prefix('{').ok_or("expected an object")?;
+        let end = body_start.find('}').ok_or("unterminated object")?;
+        let body = &body_start[..end];
+        records.push(parse_object(body)?);
+        rest = body_start[end + 1..].trim();
+    }
+    Ok(records)
+}
+
+fn parse_object(body: &str) -> Result<KernelRecord, String> {
+    let mut kernel: Option<String> = None;
+    let mut n = None;
+    let mut dim = None;
+    let mut threads = None;
+    let mut ns_per_op = None;
+    for field in split_top_level_fields(body) {
+        let (key, value) = field
+            .split_once(':')
+            .ok_or_else(|| format!("field without ':': {field}"))?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "kernel" => {
+                kernel = Some(
+                    value
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| format!("kernel must be a string: {value}"))?
+                        .to_string(),
+                );
+            }
+            "n" => n = Some(parse_int(value, "n")?),
+            "dim" => dim = Some(parse_int(value, "dim")?),
+            "threads" => threads = Some(parse_int(value, "threads")?),
+            "ns_per_op" => {
+                ns_per_op = Some(
+                    value
+                        .parse::<u128>()
+                        .map_err(|e| format!("ns_per_op: {e}"))?,
+                );
+            }
+            _ => {} // unknown scalar field: ignore
+        }
+    }
+    Ok(KernelRecord {
+        kernel: kernel.ok_or("missing kernel")?,
+        n: n.ok_or("missing n")?,
+        dim: dim.ok_or("missing dim")?,
+        threads: threads.ok_or("missing threads")?,
+        ns_per_op: ns_per_op.ok_or("missing ns_per_op")?,
+    })
+}
+
+fn parse_int(value: &str, key: &str) -> Result<usize, String> {
+    value.parse::<usize>().map_err(|e| format!("{key}: {e}"))
+}
+
+/// Splits `a: 1, b: "x,y"` on commas outside string literals.
+fn split_top_level_fields(body: &str) -> Vec<&str> {
+    let mut fields = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                fields.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < body.len() {
+        fields.push(&body[start..]);
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<KernelRecord> {
+        vec![
+            KernelRecord {
+                kernel: "pairwise_condensed_scalar".into(),
+                n: 2000,
+                dim: 2048,
+                threads: 1,
+                ns_per_op: 17_920_000,
+            },
+            KernelRecord {
+                kernel: "pairwise_condensed_packed".into(),
+                n: 2000,
+                dim: 2048,
+                threads: 4,
+                ns_per_op: 10_560_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let records = sample();
+        let parsed = parse_records(&to_json(&records)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn parses_reordered_fields_and_whitespace() {
+        let text = r#"[
+          { "ns_per_op": 5, "kernel": "k", "dim": 64, "threads": 2, "n": 10 },
+          {"kernel":"q","n":1,"dim":64,"threads":1,"ns_per_op":9}
+        ]"#;
+        let parsed = parse_records(text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].kernel, "k");
+        assert_eq!(parsed[0].ns_per_op, 5);
+        assert_eq!(parsed[1].kernel, "q");
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let text = r#"[{"kernel": "k", "n": 1}]"#;
+        assert!(parse_records(text).is_err());
+    }
+
+    #[test]
+    fn rejects_non_array() {
+        assert!(parse_records("{}").is_err());
+    }
+
+    #[test]
+    fn empty_array_is_empty() {
+        assert_eq!(parse_records("[]").unwrap(), Vec::new());
+        assert_eq!(parse_records("[\n]").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn measure_interleaved_returns_one_median_per_kernel() {
+        let mut counters = [0usize; 2];
+        let (a, b) = {
+            let [ref mut a, ref mut b] = counters;
+            (a, b)
+        };
+        let mut kernels: Vec<Kernel<'_>> = vec![
+            ("one", 1, Box::new(|| *a += 1)),
+            ("two", 1, Box::new(|| *b += 1)),
+        ];
+        let medians = measure_interleaved(3, &mut kernels);
+        assert_eq!(medians.len(), 2);
+        drop(kernels);
+        // warmup + samples
+        assert_eq!(counters, [4, 4]);
+    }
+}

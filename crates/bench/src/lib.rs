@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod kernel_bench;
 
 use spechd_baselines::perf::ToolPerfModel;
 use spechd_baselines::{

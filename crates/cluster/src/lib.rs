@@ -19,6 +19,9 @@
 //!   epsilon-neighborhood kernel, never materializing the O(n²) matrix.
 //! * [`medoid`] — consensus selection: the member with the lowest average
 //!   distance to the rest of its cluster, per §III-C.
+//! * [`ShardLabelMerger`] — deterministic stitching of independent
+//!   per-bucket clusterings into one global [`ClusterAssignment`], shared
+//!   by the batch and streaming pipelines.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ mod dbscan;
 mod dendrogram;
 mod flat;
 mod linkage;
+mod merge;
 mod naive;
 mod nnchain;
 
@@ -54,6 +58,7 @@ pub use dbscan::{dbscan, dbscan_from_neighbors, dbscan_packed, DbscanParams, Dbs
 pub use dendrogram::{Dendrogram, Merge};
 pub use flat::ClusterAssignment;
 pub use linkage::Linkage;
+pub use merge::ShardLabelMerger;
 pub use naive::naive_hac;
 pub use nnchain::nn_chain;
 

@@ -9,6 +9,12 @@
 //!         ──pairwise Hamming──▶ NN-chain HAC ──cut──▶ clusters ──▶ medoids
 //! ```
 //!
+//! Two execution modes share that dataflow: the batch [`SpecHd::run`] over
+//! a materialized dataset, and the sharded [`SpecHd::run_streaming`] over
+//! a [`spechd_ms::stream::SpectrumStream`] (module [`stream`]), which
+//! bounds raw-spectrum memory by a per-shard watermark and clusters shards
+//! on a worker pool while ingest continues — with bit-identical results.
+//!
 //! The functional pipeline runs bit-exactly on the host (results are real,
 //! not simulated); the FPGA *performance* of the same dataflow is modelled
 //! by [`spechd_fpga`], reachable through [`SpecHd::estimate_fpga_timeline`].
@@ -38,11 +44,13 @@ mod compression;
 mod config;
 mod pipeline;
 mod result;
+pub mod stream;
 
 pub use compression::CompressionReport;
 pub use config::{SpecHdConfig, SpecHdConfigBuilder};
 pub use pipeline::SpecHd;
 pub use result::{RunStats, SpecHdOutcome};
+pub use stream::{StreamConfig, StreamOutcome, StreamStats};
 
 // Re-export the workspace components a downstream user needs alongside the
 // pipeline, so `spechd-core` works as a single entry point.

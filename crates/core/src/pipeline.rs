@@ -1,7 +1,9 @@
 //! The SpecHD pipeline.
 
 use crate::{CompressionReport, RunStats, SpecHdConfig, SpecHdOutcome};
-use spechd_cluster::{medoid, nn_chain, ClusterAssignment, CondensedMatrix, HacStats};
+use spechd_cluster::{
+    medoid, nn_chain, ClusterAssignment, CondensedMatrix, HacStats, ShardLabelMerger,
+};
 use spechd_fpga::{SystemConfig, SystemModel, Timeline, WorkloadShape};
 use spechd_hdc::distance::PackedDistanceEngine;
 use spechd_hdc::{BinaryHypervector, HvPack, IdLevelEncoder};
@@ -52,6 +54,17 @@ impl SpecHd {
     /// The (deterministic) encoder, exposed for pre-encoding workflows.
     pub fn encoder(&self) -> &IdLevelEncoder {
         &self.encoder
+    }
+
+    /// The preprocessing pipeline, exposed for per-spectrum (streaming)
+    /// workflows.
+    pub fn preprocess(&self) -> &PreprocessPipeline {
+        &self.preprocess
+    }
+
+    /// The Eq. (1) precursor bucketer.
+    pub fn bucketer(&self) -> &PrecursorBucketer {
+        &self.bucketer
     }
 
     /// Runs the full pipeline: preprocess → bucket → encode → NN-chain →
@@ -149,9 +162,7 @@ impl SpecHd {
         // Per-bucket results, merged in bucket order for determinism.
         struct BucketOutcome {
             bucket_idx: usize,
-            labels: Vec<usize>,  // local cluster ids per member
-            medoids: Vec<usize>, // hv index per local cluster
-            stats: HacStats,
+            clustering: ShardClustering,
         }
 
         let worker_count = if self.config.threads == 0 {
@@ -174,15 +185,17 @@ impl SpecHd {
                         break;
                     }
                     let bucket = &buckets[bucket_idx];
-                    let outcome = cluster_one_bucket(bucket, pack, linkage, threshold);
+                    // Gather the bucket's rows into a contiguous sub-pack;
+                    // the streaming path gets this for free because each
+                    // shard encodes straight into its own pack.
+                    let sub = pack.gather(&bucket.members);
+                    let clustering = cluster_shard(&bucket.members, &sub, linkage, threshold);
                     results
                         .lock()
                         .expect("no panics hold the lock")
                         .push(BucketOutcome {
                             bucket_idx,
-                            labels: outcome.0,
-                            medoids: outcome.1,
-                            stats: outcome.2,
+                            clustering,
                         });
                 });
             }
@@ -192,32 +205,17 @@ impl SpecHd {
         per_bucket.sort_by_key(|r| r.bucket_idx);
 
         let total: usize = buckets.iter().map(|b| b.len()).sum();
-        let mut raw_labels = vec![0usize; total];
-        let mut medoid_by_raw: Vec<usize> = Vec::new();
-        let mut stats = HacStats::default();
-        let mut next_cluster = 0usize;
+        let mut merger = ShardLabelMerger::new(total);
         for outcome in per_bucket {
             let bucket = &buckets[outcome.bucket_idx];
-            let cluster_count = outcome.medoids.len();
-            for (&member, &local_label) in bucket.members.iter().zip(&outcome.labels) {
-                raw_labels[member] = next_cluster + local_label;
-            }
-            medoid_by_raw.extend(outcome.medoids);
-            next_cluster += cluster_count;
-            stats.comparisons += outcome.stats.comparisons;
-            stats.updates += outcome.stats.updates;
-            stats.merges += outcome.stats.merges;
+            merger.add_shard(
+                &bucket.members,
+                &outcome.clustering.labels,
+                &outcome.clustering.medoids,
+                &outcome.clustering.stats,
+            );
         }
-        // Dense renumbering follows first appearance in *item* order, which
-        // interleaves buckets; re-align the per-cluster medoids with the
-        // dense labels.
-        let assignment = ClusterAssignment::from_raw_labels(&raw_labels);
-        let mut consensus = vec![usize::MAX; assignment.num_clusters()];
-        for (item, &dense) in assignment.labels().iter().enumerate() {
-            consensus[dense] = medoid_by_raw[raw_labels[item]];
-        }
-        debug_assert!(consensus.iter().all(|&c| c != usize::MAX));
-        (assignment, consensus, stats)
+        merger.finish()
     }
 
     /// Predicts the FPGA timeline for running this configuration on a
@@ -231,25 +229,44 @@ impl SpecHd {
     }
 }
 
-/// Clusters one bucket: gather packed rows → tiled distance kernel →
-/// NN-chain → threshold cut → per-cluster medoid. Returns (local labels,
-/// medoid hv-indices, stats).
-fn cluster_one_bucket(
-    bucket: &spechd_preprocess::Bucket,
-    pack: &HvPack,
+/// One shard's (= one precursor bucket's) clustering, in the form
+/// [`ShardLabelMerger::add_shard`] consumes.
+pub(crate) struct ShardClustering {
+    /// Local cluster label per member, parallel to the shard's members.
+    pub labels: Vec<usize>,
+    /// Global hv-index of the medoid of each local cluster.
+    pub medoids: Vec<usize>,
+    /// HAC work counters.
+    pub stats: HacStats,
+}
+
+/// Clusters one shard whose rows are already contiguous: tiled distance
+/// kernel → NN-chain → threshold cut → per-cluster medoid. `members` maps
+/// shard-local row `i` to its global hv index; `sub` holds exactly those
+/// rows in the same order. Shared by the batch pipeline (which gathers the
+/// sub-pack per bucket) and the streaming pipeline (whose shards encode
+/// straight into their own packs) — one implementation, so the two modes
+/// cannot drift apart.
+pub(crate) fn cluster_shard(
+    members: &[usize],
+    sub: &HvPack,
     linkage: spechd_cluster::Linkage,
     threshold: f64,
-) -> (Vec<usize>, Vec<usize>, HacStats) {
-    let n = bucket.len();
+) -> ShardClustering {
+    let n = members.len();
+    debug_assert_eq!(sub.len(), n, "sub-pack rows must parallel members");
     if n == 1 {
-        return (vec![0], vec![bucket.members[0]], HacStats::default());
+        return ShardClustering {
+            labels: vec![0],
+            medoids: vec![members[0]],
+            stats: HacStats::default(),
+        };
     }
-    // Gather the bucket's rows into a contiguous sub-pack and run the
-    // tiled kernel single-threaded — buckets already run in parallel.
-    let sub = pack.gather(&bucket.members);
+    // The tiled kernel runs single-threaded — shards already run in
+    // parallel across the bucket/shard worker pool.
     let condensed_u16 = PackedDistanceEngine::new()
         .threads(1)
-        .pairwise_condensed(&sub);
+        .pairwise_condensed(sub);
     // 16-bit lower-triangular matrix, exactly as the FPGA stores it.
     let matrix = CondensedMatrix::from_u16(n, &condensed_u16);
     let result = nn_chain(&matrix, linkage);
@@ -257,9 +274,13 @@ fn cluster_one_bucket(
     let medoids: Vec<usize> = cut
         .clusters()
         .iter()
-        .map(|cluster| bucket.members[medoid(&matrix, cluster)])
+        .map(|cluster| members[medoid(&matrix, cluster)])
         .collect();
-    (cut.labels().to_vec(), medoids, result.stats)
+    ShardClustering {
+        labels: cut.labels().to_vec(),
+        medoids,
+        stats: result.stats,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,551 @@
+//! Streaming, sharded execution of the SpecHD pipeline.
+//!
+//! [`SpecHd::run`](crate::SpecHd::run) materializes the whole dataset
+//! before the first hypervector is encoded, so dataset size — not
+//! hardware — bounds a run.
+//! [`SpecHd::run_streaming`](crate::SpecHd::run_streaming) removes that
+//! bound: spectra are pulled from a
+//! [`SpectrumStream`] one at a time, preprocessed on arrival, routed into
+//! the per-precursor-mass **shard** Eq. (1) assigns them to, and encoded in
+//! bounded batches straight into the shard's own [`HvPack`]. A
+//! [`std::thread::scope`] worker pool clusters shards as they close while
+//! ingest continues, and a deterministic merge stitches per-shard labels
+//! into one global [`spechd_cluster::ClusterAssignment`].
+//!
+//! ```text
+//!  source ──▶ preprocess ──▶ sharder ──▶ [shard: raw buffer ≤ watermark]
+//!  (stream)   (per spectrum)  (Eq. 1)        │ encode flush (HvPack)
+//!                                            ▼ close
+//!                                      worker pool: packed HAC per shard
+//!                                            │
+//!                                            ▼
+//!                               key-ordered label merge ──▶ outcome
+//! ```
+//!
+//! ## Identical results, bounded memory
+//!
+//! The streaming outcome is **bit-identical** to `SpecHd::run` on the same
+//! input sequence, for any watermark and worker count: preprocessing and
+//! encoding are per-spectrum deterministic, each shard accumulates exactly
+//! the member rows (in arrival order) that the batch bucketizer would have
+//! gathered, both modes cluster a shard through the same private
+//! `cluster_shard` code, and both merge through
+//! [`spechd_cluster::ShardLabelMerger`] in ascending bucket-key order.
+//! The `streaming_equivalence` integration suite enforces this.
+//!
+//! What changes is the memory shape: at most
+//! [`StreamConfig::watermark`] *raw* spectra are buffered per open shard
+//! before being folded into packed rows (256 bytes each at `D = 2048` —
+//! the paper's 24–108× compression), so peak raw-spectrum memory tracks
+//! the watermark and the shard fan-out rather than the dataset.
+//!
+//! ## Overlapping clustering with ingest
+//!
+//! A shard can only be clustered once no more members can arrive. For an
+//! arbitrary stream that is end-of-stream; the worker pool then drains all
+//! shards concurrently. When the source promises non-decreasing neutral
+//! mass ([`SpectrumStream::sorted_by_mass`] — the paper's precursor-m/z
+//! sorted data organization), every shard lighter than the current key is
+//! closed and handed to the workers *immediately*, so clustering runs
+//! while ingest is still pulling — the RapidOMS streaming-batch shape.
+
+use crate::pipeline::cluster_shard;
+use crate::{CompressionReport, RunStats, SpecHdOutcome};
+use spechd_cluster::{HacStats, ShardLabelMerger};
+use spechd_hdc::{HvPack, MajorityAccumulator};
+use spechd_ms::stream::SpectrumStream;
+use spechd_preprocess::{bucket_stats_from_sizes, PreprocessStats};
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Tuning knobs of [`SpecHd::run_streaming`](crate::SpecHd::run_streaming).
+///
+/// None of these affect results — only memory shape and parallelism. The
+/// equivalence suite runs the full cross-product to prove it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Raw spectra buffered per shard before an encode flush folds them
+    /// into the shard's packed rows. `0` buffers without bound (encode
+    /// only at close). `1` encodes every spectrum on arrival.
+    pub watermark: usize,
+    /// Clustering worker threads (`0` = all available). Independent of
+    /// [`crate::SpecHdConfig::threads`], which governs the batch path.
+    pub workers: usize,
+    /// Whether to retain the encoded hypervector archive in the outcome
+    /// (parallel to `kept`, as `run` does). Disabling it lets shard packs
+    /// be recycled through the pack pool as soon as their shard is
+    /// clustered, dropping steady-state memory to the open shards; the
+    /// outcome's `hypervectors()` is then empty.
+    pub keep_hypervectors: bool,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            watermark: 64,
+            workers: 0,
+            keep_hypervectors: true,
+        }
+    }
+}
+
+/// Streaming-specific observability counters (memory shape and overlap),
+/// alongside the [`RunStats`] the outcome itself carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Spectra pulled from the stream.
+    pub spectra_streamed: usize,
+    /// Shards opened (= non-empty precursor buckets seen).
+    pub shards_opened: usize,
+    /// Maximum simultaneously open shards.
+    pub peak_open_shards: usize,
+    /// Maximum raw spectra buffered across all open shards at once — the
+    /// quantity the watermark bounds per shard.
+    pub peak_buffered_spectra: usize,
+    /// Largest shard, in encoded rows (the clustering-time memory peak).
+    pub peak_shard_rows: usize,
+    /// Encode flushes performed (watermark hits + shard closes).
+    pub encode_flushes: usize,
+    /// Shards closed before end-of-stream (sorted sources only) — shards
+    /// whose clustering overlapped further ingest.
+    pub early_closed_shards: usize,
+    /// Packs recycled from the pool instead of freshly allocated.
+    pub packs_reused: usize,
+}
+
+/// Result of a streaming run: the standard outcome plus stream counters.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// The pipeline outcome, bit-identical to the batch run's.
+    pub outcome: SpecHdOutcome,
+    /// Streaming-specific counters.
+    pub stream: StreamStats,
+}
+
+/// An open shard: arrival-ordered members, a bounded raw-peak buffer, and
+/// the packed rows encoded so far.
+struct OpenShard {
+    members: Vec<usize>,
+    buffer: Vec<Vec<(f64, f64)>>,
+    pack: HvPack,
+}
+
+/// A shard whose membership is final, en route to a clustering worker.
+struct ClosedShard {
+    key: i64,
+    members: Vec<usize>,
+    pack: HvPack,
+}
+
+/// A clustered shard, awaiting the key-ordered merge.
+struct ShardResult {
+    key: i64,
+    members: Vec<usize>,
+    labels: Vec<usize>,
+    medoids: Vec<usize>,
+    stats: HacStats,
+    /// Retained only when the outcome keeps the hypervector archive.
+    pack: Option<HvPack>,
+    cluster_ns: u128,
+}
+
+impl crate::SpecHd {
+    /// Runs the full pipeline over a [`SpectrumStream`] in sharded
+    /// streaming mode. See the [module docs](crate::stream) for the
+    /// dataflow; the result is bit-identical to [`crate::SpecHd::run`] on
+    /// the same input sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stream claiming [`SpectrumStream::sorted_by_mass`]
+    /// yields a spectrum lighter than one already seen: honoring the hint
+    /// would have already retired the shard the latecomer belongs to, so
+    /// continuing would silently miscluster.
+    pub fn run_streaming<S: SpectrumStream>(
+        &self,
+        mut source: S,
+        stream_config: &StreamConfig,
+    ) -> StreamOutcome {
+        let start = Instant::now();
+        let dim = self.config().encoder.dim;
+        let watermark = stream_config.watermark;
+        let keep_hvs = stream_config.keep_hypervectors;
+        let threshold = self.config().distance_threshold_bits();
+        let linkage = self.config().linkage;
+        let workers = if stream_config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            stream_config.workers
+        };
+
+        let (shard_tx, shard_rx) = mpsc::channel::<ClosedShard>();
+        let shard_rx = Mutex::new(shard_rx);
+        let results: Mutex<Vec<ShardResult>> = Mutex::new(Vec::new());
+        // Cleared packs parked for reuse, so shard churn does not retread
+        // the allocator (only populated when the archive is not kept —
+        // kept packs live on into the final scatter).
+        let pack_pool: Mutex<Vec<HvPack>> = Mutex::new(Vec::new());
+
+        let mut kept: Vec<usize> = Vec::new();
+        let mut pre_stats = PreprocessStats::default();
+        let mut stream_stats = StreamStats::default();
+        let mut raw_bytes = 0usize;
+        let mut preprocess_ns = 0u128;
+        let mut encode_ns = 0u128;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let received = shard_rx.lock().expect("no panics hold the lock").recv();
+                    let Ok(shard) = received else {
+                        break; // every sender dropped: ingest is done
+                    };
+                    let t_cluster = Instant::now();
+                    let clustering = cluster_shard(&shard.members, &shard.pack, linkage, threshold);
+                    let cluster_ns = t_cluster.elapsed().as_nanos();
+                    let pack = if keep_hvs {
+                        Some(shard.pack)
+                    } else {
+                        let mut spare = shard.pack;
+                        spare.clear();
+                        pack_pool
+                            .lock()
+                            .expect("no panics hold the lock")
+                            .push(spare);
+                        None
+                    };
+                    results
+                        .lock()
+                        .expect("no panics hold the lock")
+                        .push(ShardResult {
+                            key: shard.key,
+                            members: shard.members,
+                            labels: clustering.labels,
+                            medoids: clustering.medoids,
+                            stats: clustering.stats,
+                            pack,
+                            cluster_ns,
+                        });
+                });
+            }
+
+            // ── Ingest (this thread), overlapping the workers above. ──
+            let sorted = source.sorted_by_mass();
+            let mut open: BTreeMap<i64, OpenShard> = BTreeMap::new();
+            let mut acc = MajorityAccumulator::new(dim);
+            let mut buffered_total = 0usize;
+            let mut last_key = i64::MIN;
+            let mut stream_index = 0usize;
+
+            // Flushes a shard's raw buffer into its packed rows.
+            let flush = |shard: &mut OpenShard,
+                         acc: &mut MajorityAccumulator,
+                         encode_ns: &mut u128,
+                         stream_stats: &mut StreamStats,
+                         buffered_total: &mut usize| {
+                if shard.buffer.is_empty() {
+                    return;
+                }
+                let t = Instant::now();
+                self.encoder()
+                    .encode_batch_packed_into(&shard.buffer, acc, &mut shard.pack);
+                *encode_ns += t.elapsed().as_nanos();
+                *buffered_total -= shard.buffer.len();
+                shard.buffer.clear();
+                stream_stats.encode_flushes += 1;
+            };
+
+            while let Some((spectrum, _label)) = source.next_spectrum() {
+                stream_stats.spectra_streamed += 1;
+                raw_bytes += spectrum.approx_bytes();
+                let t = Instant::now();
+                let processed = self.preprocess().process_one(&spectrum, &mut pre_stats);
+                preprocess_ns += t.elapsed().as_nanos();
+                let index = stream_index;
+                stream_index += 1;
+                let Some(processed) = processed else {
+                    continue;
+                };
+                let key = self.bucketer().bucket_of(&processed);
+
+                if sorted {
+                    assert!(
+                        key >= last_key,
+                        "stream claims sorted_by_mass but bucket key {key} arrived after \
+                         {last_key}; the shard it belongs to may already be clustered"
+                    );
+                    if key > last_key {
+                        // Everything lighter than the current key is final:
+                        // retire it to the workers while we keep ingesting.
+                        while let Some((&k, _)) = open.range(..key).next() {
+                            let mut shard = open.remove(&k).expect("key from range");
+                            flush(
+                                &mut shard,
+                                &mut acc,
+                                &mut encode_ns,
+                                &mut stream_stats,
+                                &mut buffered_total,
+                            );
+                            stream_stats.peak_shard_rows =
+                                stream_stats.peak_shard_rows.max(shard.pack.len());
+                            stream_stats.early_closed_shards += 1;
+                            shard_tx
+                                .send(ClosedShard {
+                                    key: k,
+                                    members: shard.members,
+                                    pack: shard.pack,
+                                })
+                                .expect("workers outlive ingest");
+                        }
+                        last_key = key;
+                    }
+                }
+
+                let member = kept.len();
+                kept.push(index);
+                let shard = open.entry(key).or_insert_with(|| {
+                    stream_stats.shards_opened += 1;
+                    let pack = match pack_pool.lock().expect("no panics hold the lock").pop() {
+                        Some(spare) => {
+                            stream_stats.packs_reused += 1;
+                            spare
+                        }
+                        None => HvPack::new(dim),
+                    };
+                    OpenShard {
+                        members: Vec::new(),
+                        buffer: Vec::new(),
+                        pack,
+                    }
+                });
+                shard.members.push(member);
+                shard.buffer.push(processed.relative_peaks());
+                buffered_total += 1;
+                // During ingest, shards leave `open` only through the
+                // early-close path, so this difference equals `open.len()`
+                // (which the `entry` borrow keeps us from reading here).
+                let open_count = stream_stats.shards_opened - stream_stats.early_closed_shards;
+                stream_stats.peak_open_shards = stream_stats.peak_open_shards.max(open_count);
+                stream_stats.peak_buffered_spectra =
+                    stream_stats.peak_buffered_spectra.max(buffered_total);
+                if watermark > 0 && shard.buffer.len() >= watermark {
+                    flush(
+                        shard,
+                        &mut acc,
+                        &mut encode_ns,
+                        &mut stream_stats,
+                        &mut buffered_total,
+                    );
+                }
+            }
+
+            // End of stream: every remaining shard is final.
+            for (key, mut shard) in std::mem::take(&mut open) {
+                flush(
+                    &mut shard,
+                    &mut acc,
+                    &mut encode_ns,
+                    &mut stream_stats,
+                    &mut buffered_total,
+                );
+                stream_stats.peak_shard_rows = stream_stats.peak_shard_rows.max(shard.pack.len());
+                shard_tx
+                    .send(ClosedShard {
+                        key,
+                        members: shard.members,
+                        pack: shard.pack,
+                    })
+                    .expect("workers outlive ingest");
+            }
+            drop(shard_tx); // hang up: workers drain the queue and exit
+        });
+
+        // ── Merge, in ascending bucket-key order (batch bucket order). ──
+        let mut results = results.into_inner().expect("threads joined");
+        results.sort_by_key(|r| r.key);
+
+        let mut merger = ShardLabelMerger::new(kept.len());
+        let mut cluster_ns = 0u128;
+        for r in &results {
+            merger.add_shard(&r.members, &r.labels, &r.medoids, &r.stats);
+            cluster_ns += r.cluster_ns;
+        }
+        let (assignment, consensus_local, hac) = merger.finish();
+        let consensus: Vec<usize> = consensus_local.iter().map(|&m| kept[m]).collect();
+
+        let bstats = bucket_stats_from_sizes(results.iter().map(|r| r.members.len()));
+
+        // Scatter shard rows back into kept order for the archive `run`
+        // exposes; skipped (empty archive) when not keeping hypervectors.
+        let hvs = if keep_hvs {
+            let mut full = HvPack::with_capacity(dim, kept.len());
+            let mut row_of = vec![(0usize, 0usize); kept.len()];
+            for (ri, r) in results.iter().enumerate() {
+                for (row, &member) in r.members.iter().enumerate() {
+                    row_of[member] = (ri, row);
+                }
+            }
+            for &(ri, row) in &row_of {
+                let pack = results[ri].pack.as_ref().expect("kept packs retained");
+                full.push_zeroed().copy_from_slice(pack.row(row));
+            }
+            full.to_hypervectors()
+        } else {
+            Vec::new()
+        };
+
+        let compression = CompressionReport::new(raw_bytes, kept.len(), dim);
+        let outcome = SpecHdOutcome::new(
+            assignment,
+            kept,
+            consensus,
+            hvs,
+            RunStats {
+                preprocess: pre_stats,
+                buckets: bstats,
+                hac,
+                preprocess_s: preprocess_ns as f64 * 1e-9,
+                encode_s: encode_ns as f64 * 1e-9,
+                // Aggregate worker-side clustering time; with several
+                // workers this exceeds its wall-clock share by design.
+                cluster_s: cluster_ns as f64 * 1e-9,
+                total_s: start.elapsed().as_secs_f64(),
+            },
+            compression,
+        );
+        StreamOutcome {
+            outcome,
+            stream: stream_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpecHd, SpecHdConfig};
+    use spechd_ms::stream::{AssertSorted, DatasetStream};
+    use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+    use spechd_ms::SpectrumDataset;
+
+    fn dataset(n: usize, seed: u64) -> SpectrumDataset {
+        SyntheticGenerator::new(SyntheticConfig {
+            num_spectra: n,
+            num_peptides: (n / 5).max(2),
+            seed,
+            ..SyntheticConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn streaming_matches_batch_on_default_config() {
+        let ds = dataset(200, 21);
+        let engine = SpecHd::new(SpecHdConfig::default());
+        let batch = engine.run(&ds);
+        let streamed = engine.run_streaming(DatasetStream::new(&ds), &StreamConfig::default());
+        assert_eq!(streamed.outcome.assignment(), batch.assignment());
+        assert_eq!(streamed.outcome.consensus(), batch.consensus());
+        assert_eq!(streamed.outcome.kept(), batch.kept());
+        assert_eq!(streamed.outcome.hypervectors(), batch.hypervectors());
+        assert_eq!(streamed.outcome.stats().buckets, batch.stats().buckets);
+        assert_eq!(
+            streamed.outcome.stats().preprocess,
+            batch.stats().preprocess
+        );
+        assert_eq!(streamed.outcome.stats().hac, batch.stats().hac);
+        assert_eq!(
+            streamed.outcome.compression().factor(),
+            batch.compression().factor()
+        );
+        assert_eq!(streamed.stream.spectra_streamed, ds.len());
+        assert!(streamed.stream.shards_opened > 0);
+    }
+
+    #[test]
+    fn watermark_one_encodes_every_arrival() {
+        let ds = dataset(100, 22);
+        let engine = SpecHd::new(SpecHdConfig::default());
+        let cfg = StreamConfig {
+            watermark: 1,
+            ..StreamConfig::default()
+        };
+        let streamed = engine.run_streaming(DatasetStream::new(&ds), &cfg);
+        assert_eq!(
+            streamed.stream.encode_flushes,
+            streamed.outcome.kept().len(),
+            "watermark 1 must flush once per kept spectrum"
+        );
+        assert!(streamed.stream.peak_buffered_spectra <= 1);
+        assert_eq!(streamed.outcome.assignment(), engine.run(&ds).assignment());
+    }
+
+    #[test]
+    fn sorted_stream_overlaps_clustering_with_ingest() {
+        let ds = spechd_ms::stream::sort_dataset_by_mass(&dataset(300, 23));
+        let engine = SpecHd::new(SpecHdConfig::default());
+        let batch = engine.run(&ds);
+        let streamed = engine.run_streaming(
+            AssertSorted::new(DatasetStream::new(&ds)),
+            &StreamConfig::default(),
+        );
+        assert_eq!(streamed.outcome.assignment(), batch.assignment());
+        assert_eq!(streamed.outcome.hypervectors(), batch.hypervectors());
+        // All but the final shard retire before end-of-stream.
+        assert_eq!(
+            streamed.stream.early_closed_shards,
+            streamed.stream.shards_opened - 1
+        );
+        // Sorted ingest keeps at most one shard open at a time.
+        assert_eq!(streamed.stream.peak_open_shards, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted_by_mass")]
+    fn lying_sorted_hint_panics() {
+        let mut ds = SpectrumDataset::new();
+        for &mz in &[900.0, 300.0] {
+            ds.push(
+                spechd_ms::Spectrum::new(
+                    format!("mz={mz}"),
+                    spechd_ms::Precursor::new(mz, 2).unwrap(),
+                    (0..30)
+                        .map(|i| spechd_ms::Peak::new(250.0 + 10.0 * i as f64, 10.0))
+                        .collect(),
+                )
+                .unwrap(),
+                None,
+            );
+        }
+        let engine = SpecHd::new(SpecHdConfig::default());
+        engine.run_streaming(
+            AssertSorted::new(DatasetStream::new(&ds)),
+            &StreamConfig::default(),
+        );
+    }
+
+    #[test]
+    fn dropping_the_archive_recycles_packs() {
+        let ds = spechd_ms::stream::sort_dataset_by_mass(&dataset(300, 24));
+        let engine = SpecHd::new(SpecHdConfig::default());
+        let cfg = StreamConfig {
+            keep_hypervectors: false,
+            workers: 1,
+            ..StreamConfig::default()
+        };
+        let streamed = engine.run_streaming(AssertSorted::new(DatasetStream::new(&ds)), &cfg);
+        assert!(streamed.outcome.hypervectors().is_empty());
+        // Reuse is opportunistic (a pack returns to the pool only once a
+        // worker finishes while ingest still runs), so only bound it.
+        assert!(streamed.stream.packs_reused < streamed.stream.shards_opened);
+        assert_eq!(
+            streamed.outcome.assignment(),
+            engine.run(&ds).assignment(),
+            "dropping the archive must not change labels"
+        );
+    }
+}

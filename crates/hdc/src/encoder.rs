@@ -164,11 +164,53 @@ impl IdLevelEncoder {
     pub fn encode_batch_packed(&self, spectra: &[Vec<(f64, f64)>]) -> HvPack {
         let mut pack = HvPack::with_capacity(self.config.dim, spectra.len());
         let mut acc = MajorityAccumulator::new(self.config.dim);
-        for peaks in spectra {
-            self.accumulate(peaks, &mut acc);
-            acc.finalize_into_words(pack.push_zeroed());
-        }
+        self.encode_batch_packed_into(spectra, &mut acc, &mut pack);
         pack
+    }
+
+    /// Appends the encodings of `spectra` to an existing pack, reusing the
+    /// caller's accumulator — the incremental form of
+    /// [`IdLevelEncoder::encode_batch_packed`] the streaming sharder uses
+    /// to flush raw-spectrum buffers into a shard's pack without
+    /// per-flush allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pack's or accumulator's dimensionality differs from
+    /// the encoder's.
+    pub fn encode_batch_packed_into(
+        &self,
+        spectra: &[Vec<(f64, f64)>],
+        acc: &mut MajorityAccumulator,
+        pack: &mut HvPack,
+    ) {
+        assert_eq!(pack.dim(), self.config.dim, "pack dimensionality mismatch");
+        pack.reserve(spectra.len());
+        for peaks in spectra {
+            self.encode_into_pack(peaks, acc, pack);
+        }
+    }
+
+    /// Encodes one peak list and appends it as a new row of `pack`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pack's or accumulator's dimensionality differs from
+    /// the encoder's.
+    pub fn encode_into_pack(
+        &self,
+        peaks: &[(f64, f64)],
+        acc: &mut MajorityAccumulator,
+        pack: &mut HvPack,
+    ) {
+        assert_eq!(pack.dim(), self.config.dim, "pack dimensionality mismatch");
+        assert_eq!(
+            acc.dim(),
+            self.config.dim,
+            "accumulator dimensionality mismatch"
+        );
+        self.accumulate(peaks, acc);
+        acc.finalize_into_words(pack.push_zeroed());
     }
 
     /// Clears `acc` and accumulates every bound `ID ⊕ L` term of `peaks`.
@@ -308,6 +350,38 @@ mod tests {
         assert_eq!(pack.len(), spectra.len());
         assert_eq!(pack.dim(), enc.dim());
         assert_eq!(pack.to_hypervectors(), enc.encode_batch(&spectra));
+    }
+
+    #[test]
+    fn incremental_pack_encoding_matches_batch() {
+        let enc = test_encoder();
+        let spectra = vec![
+            vec![(300.0, 1.0)],
+            vec![(400.0, 0.5), (600.0, 0.25)],
+            vec![],
+            vec![(850.0, 0.9), (1999.0, 0.1)],
+        ];
+        let batch = enc.encode_batch_packed(&spectra);
+        // Same content arriving as chunks into a recycled pack.
+        let mut pack = HvPack::new(enc.dim());
+        let mut acc = MajorityAccumulator::new(enc.dim());
+        enc.encode_batch_packed_into(&spectra[..1], &mut acc, &mut pack);
+        enc.encode_batch_packed_into(&spectra[1..3], &mut acc, &mut pack);
+        enc.encode_into_pack(&spectra[3], &mut acc, &mut pack);
+        assert_eq!(pack, batch);
+        // Reuse after clear stays bit-exact.
+        pack.clear();
+        enc.encode_batch_packed_into(&spectra, &mut acc, &mut pack);
+        assert_eq!(pack, batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "pack dimensionality mismatch")]
+    fn encode_into_pack_rejects_wrong_dim() {
+        let enc = test_encoder();
+        let mut pack = HvPack::new(64);
+        let mut acc = MajorityAccumulator::new(2048);
+        enc.encode_into_pack(&[(300.0, 1.0)], &mut acc, &mut pack);
     }
 
     #[test]

@@ -117,6 +117,29 @@ impl HvPack {
         &mut self.words[start..start + self.stride]
     }
 
+    /// Removes every row while keeping the allocated storage, so a pack
+    /// can be recycled across shards/batches without reallocating — the
+    /// pack-pool primitive of the streaming pipeline.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// Reserves storage for at least `additional` more rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grown storage size would overflow `usize`.
+    pub fn reserve(&mut self, additional: usize) {
+        let words = self.stride.checked_mul(additional).unwrap_or_else(|| {
+            panic!(
+                "HvPack storage for {additional} more rows of dim {} overflows usize",
+                self.dim
+            )
+        });
+        self.words.reserve(words);
+    }
+
     /// Copies the selected rows (in order, repeats allowed) into a new
     /// pack — the bucket-gather step of the clustering pipeline.
     ///
@@ -281,6 +304,28 @@ mod tests {
         assert!(row.iter().all(|&w| w == 0));
         assert_eq!(pack.len(), 1);
         assert_eq!(pack.hypervector(0), BinaryHypervector::zeros(100));
+    }
+
+    #[test]
+    fn clear_keeps_capacity_for_reuse() {
+        let hvs = random_set(4, 2048, 9);
+        let mut pack = HvPack::from_hypervectors(2048, &hvs);
+        let cap_before = pack.words.capacity();
+        pack.clear();
+        assert!(pack.is_empty());
+        assert_eq!(pack.words.capacity(), cap_before, "clear must not free");
+        // Refill with different content; reads see only the new rows.
+        pack.push(&hvs[2]);
+        assert_eq!(pack.len(), 1);
+        assert_eq!(pack.hypervector(0), hvs[2]);
+    }
+
+    #[test]
+    fn reserve_grows_capacity_by_rows() {
+        let mut pack = HvPack::new(130); // stride 3
+        pack.reserve(10);
+        assert!(pack.words.capacity() >= 30);
+        assert!(pack.is_empty());
     }
 
     #[test]

@@ -161,7 +161,7 @@ pub fn write<W: Write>(mut writer: W, spectra: &[Spectrum]) -> Result<(), MsErro
 }
 
 /// Serializes spectra to an MGF string (convenience wrapper over
-/// [`write`]).
+/// [`write()`]).
 pub fn to_string(spectra: &[Spectrum]) -> String {
     let mut buf = Vec::new();
     write(&mut buf, spectra).expect("writing to Vec cannot fail");

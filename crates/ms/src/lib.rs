@@ -14,6 +14,9 @@
 //!   performance models.
 //! * File formats ([`formats`]): MGF and MS2 read/write, and a minimal
 //!   mzML reader/writer with hand-rolled base64.
+//! * Streaming sources ([`stream`]): the [`stream::SpectrumStream`] trait
+//!   with dataset, iterator, channel and lazy-synthetic adapters, feeding
+//!   the sharded streaming pipeline in `spechd-core`.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@ mod peak;
 mod peptide;
 pub mod profiles;
 mod spectrum;
+pub mod stream;
 pub mod synth;
 
 pub use dataset::{DatasetStats, SpectrumDataset};

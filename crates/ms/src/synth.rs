@@ -171,30 +171,26 @@ impl SyntheticGenerator {
 
     /// Generates the full labelled dataset.
     pub fn generate(&self) -> SpectrumDataset {
-        let cfg = &self.config;
-        // Use a stream distinct from the library stream so changing
-        // num_spectra never changes the library.
-        let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed).stream(1);
-        let zipf = Zipf::new(self.peptides.len(), cfg.zipf_exponent);
         let mut dataset = SpectrumDataset::new();
-
-        for index in 0..cfg.num_spectra {
-            if rng.bernoulli(cfg.noise_spectrum_fraction) {
-                let s = self.noise_spectrum(index, &mut rng);
-                dataset.push(s, None);
-            } else {
-                let pep_idx = zipf.sample(&mut rng) - 1;
-                let charge = self.draw_charge(&mut rng);
-                let s = self.peptide_spectrum(index, pep_idx, charge, &mut rng);
-                let label = if rng.bernoulli(cfg.hidden_label_fraction) {
-                    None
-                } else {
-                    Some(pep_idx as u32)
-                };
-                dataset.push(s, label);
-            }
+        let mut stream = self.stream();
+        while let Some((s, label)) = stream.generate_next() {
+            dataset.push(s, label);
         }
         dataset
+    }
+
+    /// A lazy generator yielding the exact spectrum sequence of
+    /// [`SyntheticGenerator::generate`], one at a time — the synthetic
+    /// source for streaming benches, which never materializes the dataset.
+    pub fn stream(&self) -> SyntheticStream<'_> {
+        // Use a stream distinct from the library stream so changing
+        // num_spectra never changes the library.
+        SyntheticStream {
+            generator: self,
+            rng: Xoshiro256StarStar::seed_from_u64(self.config.seed).stream(1),
+            zipf: Zipf::new(self.peptides.len(), self.config.zipf_exponent),
+            next_index: 0,
+        }
     }
 
     fn draw_charge(&self, rng: &mut Xoshiro256StarStar) -> u8 {
@@ -274,6 +270,56 @@ impl SyntheticGenerator {
         )
         .expect("generator produces valid peaks")
         .with_retention_time(index as f64 * 0.5)
+    }
+}
+
+/// Lazy synthetic spectrum source (see [`SyntheticGenerator::stream`]).
+///
+/// Yields exactly `config.num_spectra` items, bit-identical to the dataset
+/// [`SyntheticGenerator::generate`] would build, without holding more than
+/// the spectrum in flight. Implements
+/// [`SpectrumStream`](crate::stream::SpectrumStream).
+#[derive(Debug)]
+pub struct SyntheticStream<'a> {
+    generator: &'a SyntheticGenerator,
+    rng: Xoshiro256StarStar,
+    zipf: Zipf,
+    next_index: usize,
+}
+
+impl SyntheticStream<'_> {
+    fn generate_next(&mut self) -> Option<(Spectrum, Option<u32>)> {
+        let gen = self.generator;
+        let cfg = &gen.config;
+        if self.next_index >= cfg.num_spectra {
+            return None;
+        }
+        let index = self.next_index;
+        self.next_index += 1;
+        Some(if self.rng.bernoulli(cfg.noise_spectrum_fraction) {
+            (gen.noise_spectrum(index, &mut self.rng), None)
+        } else {
+            let pep_idx = self.zipf.sample(&mut self.rng) - 1;
+            let charge = gen.draw_charge(&mut self.rng);
+            let s = gen.peptide_spectrum(index, pep_idx, charge, &mut self.rng);
+            let label = if self.rng.bernoulli(cfg.hidden_label_fraction) {
+                None
+            } else {
+                Some(pep_idx as u32)
+            };
+            (s, label)
+        })
+    }
+}
+
+impl crate::stream::SpectrumStream for SyntheticStream<'_> {
+    fn next_spectrum(&mut self) -> Option<(Spectrum, Option<u32>)> {
+        self.generate_next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.generator.config.num_spectra - self.next_index;
+        (rem, Some(rem))
     }
 }
 
@@ -512,6 +558,22 @@ mod tests {
             shared(s0, s1),
             shared(s0, s2)
         );
+    }
+
+    #[test]
+    fn stream_matches_generate() {
+        use crate::stream::SpectrumStream as _;
+        let gen = SyntheticGenerator::new(small_config());
+        let ds = gen.generate();
+        let mut stream = gen.stream();
+        assert_eq!(stream.size_hint(), (300, Some(300)));
+        for i in 0..ds.len() {
+            let (s, label) = stream.next_spectrum().expect("stream length");
+            assert_eq!(s, ds.spectra()[i], "spectrum {i}");
+            assert_eq!(label, ds.labels()[i], "label {i}");
+        }
+        assert!(stream.next_spectrum().is_none());
+        assert_eq!(stream.size_hint(), (0, Some(0)));
     }
 
     #[test]

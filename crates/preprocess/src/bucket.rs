@@ -49,6 +49,25 @@ impl PrecursorBucketer {
     }
 
     /// Eq. (1): the bucket index of one spectrum.
+    ///
+    /// The neutral mass `(mz − 1.00794) · charge` is *negative* for
+    /// spectra whose precursor m/z lies below the hydrogen mass at charge
+    /// 1 — physically nonsensical, but nothing upstream forbids such
+    /// records (`Precursor` only requires `mz > 0`), and file formats
+    /// deliver whatever the instrument wrote. Two properties keep shard
+    /// routing sound for them:
+    ///
+    /// * `.floor()` (not an `as i64` truncation of the quotient) is used,
+    ///   so the sub-hydrogen range does not collapse into bucket 0:
+    ///   truncation would fold every mass in `(-resolution, resolution)`
+    ///   together, merging bogus records into a real bucket. With `floor`,
+    ///   negative masses land in distinct, correctly ordered negative
+    ///   buckets of the same `resolution` width.
+    /// * The key space is `i64` end to end (map keys, [`Bucket::key`]), so
+    ///   negative keys sort before all real buckets instead of wrapping.
+    ///
+    /// The cast itself saturates at `i64::MIN`/`i64::MAX` only for masses
+    /// beyond ±9.2 × 10¹⁸ Da, far outside anything a parser accepts.
     pub fn bucket_of(&self, spectrum: &Spectrum) -> i64 {
         let mz = spectrum.precursor().mz();
         let charge = f64::from(spectrum.precursor().charge());
@@ -114,10 +133,23 @@ pub struct BucketStats {
 
 /// Computes [`BucketStats`] for a bucketization.
 pub fn bucket_stats(buckets: &[Bucket]) -> BucketStats {
-    let count = buckets.len();
-    let max_size = buckets.iter().map(Bucket::len).max().unwrap_or(0);
-    let total: usize = buckets.iter().map(Bucket::len).sum();
-    let pairwise_work: u64 = buckets.iter().map(|b| (b.len() * b.len()) as u64).sum();
+    bucket_stats_from_sizes(buckets.iter().map(Bucket::len))
+}
+
+/// Computes [`BucketStats`] from bucket sizes alone — for callers (like
+/// the streaming sharder) whose membership lists live elsewhere and should
+/// not be copied into [`Bucket`] values just for accounting.
+pub fn bucket_stats_from_sizes<I: IntoIterator<Item = usize>>(sizes: I) -> BucketStats {
+    let mut count = 0usize;
+    let mut max_size = 0usize;
+    let mut total = 0usize;
+    let mut pairwise_work = 0u64;
+    for size in sizes {
+        count += 1;
+        max_size = max_size.max(size);
+        total += size;
+        pairwise_work += (size * size) as u64;
+    }
     BucketStats {
         count,
         max_size,
@@ -164,6 +196,40 @@ mod tests {
         let b2 = b.bucket_of(&spectrum(mz2, 2));
         let b3 = b.bucket_of(&spectrum(mz3, 3));
         assert!((b2 - b3).abs() <= 1, "buckets {b2} vs {b3}");
+    }
+
+    #[test]
+    fn negative_neutral_mass_keeps_distinct_buckets() {
+        // m/z below the hydrogen mass at charge 1 computes a negative
+        // neutral mass. Regression guard: floor (not truncation) must keep
+        // these in their own negative buckets rather than silently
+        // collapsing them into bucket 0 alongside real sub-resolution
+        // masses.
+        let b = PrecursorBucketer::new(1.0);
+        let tiny = spectrum(0.10, 1); // mass ≈ −0.908 → bucket −1
+        let tinier = spectrum(0.10, 3); // mass ≈ −2.724 → bucket −3
+        let sub_da = spectrum(1.50, 1); // mass ≈ 0.492 → bucket 0
+        assert_eq!(b.bucket_of(&tiny), -1);
+        assert_eq!(b.bucket_of(&tinier), -3);
+        assert_eq!(b.bucket_of(&sub_da), 0);
+        // Truncation (`as i64` on the raw quotient) would have mapped all
+        // three to bucket 0.
+        let buckets = b.bucketize(&[tiny, tinier, sub_da]);
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(
+            buckets.iter().map(|b| b.key).collect::<Vec<_>>(),
+            vec![-3, -1, 0],
+            "negative keys must sort below real buckets"
+        );
+    }
+
+    #[test]
+    fn negative_mass_fine_resolution_stays_distinct() {
+        let b = PrecursorBucketer::new(0.05);
+        let a = spectrum(0.20, 1); // mass ≈ −0.808 → bucket −17
+        let c = spectrum(0.90, 1); // mass ≈ −0.108 → bucket −3
+        assert_ne!(b.bucket_of(&a), b.bucket_of(&c));
+        assert!(b.bucket_of(&a) < b.bucket_of(&c));
     }
 
     #[test]

@@ -39,6 +39,6 @@ pub mod normalize;
 mod pipeline;
 pub mod topk;
 
-pub use bucket::{bucket_stats, Bucket, BucketStats, PrecursorBucketer};
+pub use bucket::{bucket_stats, bucket_stats_from_sizes, Bucket, BucketStats, PrecursorBucketer};
 pub use filter::SpectraFilter;
 pub use pipeline::{PreprocessConfig, PreprocessPipeline, PreprocessResult, PreprocessStats};

@@ -95,34 +95,49 @@ impl PreprocessPipeline {
     pub fn run(&self, dataset: &SpectrumDataset) -> PreprocessResult {
         let mut out = SpectrumDataset::new();
         let mut kept = Vec::new();
-        let mut stats = PreprocessStats {
-            spectra_in: dataset.len(),
-            ..Default::default()
-        };
+        let mut stats = PreprocessStats::default();
         for (index, (spectrum, label)) in dataset.iter().enumerate() {
-            stats.peaks_in += spectrum.peak_count();
-            let filtered = self.config.filter.apply(spectrum);
-            let selected = topk::top_k_spectrum(&filtered, self.config.top_k);
-            if selected.peak_count() < self.config.min_peaks {
-                stats.peaks_removed += spectrum.peak_count();
-                continue;
+            if let Some(finished) = self.process_one(spectrum, &mut stats) {
+                out.push(finished, label);
+                kept.push(index);
             }
-            let finished = if self.config.scale {
-                normalize::scale_and_normalize(&selected)
-            } else {
-                selected
-            };
-            stats.peaks_out += finished.peak_count();
-            stats.peaks_removed += spectrum.peak_count() - finished.peak_count();
-            out.push(finished, label);
-            kept.push(index);
         }
-        stats.spectra_out = out.len();
         PreprocessResult {
             dataset: out,
             kept,
             stats,
         }
+    }
+
+    /// Preprocesses a single spectrum, the streaming counterpart of
+    /// [`PreprocessPipeline::run`]: filter → top-k → `min_peaks` gate →
+    /// scale/normalize. Returns `None` when the spectrum is discarded.
+    ///
+    /// Folds the same volume counters into `stats` that `run` reports, so
+    /// streaming a dataset spectrum-by-spectrum accumulates statistics
+    /// identical to one batch call.
+    pub fn process_one(
+        &self,
+        spectrum: &spechd_ms::Spectrum,
+        stats: &mut PreprocessStats,
+    ) -> Option<spechd_ms::Spectrum> {
+        stats.spectra_in += 1;
+        stats.peaks_in += spectrum.peak_count();
+        let filtered = self.config.filter.apply(spectrum);
+        let selected = topk::top_k_spectrum(&filtered, self.config.top_k);
+        if selected.peak_count() < self.config.min_peaks {
+            stats.peaks_removed += spectrum.peak_count();
+            return None;
+        }
+        let finished = if self.config.scale {
+            normalize::scale_and_normalize(&selected)
+        } else {
+            selected
+        };
+        stats.spectra_out += 1;
+        stats.peaks_out += finished.peak_count();
+        stats.peaks_removed += spectrum.peak_count() - finished.peak_count();
+        Some(finished)
     }
 }
 
@@ -237,6 +252,22 @@ mod tests {
         let b = p.run(&ds);
         assert_eq!(a.dataset, b.dataset);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn process_one_accumulates_run_stats() {
+        let ds = synthetic(120);
+        let p = PreprocessPipeline::new(PreprocessConfig::default());
+        let batch = p.run(&ds);
+        let mut stats = PreprocessStats::default();
+        let mut survivors = Vec::new();
+        for (s, _) in ds.iter() {
+            if let Some(out) = p.process_one(s, &mut stats) {
+                survivors.push(out);
+            }
+        }
+        assert_eq!(stats, batch.stats);
+        assert_eq!(survivors.as_slice(), batch.dataset.spectra());
     }
 
     #[test]

@@ -51,4 +51,6 @@ pub use spechd_preprocess as preprocess;
 pub use spechd_rng as rng;
 pub use spechd_search as search;
 
-pub use spechd_core::{SpecHd, SpecHdConfig, SpecHdConfigBuilder, SpecHdOutcome};
+pub use spechd_core::{
+    SpecHd, SpecHdConfig, SpecHdConfigBuilder, SpecHdOutcome, StreamConfig, StreamOutcome,
+};

@@ -46,6 +46,14 @@ fn umbrella_quickstart_path() {
         eval.clustered_ratio > 0.1,
         "pipeline should cluster something"
     );
+
+    // The streaming mode is reachable through the umbrella too, and
+    // agrees with the batch run it just did.
+    let streamed = spechd.run_streaming(
+        spechd::ms::stream::DatasetStream::new(&dataset),
+        &spechd::StreamConfig::default(),
+    );
+    assert_eq!(streamed.outcome.assignment(), outcome.assignment());
 }
 
 #[test]
