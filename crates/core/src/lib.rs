@@ -50,7 +50,7 @@ pub use compression::CompressionReport;
 pub use config::{SpecHdConfig, SpecHdConfigBuilder};
 pub use pipeline::SpecHd;
 pub use result::{RunStats, SpecHdOutcome};
-pub use stream::{StreamConfig, StreamOutcome, StreamStats};
+pub use stream::{ShardAssignment, StreamConfig, StreamEvent, StreamOutcome, StreamStats};
 
 // Re-export the workspace components a downstream user needs alongside the
 // pipeline, so `spechd-core` works as a single entry point.

@@ -124,6 +124,63 @@ pub struct StreamOutcome {
     pub stream: StreamStats,
 }
 
+/// One shard's final clustering, reported to a
+/// [`run_streaming_observed`](crate::SpecHd::run_streaming_observed)
+/// observer the moment a worker retires the shard — while other shards may
+/// still be ingesting or clustering.
+///
+/// Labels are **shard-local** (`[0, medoids.len())`); the global dense
+/// labels of [`StreamOutcome`] are obtained by giving each shard a raw
+/// label block in ascending `key` order and renumbering by first
+/// appearance in stream order — exactly what
+/// [`spechd_cluster::ShardLabelMerger`] does. A consumer that collects
+/// every `ShardAssignment` can therefore reconstruct the final global
+/// assignment without waiting for the run to return, which is what lets
+/// `spechd-server` stream per-shard results to clients as they finalize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// The shard's Eq. (1) precursor bucket key.
+    pub key: i64,
+    /// Stream indices (positions in the input stream — the values
+    /// [`SpecHdOutcome::kept`] holds) of the shard's members, ascending.
+    pub members: Vec<usize>,
+    /// Shard-local cluster label per member, parallel to `members`.
+    pub labels: Vec<usize>,
+    /// Stream index of the consensus (medoid) spectrum per local cluster;
+    /// entry `c` represents local cluster `c`.
+    pub medoids: Vec<usize>,
+    /// Whether the shard retired before end-of-stream (mass-sorted
+    /// sources only).
+    pub early_closed: bool,
+}
+
+/// Progress events emitted by
+/// [`run_streaming_observed`](crate::SpecHd::run_streaming_observed).
+///
+/// Events arrive from the ingest thread and the clustering workers,
+/// serialized through one lock. [`StreamEvent::IngestDone`] fires once,
+/// when the source is exhausted; [`StreamEvent::ShardClustered`] fires
+/// once per shard, in worker **completion** order — possibly before *and*
+/// after `IngestDone`, and in no particular key order. Every event is
+/// delivered before `run_streaming_observed` returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// A worker finished clustering one shard.
+    ShardClustered(ShardAssignment),
+    /// The source is exhausted: the shard key set and the kept count are
+    /// final. `keys` is ascending and holds every shard ever opened, so a
+    /// consumer can emit buffered [`ShardAssignment`]s in key order and
+    /// know when the last one has arrived.
+    IngestDone {
+        /// All shard keys of the run, ascending.
+        keys: Vec<i64>,
+        /// Spectra that survived preprocessing (= final `kept().len()`).
+        kept: usize,
+        /// Spectra pulled from the stream.
+        streamed: usize,
+    },
+}
+
 /// An open shard: arrival-ordered members, a bounded raw-peak buffer, and
 /// the packed rows encoded so far.
 struct OpenShard {
@@ -136,6 +193,10 @@ struct OpenShard {
 struct ClosedShard {
     key: i64,
     members: Vec<usize>,
+    /// Stream index per member (only filled when an observer is
+    /// installed; the plain path skips the extra allocation).
+    stream_members: Vec<usize>,
+    early_closed: bool,
     pack: HvPack,
 }
 
@@ -165,10 +226,58 @@ impl crate::SpecHd {
     /// continuing would silently miscluster.
     pub fn run_streaming<S: SpectrumStream>(
         &self,
-        mut source: S,
+        source: S,
         stream_config: &StreamConfig,
     ) -> StreamOutcome {
+        self.run_streaming_inner::<S, fn(StreamEvent)>(source, stream_config, None)
+    }
+
+    /// [`run_streaming`](crate::SpecHd::run_streaming) with a progress
+    /// observer: `observer` is invoked for every [`StreamEvent`] — one
+    /// [`StreamEvent::ShardClustered`] per shard as the worker pool
+    /// retires it, plus one final [`StreamEvent::IngestDone`] when the
+    /// source is exhausted.
+    ///
+    /// Calls arrive from the ingest thread and from clustering worker
+    /// threads but are serialized through one internal lock, so the
+    /// observer needs `Send` but not `Sync`. The observer runs on the
+    /// pipeline's critical path: a slow observer stalls the worker that
+    /// calls it (by design — this is how `spechd-server` applies
+    /// backpressure to result fan-out). Results are bit-identical to
+    /// [`run_streaming`](crate::SpecHd::run_streaming); the events are a
+    /// pure tap.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`run_streaming`](crate::SpecHd::run_streaming), and propagates
+    /// panics raised by the observer.
+    pub fn run_streaming_observed<S, F>(
+        &self,
+        source: S,
+        stream_config: &StreamConfig,
+        observer: F,
+    ) -> StreamOutcome
+    where
+        S: SpectrumStream,
+        F: FnMut(StreamEvent) + Send,
+    {
+        self.run_streaming_inner(source, stream_config, Some(observer))
+    }
+
+    fn run_streaming_inner<S, F>(
+        &self,
+        mut source: S,
+        stream_config: &StreamConfig,
+        observer: Option<F>,
+    ) -> StreamOutcome
+    where
+        S: SpectrumStream,
+        F: FnMut(StreamEvent) + Send,
+    {
         let start = Instant::now();
+        let observer = observer.map(Mutex::new);
+        let observing = observer.is_some();
         let dim = self.config().encoder.dim;
         let watermark = stream_config.watermark;
         let keep_hvs = stream_config.keep_hypervectors;
@@ -201,12 +310,37 @@ impl crate::SpecHd {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let received = shard_rx.lock().expect("no panics hold the lock").recv();
-                    let Ok(shard) = received else {
+                    let Ok(mut shard) = received else {
                         break; // every sender dropped: ingest is done
                     };
                     let t_cluster = Instant::now();
                     let clustering = cluster_shard(&shard.members, &shard.pack, linkage, threshold);
                     let cluster_ns = t_cluster.elapsed().as_nanos();
+                    if let Some(obs) = observer.as_ref() {
+                        // Medoids are global member indices; members are
+                        // ascending (assigned in arrival order), so a
+                        // binary search maps each back to its slot and
+                        // from there to its stream index.
+                        let medoids = clustering
+                            .medoids
+                            .iter()
+                            .map(|m| {
+                                let slot = shard
+                                    .members
+                                    .binary_search(m)
+                                    .expect("medoid is a shard member");
+                                shard.stream_members[slot]
+                            })
+                            .collect();
+                        let event = StreamEvent::ShardClustered(ShardAssignment {
+                            key: shard.key,
+                            members: std::mem::take(&mut shard.stream_members),
+                            labels: clustering.labels.clone(),
+                            medoids,
+                            early_closed: shard.early_closed,
+                        });
+                        (obs.lock().expect("no panics hold the lock"))(event);
+                    }
                     let pack = if keep_hvs {
                         Some(shard.pack)
                     } else {
@@ -236,6 +370,7 @@ impl crate::SpecHd {
             // ── Ingest (this thread), overlapping the workers above. ──
             let sorted = source.sorted_by_mass();
             let mut open: BTreeMap<i64, OpenShard> = BTreeMap::new();
+            let mut opened_keys: Vec<i64> = Vec::new();
             let mut acc = MajorityAccumulator::new(dim);
             let mut buffered_total = 0usize;
             let mut last_key = i64::MIN;
@@ -293,10 +428,17 @@ impl crate::SpecHd {
                             stream_stats.peak_shard_rows =
                                 stream_stats.peak_shard_rows.max(shard.pack.len());
                             stream_stats.early_closed_shards += 1;
+                            let stream_members = if observing {
+                                shard.members.iter().map(|&m| kept[m]).collect()
+                            } else {
+                                Vec::new()
+                            };
                             shard_tx
                                 .send(ClosedShard {
                                     key: k,
                                     members: shard.members,
+                                    stream_members,
+                                    early_closed: true,
                                     pack: shard.pack,
                                 })
                                 .expect("workers outlive ingest");
@@ -309,6 +451,7 @@ impl crate::SpecHd {
                 kept.push(index);
                 let shard = open.entry(key).or_insert_with(|| {
                     stream_stats.shards_opened += 1;
+                    opened_keys.push(key);
                     let pack = match pack_pool.lock().expect("no panics hold the lock").pop() {
                         Some(spare) => {
                             stream_stats.packs_reused += 1;
@@ -353,13 +496,29 @@ impl crate::SpecHd {
                     &mut buffered_total,
                 );
                 stream_stats.peak_shard_rows = stream_stats.peak_shard_rows.max(shard.pack.len());
+                let stream_members = if observing {
+                    shard.members.iter().map(|&m| kept[m]).collect()
+                } else {
+                    Vec::new()
+                };
                 shard_tx
                     .send(ClosedShard {
                         key,
                         members: shard.members,
+                        stream_members,
+                        early_closed: false,
                         pack: shard.pack,
                     })
                     .expect("workers outlive ingest");
+            }
+            if let Some(obs) = observer.as_ref() {
+                let mut keys = std::mem::take(&mut opened_keys);
+                keys.sort_unstable();
+                (obs.lock().expect("no panics hold the lock"))(StreamEvent::IngestDone {
+                    keys,
+                    kept: kept.len(),
+                    streamed: stream_stats.spectra_streamed,
+                });
             }
             drop(shard_tx); // hang up: workers drain the queue and exit
         });
@@ -526,6 +685,99 @@ mod tests {
             AssertSorted::new(DatasetStream::new(&ds)),
             &StreamConfig::default(),
         );
+    }
+
+    /// The contract `spechd-server` streams results over: giving each
+    /// shard a raw label block in ascending key order and renumbering by
+    /// first appearance in stream order reproduces the final outcome
+    /// bit-identically — without ever touching the returned outcome.
+    #[test]
+    fn observed_events_reconstruct_the_outcome() {
+        let ds = dataset(300, 25);
+        let engine = SpecHd::new(SpecHdConfig::default());
+        let mut events: Vec<StreamEvent> = Vec::new();
+        let streamed =
+            engine.run_streaming_observed(DatasetStream::new(&ds), &StreamConfig::default(), |e| {
+                events.push(e)
+            });
+        let outcome = &streamed.outcome;
+
+        let mut shards: BTreeMap<i64, ShardAssignment> = BTreeMap::new();
+        let mut ingest_done = None;
+        for event in events {
+            match event {
+                StreamEvent::ShardClustered(sa) => {
+                    assert!(shards.insert(sa.key, sa).is_none(), "duplicate shard");
+                }
+                StreamEvent::IngestDone {
+                    keys,
+                    kept,
+                    streamed,
+                } => {
+                    assert!(ingest_done.is_none(), "IngestDone fired twice");
+                    ingest_done = Some((keys, kept, streamed));
+                }
+            }
+        }
+        let (keys, kept, spectra) = ingest_done.expect("IngestDone fired");
+        assert_eq!(kept, outcome.kept().len());
+        assert_eq!(spectra, ds.len());
+        assert_eq!(
+            keys,
+            shards.keys().copied().collect::<Vec<_>>(),
+            "IngestDone keys must name exactly the clustered shards"
+        );
+
+        // Client-side reassembly: raw blocks in ascending key order, then
+        // dense renumbering by first appearance in stream order.
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let mut medoid_by_raw: Vec<usize> = Vec::new();
+        for key in &keys {
+            let sa = &shards[key];
+            let raw_base = medoid_by_raw.len();
+            for (&stream_idx, &local) in sa.members.iter().zip(&sa.labels) {
+                pairs.push((stream_idx, raw_base + local));
+            }
+            medoid_by_raw.extend_from_slice(&sa.medoids);
+        }
+        pairs.sort_unstable();
+        let kept_rebuilt: Vec<usize> = pairs.iter().map(|&(s, _)| s).collect();
+        assert_eq!(kept_rebuilt, outcome.kept());
+        let mut dense_of = vec![usize::MAX; medoid_by_raw.len()];
+        let mut labels = Vec::with_capacity(pairs.len());
+        let mut consensus = Vec::new();
+        let mut next = 0usize;
+        for &(_, raw) in &pairs {
+            if dense_of[raw] == usize::MAX {
+                dense_of[raw] = next;
+                consensus.push(medoid_by_raw[raw]);
+                next += 1;
+            }
+            labels.push(dense_of[raw]);
+        }
+        assert_eq!(labels, outcome.assignment().labels());
+        assert_eq!(consensus, outcome.consensus());
+    }
+
+    #[test]
+    fn sorted_observer_sees_early_closed_shards() {
+        let ds = spechd_ms::stream::sort_dataset_by_mass(&dataset(300, 26));
+        let engine = SpecHd::new(SpecHdConfig::default());
+        let mut early = 0usize;
+        let mut total = 0usize;
+        let streamed = engine.run_streaming_observed(
+            AssertSorted::new(DatasetStream::new(&ds)),
+            &StreamConfig::default(),
+            |e| {
+                if let StreamEvent::ShardClustered(sa) = e {
+                    total += 1;
+                    early += usize::from(sa.early_closed);
+                }
+            },
+        );
+        assert_eq!(total, streamed.stream.shards_opened);
+        assert_eq!(early, streamed.stream.early_closed_shards);
+        assert_eq!(early, total - 1, "all but the final shard retire early");
     }
 
     #[test]

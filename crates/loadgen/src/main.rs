@@ -1,0 +1,305 @@
+//! `spechd-loadgen`: concurrent load/latency bench client for
+//! `spechd-server`.
+//!
+//! Drives a grid of *connections × batch size* scenarios against a
+//! running server. Every scenario submits one synthetic dataset through
+//! one shared job from `C` concurrent connections (round-robin split,
+//! disjoint slices), measures per-batch submit→ack round-trip latency
+//! and sustained ingest throughput, and then **verifies** that the
+//! reassembled served clustering is bit-identical to a local batch
+//! `SpecHd::run` over the same spectra in the same stream order.
+//!
+//! Results go to a `BENCH_pr6.json`-format file via
+//! [`spechd_bench::kernel_bench`], with a local `batch_pipeline`
+//! reference record so `bench_gate --reference batch_pipeline` can
+//! compare machines in relative mode:
+//!
+//! * `batch_pipeline` — ns per local batch run of the dataset,
+//! * `serve_throughput_cC_bB` — wall ns per served spectrum,
+//! * `serve_p50_cC_bB` / `serve_p99_cC_bB` — submit→ack RTT quantiles.
+
+#![forbid(unsafe_code)]
+
+use spechd_bench::kernel_bench::{measure_interleaved, write_records, Kernel, KernelRecord};
+use spechd_core::{SpecHd, SpecHdOutcome};
+use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+use spechd_ms::{Spectrum, SpectrumDataset};
+use spechd_server::{JobClient, JobConfig, ServiceOutcome};
+use std::time::Instant;
+
+const USAGE: &str = "\
+spechd-loadgen — concurrent load/latency bench client for spechd-server
+
+USAGE:
+    spechd-loadgen --addr HOST:PORT [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT     Server address (required)
+    --out PATH           Bench output file (default BENCH_pr6.json)
+    --smoke              Small CI grid: 1200 spectra, 1 and 4
+                         connections, batch 8 (default grid: 4000
+                         spectra, {1,2,4} connections × batch {16,64})
+    --spectra N          Override the dataset size
+    --samples N          Timing samples for the batch reference
+                         (default 3)
+    --help               Show this help
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_arg<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        fail(&format!("{flag} needs a value"));
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => fail(&format!("invalid value {value:?} for {flag}")),
+    }
+}
+
+struct Scenario {
+    connections: usize,
+    batch: usize,
+}
+
+/// What one client connection did: which dataset indices it submitted
+/// at which stream base, every submit RTT, and the outcome it
+/// reassembled from the result stream.
+struct ClientReport {
+    placements: Vec<(u64, Vec<usize>)>,
+    latencies_ns: Vec<u128>,
+    outcome: ServiceOutcome,
+}
+
+fn percentile(sorted: &[u128], p: usize) -> u128 {
+    assert!(!sorted.is_empty());
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+}
+
+/// Runs one scenario: C connections submit disjoint round-robin slices
+/// of `dataset` into one job, then everybody waits for the results.
+fn run_scenario(
+    addr: &str,
+    job_id: u64,
+    dataset: &SpectrumDataset,
+    scenario: &Scenario,
+) -> (Vec<ClientReport>, u128) {
+    let spectra = dataset.spectra();
+    let started = Instant::now();
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..scenario.connections)
+            .map(|conn| {
+                scope.spawn(move || {
+                    let mut client = JobClient::connect(addr, job_id, JobConfig::default())
+                        .unwrap_or_else(|e| panic!("connect {addr}: {e}"));
+                    let slice: Vec<usize> = (conn..spectra.len())
+                        .step_by(scenario.connections)
+                        .collect();
+                    let mut placements = Vec::new();
+                    let mut latencies_ns = Vec::new();
+                    for batch_indices in slice.chunks(scenario.batch) {
+                        let batch: Vec<Spectrum> =
+                            batch_indices.iter().map(|&i| spectra[i].clone()).collect();
+                        let t0 = Instant::now();
+                        let receipt = client
+                            .submit(batch)
+                            .unwrap_or_else(|e| panic!("submit: {e}"));
+                        latencies_ns.push(t0.elapsed().as_nanos());
+                        assert_eq!(receipt.count as usize, batch_indices.len());
+                        placements.push((receipt.base, batch_indices.to_vec()));
+                    }
+                    let outcome = client
+                        .close_and_wait()
+                        .unwrap_or_else(|e| panic!("close_and_wait: {e}"));
+                    ClientReport {
+                        placements,
+                        latencies_ns,
+                        outcome,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    (reports, started.elapsed().as_nanos())
+}
+
+/// Reconstructs the union dataset in stream order from the clients'
+/// submit receipts, runs the local batch pipeline on it, and asserts
+/// the served outcome is bit-identical.
+fn verify_equivalence(
+    engine: &SpecHd,
+    dataset: &SpectrumDataset,
+    reports: &[ClientReport],
+    context: &str,
+) {
+    let total = dataset.len();
+    let mut order: Vec<Option<usize>> = vec![None; total];
+    for report in reports {
+        for (base, indices) in &report.placements {
+            for (offset, &dataset_index) in indices.iter().enumerate() {
+                let slot = *base as usize + offset;
+                assert!(
+                    order[slot].is_none(),
+                    "{context}: stream slot {slot} double-booked"
+                );
+                order[slot] = Some(dataset_index);
+            }
+        }
+    }
+    let mut union = SpectrumDataset::new();
+    for slot in order {
+        let i = slot.expect("stream slot never assigned");
+        union.push(dataset.spectra()[i].clone(), dataset.labels()[i]);
+    }
+    let batch: SpecHdOutcome = engine.run(&union);
+
+    let served = &reports[0].outcome;
+    for (c, other) in reports.iter().enumerate().skip(1) {
+        assert_eq!(
+            &other.outcome, served,
+            "{context}: participant {c} reassembled a different outcome"
+        );
+    }
+    let served_kept: Vec<usize> = served.kept.iter().map(|&i| i as usize).collect();
+    assert_eq!(served_kept, batch.kept(), "{context}: kept set differs");
+    assert_eq!(
+        served.labels,
+        batch.assignment().labels(),
+        "{context}: labels differ"
+    );
+    let served_consensus: Vec<usize> = served.consensus.iter().map(|&i| i as usize).collect();
+    assert_eq!(
+        served_consensus,
+        batch.consensus(),
+        "{context}: consensus differs"
+    );
+    assert_eq!(
+        served.stats.clusters as usize,
+        batch.assignment().num_clusters(),
+        "{context}: cluster count differs"
+    );
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut out = String::from("BENCH_pr6.json");
+    let mut smoke = false;
+    let mut spectra_override: Option<usize> = None;
+    let mut samples = 3usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(parse_arg("--addr", args.next())),
+            "--out" => out = parse_arg("--out", args.next()),
+            "--smoke" => smoke = true,
+            "--spectra" => spectra_override = Some(parse_arg("--spectra", args.next())),
+            "--samples" => samples = parse_arg("--samples", args.next()),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(addr) = addr else {
+        fail("--addr is required");
+    };
+
+    let num_spectra = spectra_override.unwrap_or(if smoke { 1200 } else { 4000 });
+    let scenarios: Vec<Scenario> = if smoke {
+        vec![(1, 8), (4, 8)]
+    } else {
+        vec![(1, 16), (2, 16), (4, 16), (1, 64), (2, 64), (4, 64)]
+    }
+    .into_iter()
+    .map(|(connections, batch)| Scenario { connections, batch })
+    .collect();
+
+    let dataset = SyntheticGenerator::new(SyntheticConfig {
+        num_spectra,
+        num_peptides: (num_spectra / 4).max(1),
+        seed: 0x10AD_6E40,
+        ..SyntheticConfig::default()
+    })
+    .generate();
+    let pipeline_config = JobConfig::default().pipeline_config();
+    let threads = pipeline_config.threads;
+    let dim = pipeline_config.encoder.dim;
+    let engine = SpecHd::new(pipeline_config);
+
+    // Local batch reference: what one full clustering of this dataset
+    // costs on this machine. bench_gate normalizes the service numbers
+    // by it in relative mode.
+    eprintln!("measuring batch_pipeline reference ({num_spectra} spectra, {samples} samples)...");
+    let mut kernels: Vec<Kernel<'_>> = vec![(
+        "batch_pipeline",
+        threads,
+        Box::new(|| {
+            std::hint::black_box(engine.run(&dataset));
+        }),
+    )];
+    let reference_ns = measure_interleaved(samples, &mut kernels)[0];
+    drop(kernels);
+    let mut records = vec![KernelRecord {
+        kernel: "batch_pipeline".into(),
+        n: num_spectra,
+        dim,
+        threads,
+        ns_per_op: reference_ns,
+    }];
+
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+        ^ (u64::from(std::process::id()) << 32);
+    for (k, scenario) in scenarios.iter().enumerate() {
+        let tag = format!("c{}_b{}", scenario.connections, scenario.batch);
+        eprintln!(
+            "scenario {tag}: {} connections x batch {}...",
+            scenario.connections, scenario.batch
+        );
+        let job_id = nonce.wrapping_add(1 + k as u64);
+        let (reports, wall_ns) = run_scenario(&addr, job_id, &dataset, scenario);
+        verify_equivalence(&engine, &dataset, &reports, &tag);
+
+        let mut latencies: Vec<u128> = reports
+            .iter()
+            .flat_map(|r| r.latencies_ns.iter().copied())
+            .collect();
+        latencies.sort_unstable();
+        let p50 = percentile(&latencies, 50);
+        let p99 = percentile(&latencies, 99);
+        let ns_per_spectrum = wall_ns / num_spectra as u128;
+        let spectra_per_s = 1_000_000_000.0 * num_spectra as f64 / wall_ns as f64;
+        eprintln!(
+            "  ok: {spectra_per_s:.0} spectra/s sustained, submit RTT p50 {:.2} ms / p99 {:.2} ms, equivalence verified",
+            p50 as f64 / 1e6,
+            p99 as f64 / 1e6,
+        );
+        for (name, ns) in [
+            (format!("serve_throughput_{tag}"), ns_per_spectrum),
+            (format!("serve_p50_{tag}"), p50),
+            (format!("serve_p99_{tag}"), p99),
+        ] {
+            records.push(KernelRecord {
+                kernel: name,
+                n: num_spectra,
+                dim,
+                threads: scenario.connections,
+                ns_per_op: ns.max(1),
+            });
+        }
+    }
+
+    write_records(&out, &records);
+    eprintln!("wrote {} records to {out}", records.len());
+}

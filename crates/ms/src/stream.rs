@@ -130,6 +130,33 @@ impl<I: Iterator<Item = (Spectrum, Option<u32>)>> SpectrumStream for IterStream<
 /// consumes. [`SpectrumStream::next_spectrum`] blocks until an item arrives
 /// or every sender is dropped (which ends the stream).
 ///
+/// ## End-of-stream semantics
+///
+/// The stream ends when — and only when — **every** sender clone has been
+/// dropped *and* the channel's buffer has been drained: items sent before
+/// the last hang-up are always yielded first, in send order, and only then
+/// does [`SpectrumStream::next_spectrum`] return `None`. Once it has
+/// returned `None` the stream is fused (every later call is `None`).
+///
+/// Two producer-side shutdown protocols therefore look identical to the
+/// consumer, which is exactly what a network front end needs:
+///
+/// * **Explicit close** — a producer finishes its batch and deliberately
+///   drops its sender (the `spechd-server` `CloseJob` path: the last
+///   participant closing a job drops the last sender, finalizing the
+///   job's pipeline).
+/// * **Abrupt producer death** — a producer thread panics or a client
+///   socket disconnects mid-stream, dropping its sender in the unwind
+///   (the `spechd-server` client-disconnect path). Everything it already
+///   sent is still clustered; the pipeline finalizes cleanly instead of
+///   hanging, because `mpsc` hang-up is observable no matter *why* the
+///   sender dropped.
+///
+/// There is no out-of-band cancel: a consumer cannot distinguish a
+/// graceful close from a crash, so pipelines built on `ChannelStream`
+/// must treat both as "input complete" (and they do — `run_streaming`
+/// finalizes all open shards and joins its worker scope on either).
+///
 /// # Examples
 ///
 /// ```
@@ -233,7 +260,7 @@ mod tests {
         ds
     }
 
-    fn drain(mut s: impl SpectrumStream) -> Vec<(Spectrum, Option<u32>)> {
+    fn drain(s: &mut impl SpectrumStream) -> Vec<(Spectrum, Option<u32>)> {
         let mut out = Vec::new();
         while let Some(item) = s.next_spectrum() {
             out.push(item);
@@ -247,7 +274,7 @@ mod tests {
         let stream = DatasetStream::new(&ds);
         assert_eq!(stream.size_hint(), (3, Some(3)));
         assert!(!stream.sorted_by_mass());
-        let items = drain(stream);
+        let items = drain(&mut { stream });
         assert_eq!(items.len(), 3);
         for (i, (s, l)) in items.iter().enumerate() {
             assert_eq!(s, &ds.spectra()[i]);
@@ -259,8 +286,67 @@ mod tests {
     fn iter_stream_lifts_iterators() {
         let ds = dataset();
         let items: Vec<(Spectrum, Option<u32>)> = ds.iter().map(|(s, l)| (s.clone(), l)).collect();
-        let drained = drain(IterStream::new(items.clone().into_iter()));
+        let drained = drain(&mut IterStream::new(items.clone().into_iter()));
         assert_eq!(drained, items);
+    }
+
+    #[test]
+    fn channel_stream_drains_buffer_after_explicit_close() {
+        // Explicit close: producer sends everything, then deliberately
+        // drops the sender. Buffered items must all be yielded, in send
+        // order, before end-of-stream.
+        let (tx, rx) = std::sync::mpsc::channel();
+        for i in 0..4 {
+            tx.send((spectrum(&format!("s{i}"), 400.0 + f64::from(i), 2), Some(i)))
+                .unwrap();
+        }
+        drop(tx); // close long before the consumer starts
+        let mut stream = ChannelStream::new(rx);
+        let items = drain(&mut stream);
+        assert_eq!(items.len(), 4);
+        assert!((0..4).all(|i| items[i as usize].1 == Some(i)));
+        // Fused: once ended, the stream stays ended.
+        assert!(stream.next_spectrum().is_none());
+        assert!(stream.next_spectrum().is_none());
+    }
+
+    #[test]
+    fn channel_stream_ends_only_when_last_sender_drops() {
+        // Multiple producers (the multi-client server shape): dropping one
+        // sender must not end the stream while another is still live.
+        let (tx_a, rx) = std::sync::mpsc::channel();
+        let tx_b = tx_a.clone();
+        tx_a.send((spectrum("a", 400.0, 2), Some(0))).unwrap();
+        drop(tx_a); // first producer hangs up (disconnect mid-stream)
+        tx_b.send((spectrum("b", 500.0, 2), Some(1))).unwrap();
+        let mut stream = ChannelStream::new(rx);
+        assert_eq!(stream.next_spectrum().unwrap().1, Some(0));
+        assert_eq!(stream.next_spectrum().unwrap().1, Some(1));
+        // tx_b still live: the stream is not over. Prove it by sending
+        // from another thread while the consumer blocks.
+        let producer = std::thread::spawn(move || {
+            tx_b.send((spectrum("c", 600.0, 2), Some(2))).unwrap();
+            // tx_b drops here: *now* the stream may end.
+        });
+        assert_eq!(stream.next_spectrum().unwrap().1, Some(2));
+        producer.join().unwrap();
+        assert!(stream.next_spectrum().is_none());
+    }
+
+    #[test]
+    fn channel_stream_abrupt_producer_death_looks_like_close() {
+        // A producer that panics mid-stream drops its sender in the
+        // unwind; the consumer sees everything already sent, then a clean
+        // end-of-stream — not a hang.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let producer = std::thread::spawn(move || {
+            tx.send((spectrum("sent", 400.0, 2), Some(7))).unwrap();
+            panic!("producer dies after one item");
+        });
+        assert!(producer.join().is_err());
+        let items = drain(&mut ChannelStream::new(rx));
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].1, Some(7));
     }
 
     #[test]
@@ -272,7 +358,7 @@ mod tests {
                     .unwrap();
             }
         });
-        let items = drain(ChannelStream::new(rx));
+        let items = drain(&mut ChannelStream::new(rx));
         producer.join().unwrap();
         assert_eq!(items.len(), 5);
         assert_eq!(items[4].1, Some(4));
@@ -284,7 +370,7 @@ mod tests {
         let stream = AssertSorted::new(DatasetStream::new(&ds));
         assert!(stream.sorted_by_mass());
         assert_eq!(stream.size_hint(), (3, Some(3)));
-        let items = drain(stream);
+        let items = drain(&mut { stream });
         let keys: Vec<f64> = items.iter().map(|(s, _)| neutral_mass_key(s)).collect();
         assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys {keys:?}");
     }

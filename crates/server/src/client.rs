@@ -1,0 +1,177 @@
+//! A blocking client for the `spechd` protocol.
+//!
+//! [`JobClient`] wraps one TCP connection participating in one job.
+//! Submission is acknowledged per batch (the ack carries the batch's
+//! base stream index, so a participant knows exactly which stream
+//! slots its spectra occupy); result frames arriving in between are
+//! absorbed into an [`AssignmentAssembler`], and
+//! [`JobClient::close_and_wait`] turns them into a [`ServiceOutcome`]
+//! once the job's final frame lands.
+
+use crate::assemble::{AssignmentAssembler, ServiceOutcome};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Frame, JobConfig, JobStatsFrame, WireError,
+    DEFAULT_MAX_FRAME_LEN,
+};
+use spechd_ms::Spectrum;
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport or frame layer failed.
+    Wire(WireError),
+    /// The server reported an error frame.
+    Server {
+        /// Wire error code.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// Acknowledgement of one submitted batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitReceipt {
+    /// First stream index assigned to the batch; its spectra occupy
+    /// `[base, base + count)` in submission order.
+    pub base: u64,
+    /// Number of spectra acknowledged.
+    pub count: u32,
+}
+
+/// One connection participating in one clustering job.
+pub struct JobClient {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    job_id: u64,
+    assembler: AssignmentAssembler,
+    max_frame_len: u32,
+}
+
+impl JobClient {
+    /// Connects to `addr` and opens (or joins) `job_id` with `config`,
+    /// returning once the server acknowledges.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        job_id: u64,
+        config: JobConfig,
+    ) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = stream.try_clone()?;
+        let mut client = Self {
+            reader,
+            writer: BufWriter::new(stream),
+            job_id,
+            assembler: AssignmentAssembler::new(),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        };
+        client.send(&Frame::OpenJob { job_id, config })?;
+        client.wait_stats()?;
+        Ok(client)
+    }
+
+    /// The job this connection participates in.
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// Submits a batch and blocks until its acknowledgement, returning
+    /// the batch's stream-index range. Result frames that arrive before
+    /// the ack are absorbed, not lost.
+    pub fn submit(&mut self, spectra: Vec<Spectrum>) -> Result<SubmitReceipt, ClientError> {
+        self.send(&Frame::Submit {
+            job_id: self.job_id,
+            spectra,
+        })?;
+        loop {
+            match self.recv()? {
+                Frame::SubmitAck { base, count, .. } => return Ok(SubmitReceipt { base, count }),
+                other => self.assembler.absorb(&other),
+            }
+        }
+    }
+
+    /// Barrier: returns a statistics snapshot taken after the server
+    /// has ingested every frame this connection sent before the flush.
+    pub fn flush(&mut self) -> Result<JobStatsFrame, ClientError> {
+        self.send(&Frame::Flush {
+            job_id: self.job_id,
+        })?;
+        self.wait_stats()
+    }
+
+    /// Declares this participant done submitting and waits for the
+    /// job's results: blocks until the final `done` frame, then
+    /// reassembles the global clustering. The job finalizes once
+    /// **every** participant has closed.
+    pub fn close_and_wait(mut self) -> Result<ServiceOutcome, ClientError> {
+        self.send(&Frame::CloseJob {
+            job_id: self.job_id,
+        })?;
+        while !self.assembler.is_done() {
+            let frame = self.recv()?;
+            self.assembler.absorb(&frame);
+        }
+        Ok(self.assembler.finish())
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        use std::io::Write;
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads one frame, turning server `Error` frames into
+    /// [`ClientError::Server`].
+    fn recv(&mut self) -> Result<Frame, ClientError> {
+        match read_frame(&mut self.reader, self.max_frame_len)? {
+            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
+            frame => Ok(frame),
+        }
+    }
+
+    /// Reads until a `JobStats` frame (an open/flush ack), absorbing
+    /// result frames seen on the way.
+    fn wait_stats(&mut self) -> Result<JobStatsFrame, ClientError> {
+        loop {
+            match self.recv()? {
+                Frame::JobStats(stats) => {
+                    if stats.done != 0 {
+                        self.assembler.absorb(&Frame::JobStats(stats));
+                    }
+                    return Ok(stats);
+                }
+                other => self.assembler.absorb(&other),
+            }
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Job lifecycle: many connections multiplexing into one streaming
+//! pipeline per job.
+//!
+//! Each job owns one [`spechd_core::SpecHd::run_streaming_observed`]
+//! pipeline fed through a bounded [`ChannelStream`]. Connections that
+//! open (or join) the job each hold a clone of the job's
+//! [`SyncSender`]; the stream — and therefore the job — ends when the
+//! **last** participant closes or disconnects, which drops the final
+//! sender (see the end-of-stream semantics on
+//! [`spechd_ms::stream::ChannelStream`]). A participant that dies
+//! abruptly is indistinguishable from one that sent `CloseJob`: its
+//! spectra stay in the job and the pipeline still finalizes cleanly.
+//!
+//! Backpressure is the ingest channel's bound: when the pipeline falls
+//! behind, `submit` blocks, which stops the connection's reader thread,
+//! which stops reading the socket — slow consumers throttle at TCP,
+//! they never grow a server-side buffer.
+//!
+//! Results stream back as shards finalize. Shard events arrive in
+//! completion order, but raw label blocks must be assigned in ascending
+//! key order (the [`spechd_cluster::ShardLabelMerger`] contract), so
+//! finished shards buffer in a [`BTreeMap`] until every
+//! lower-keyed shard has been emitted; once ingest finishes the full
+//! key set is known and the tail drains in order.
+
+use crate::protocol::{ErrorCode, Frame, JobConfig, JobStatsFrame};
+use spechd_core::{SpecHd, StreamEvent, StreamOutcome};
+use spechd_ms::stream::ChannelStream;
+use spechd_ms::Spectrum;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type IngestItem = (Spectrum, Option<u32>);
+
+/// Why an open/join or submit was rejected; maps onto a
+/// [`Frame::Error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Wire error code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl JobError {
+    fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+struct Subscriber {
+    tx: mpsc::Sender<Frame>,
+    active: Arc<AtomicBool>,
+}
+
+struct IngestPlan {
+    keys: Vec<i64>,
+    kept: usize,
+    streamed: usize,
+}
+
+struct JobState {
+    /// Template sender; dropped when the last participant closes, which
+    /// ends the job's stream.
+    template: Option<SyncSender<IngestItem>>,
+    participants: u32,
+    /// Next stream index to hand out; submits reserve contiguous ranges.
+    next_index: u64,
+    submitted: u64,
+    subscribers: Vec<Subscriber>,
+    shards_clustered: u32,
+    /// Finished shards not yet emitted (waiting on lower keys).
+    pending: BTreeMap<i64, spechd_core::ShardAssignment>,
+    plan: Option<IngestPlan>,
+    emit_ptr: usize,
+    raw_base: u64,
+    finished: bool,
+}
+
+/// One clustering job: config, pipeline, and fan-out to subscribers.
+pub struct Job {
+    id: u64,
+    config: JobConfig,
+    state: Mutex<JobState>,
+}
+
+impl Job {
+    fn stats_locked(&self, state: &JobState) -> JobStatsFrame {
+        JobStatsFrame {
+            job_id: self.id,
+            participants: state.participants,
+            submitted: state.submitted,
+            shards_clustered: state.shards_clustered,
+            ..JobStatsFrame::default()
+        }
+    }
+
+    fn broadcast(&self, state: &mut JobState, frame: &Frame) {
+        state
+            .subscribers
+            .retain(|sub| sub.tx.send(frame.clone()).is_ok());
+    }
+
+    /// Emits every buffered shard whose turn (in ascending key order)
+    /// has come, assigning each a contiguous raw label block.
+    fn try_emit(&self, state: &mut JobState) {
+        loop {
+            let Some(plan) = &state.plan else { return };
+            if state.emit_ptr >= plan.keys.len() {
+                return;
+            }
+            let key = plan.keys[state.emit_ptr];
+            let Some(shard) = state.pending.remove(&key) else {
+                return;
+            };
+            let assignment = Frame::Assignment {
+                job_id: self.id,
+                key,
+                raw_base: state.raw_base,
+                members: shard.members.iter().map(|&m| m as u64).collect(),
+                labels: shard.labels.iter().map(|&l| l as u32).collect(),
+            };
+            let consensus = Frame::Consensus {
+                job_id: self.id,
+                raw_base: state.raw_base,
+                medoids: shard.medoids.iter().map(|&m| m as u64).collect(),
+            };
+            self.broadcast(state, &assignment);
+            self.broadcast(state, &consensus);
+            state.raw_base += shard.medoids.len() as u64;
+            state.emit_ptr += 1;
+        }
+    }
+
+    /// Observer callback run inside the pipeline (ingest thread and
+    /// clustering workers, serialized by the pipeline's observer lock).
+    fn on_event(&self, event: StreamEvent) {
+        let mut state = self.state.lock().expect("job state poisoned");
+        match event {
+            StreamEvent::ShardClustered(shard) => {
+                state.shards_clustered += 1;
+                state.pending.insert(shard.key, shard);
+            }
+            StreamEvent::IngestDone {
+                keys,
+                kept,
+                streamed,
+            } => {
+                state.plan = Some(IngestPlan {
+                    keys,
+                    kept,
+                    streamed,
+                });
+            }
+        }
+        self.try_emit(&mut state);
+    }
+
+    /// Runs after the pipeline returns: every shard has been emitted
+    /// (the pipeline delivers all events before returning), so the
+    /// final `done = 1` stats frame is the job's last.
+    fn on_complete(&self, outcome: &StreamOutcome) {
+        let mut state = self.state.lock().expect("job state poisoned");
+        debug_assert!(state.pending.is_empty(), "unemitted shards at completion");
+        state.finished = true;
+        let hac = outcome.outcome.stats().hac;
+        let plan_streamed = state
+            .plan
+            .as_ref()
+            .map_or(outcome.stream.spectra_streamed, |p| p.streamed);
+        let plan_kept = state
+            .plan
+            .as_ref()
+            .map_or(outcome.outcome.kept().len(), |p| p.kept);
+        let frame = Frame::JobStats(JobStatsFrame {
+            job_id: self.id,
+            participants: state.participants,
+            submitted: state.submitted,
+            streamed: plan_streamed as u64,
+            kept: plan_kept as u64,
+            shards_opened: outcome.stream.shards_opened as u32,
+            shards_clustered: state.shards_clustered,
+            clusters: outcome.outcome.assignment().num_clusters() as u64,
+            hac_comparisons: hac.comparisons,
+            hac_updates: hac.updates,
+            hac_merges: hac.merges,
+            done: 1,
+        });
+        self.broadcast(&mut state, &frame);
+        for sub in state.subscribers.drain(..) {
+            sub.active.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// The server's table of live jobs, plus their pipeline threads.
+pub struct JobRegistry {
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    queue_depth: usize,
+}
+
+impl JobRegistry {
+    /// Creates an empty registry whose jobs use an ingest queue of
+    /// `queue_depth` spectra (the backpressure bound).
+    pub fn new(queue_depth: usize) -> Self {
+        Self {
+            jobs: Mutex::new(HashMap::new()),
+            threads: Mutex::new(Vec::new()),
+            queue_depth: queue_depth.max(1),
+        }
+    }
+
+    /// Number of live jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.lock().expect("job table poisoned").len()
+    }
+
+    /// Whether no jobs are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Opens `job_id` (creating its pipeline) or joins it as another
+    /// participant. Joining requires a bit-identical [`JobConfig`].
+    /// `out_tx` is subscribed to the job's result frames; the returned
+    /// [`JobHandle`] counts as one participant until closed or dropped.
+    pub fn open_or_join(
+        self: &Arc<Self>,
+        job_id: u64,
+        config: JobConfig,
+        out_tx: mpsc::Sender<Frame>,
+    ) -> Result<JobHandle, JobError> {
+        let active = Arc::new(AtomicBool::new(true));
+        let subscriber = Subscriber {
+            tx: out_tx,
+            active: Arc::clone(&active),
+        };
+        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        if let Some(job) = jobs.get(&job_id) {
+            let job = Arc::clone(job);
+            let mut state = job.state.lock().expect("job state poisoned");
+            if state.finished || state.template.is_none() {
+                return Err(JobError::new(
+                    ErrorCode::JobClosed,
+                    format!("job {job_id} is finalizing and cannot be joined"),
+                ));
+            }
+            if job.config != config {
+                return Err(JobError::new(
+                    ErrorCode::ConfigMismatch,
+                    format!("job {job_id} exists with a different config"),
+                ));
+            }
+            state.participants += 1;
+            let sender = state.template.clone();
+            state.subscribers.push(subscriber);
+            drop(state);
+            return Ok(JobHandle {
+                job,
+                sender,
+                active,
+                closed: false,
+            });
+        }
+
+        let (tx, rx) = mpsc::sync_channel::<IngestItem>(self.queue_depth);
+        let job = Arc::new(Job {
+            id: job_id,
+            config: config.clone(),
+            state: Mutex::new(JobState {
+                template: Some(tx.clone()),
+                participants: 1,
+                next_index: 0,
+                submitted: 0,
+                subscribers: vec![subscriber],
+                shards_clustered: 0,
+                pending: BTreeMap::new(),
+                plan: None,
+                emit_ptr: 0,
+                raw_base: 0,
+                finished: false,
+            }),
+        });
+        jobs.insert(job_id, Arc::clone(&job));
+        drop(jobs);
+
+        let registry = Arc::clone(self);
+        let pipeline_job = Arc::clone(&job);
+        let handle = std::thread::Builder::new()
+            .name(format!("spechd-job-{job_id}"))
+            .spawn(move || {
+                let engine = SpecHd::new(pipeline_job.config.pipeline_config());
+                let stream_cfg = pipeline_job.config.stream_config();
+                let outcome =
+                    engine.run_streaming_observed(ChannelStream::new(rx), &stream_cfg, |event| {
+                        pipeline_job.on_event(event)
+                    });
+                pipeline_job.on_complete(&outcome);
+                registry
+                    .jobs
+                    .lock()
+                    .expect("job table poisoned")
+                    .remove(&pipeline_job.id);
+            })
+            .expect("spawn job pipeline thread");
+        self.threads
+            .lock()
+            .expect("thread table poisoned")
+            .push(handle);
+
+        Ok(JobHandle {
+            job,
+            sender: Some(tx),
+            active,
+            closed: false,
+        })
+    }
+
+    /// Joins every pipeline thread ever spawned. Call only after all
+    /// connections are gone (their dropped senders are what let the
+    /// pipelines finish).
+    pub fn join_pipelines(&self) {
+        let handles: Vec<_> = self
+            .threads
+            .lock()
+            .expect("thread table poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One connection's participation in one job.
+pub struct JobHandle {
+    job: Arc<Job>,
+    sender: Option<SyncSender<IngestItem>>,
+    active: Arc<AtomicBool>,
+    closed: bool,
+}
+
+impl JobHandle {
+    /// The job this handle participates in.
+    pub fn job_id(&self) -> u64 {
+        self.job.id
+    }
+
+    /// Whether the subscription is still live (job not finished).
+    /// Connections use this for idle accounting: a connection waiting on
+    /// a live job's results is not idle.
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Appends a batch to the job's stream, returning the batch's base
+    /// stream index. Spectra occupy contiguous indices `[base, base +
+    /// len)` even with concurrent submitters — the job lock is held
+    /// across the whole batch. Blocks (backpressure) when the ingest
+    /// queue is full.
+    pub fn submit(&self, spectra: Vec<Spectrum>) -> Result<(u64, u32), JobError> {
+        let Some(sender) = &self.sender else {
+            return Err(JobError::new(
+                ErrorCode::ProtocolState,
+                "job already closed on this connection",
+            ));
+        };
+        let count = spectra.len() as u32;
+        let mut state = self.job.state.lock().expect("job state poisoned");
+        let base = state.next_index;
+        for spectrum in spectra {
+            if sender.send((spectrum, None)).is_err() {
+                return Err(JobError::new(
+                    ErrorCode::JobClosed,
+                    "job pipeline terminated",
+                ));
+            }
+        }
+        state.next_index += u64::from(count);
+        state.submitted += u64::from(count);
+        Ok((base, count))
+    }
+
+    /// A statistics snapshot; serves as the `OpenJob` and `Flush` ack.
+    /// Because a connection's frames are processed in order, by the time
+    /// the snapshot is taken every earlier `Submit` on this connection
+    /// has been ingested — `Flush` is a per-connection barrier.
+    pub fn stats(&self) -> JobStatsFrame {
+        let state = self.job.state.lock().expect("job state poisoned");
+        self.job.stats_locked(&state)
+    }
+
+    /// Ends this participant's submissions. When the last participant
+    /// closes (or disconnects — [`Drop`] calls this), the job's stream
+    /// ends and the pipeline finalizes.
+    pub fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        self.sender = None;
+        let mut state = self.job.state.lock().expect("job state poisoned");
+        state.participants = state.participants.saturating_sub(1);
+        if state.participants == 0 {
+            // Drop the template: the last live sender. The channel
+            // closes, `ChannelStream` drains and ends, the pipeline
+            // finalizes and broadcasts the remaining result frames.
+            state.template = None;
+        }
+    }
+}
+
+impl Drop for JobHandle {
+    fn drop(&mut self) {
+        self.close();
+    }
+}

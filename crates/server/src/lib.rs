@@ -1,0 +1,44 @@
+//! Clustering-as-a-service: a TCP front end over the SpecHD streaming
+//! pipeline.
+//!
+//! The server speaks a versioned, length-prefixed binary protocol (see
+//! [`protocol`]) and multiplexes any number of concurrent client
+//! connections into per-job [`spechd_core::SpecHd`] streaming
+//! pipelines. A job is a shared clustering stream: every participant's
+//! `Submit` batches are appended (with contiguous stream indices) to
+//! one bounded ingest queue feeding one
+//! [`run_streaming_observed`](spechd_core::SpecHd::run_streaming_observed)
+//! run, and per-shard results stream back to **all** participants as
+//! shards finalize — clients do not wait for the run to end to start
+//! receiving assignments.
+//!
+//! Design pillars, each carried by one module:
+//!
+//! * [`protocol`] — the wire format: 12-byte header, capped length
+//!   prefixes, byte-exact round-trippable frames.
+//! * [`job`] — job lifecycle and backpressure: the last participant's
+//!   close (or disconnect) ends the stream; a full ingest queue blocks
+//!   the submitter at the socket, so slow pipelines throttle clients
+//!   instead of growing server memory.
+//! * [`server`] — the accept loop and per-connection threads: idle
+//!   timeouts, frame deadlines, malformed-frame rejection that kills
+//!   the connection but never the server, graceful drain on shutdown.
+//! * [`client`] / [`assemble`] — the client side: blocking submission
+//!   with per-batch stream-index receipts, and reassembly of streamed
+//!   shard results into a final clustering bit-identical to a local
+//!   batch [`run`](spechd_core::SpecHd::run) over the same spectra.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assemble;
+pub mod client;
+pub mod job;
+pub mod protocol;
+pub mod server;
+
+pub use assemble::{AssignmentAssembler, ServiceOutcome};
+pub use client::{ClientError, JobClient, SubmitReceipt};
+pub use job::{JobError, JobHandle, JobRegistry};
+pub use protocol::{ErrorCode, Frame, FrameType, JobConfig, JobStatsFrame, WireError};
+pub use server::{RunningServer, Server, ServerConfig};

@@ -1,0 +1,1062 @@
+//! The `spechd` wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every frame is a fixed 12-byte header followed by a payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"SPHD"
+//! 4       2     protocol version (little-endian u16, currently 1)
+//! 6       1     frame type (see [`FrameType`])
+//! 7       1     reserved (must be 0)
+//! 8       4     payload length in bytes (little-endian u32)
+//! 12      len   payload
+//! ```
+//!
+//! All integers are little-endian; floats are IEEE-754 little-endian bit
+//! patterns, so encoding is deterministic and byte-exact round-trippable
+//! (`decode(encode(f)) == f` *and* `encode(decode(b)) == b` — the
+//! robustness suite checks both for every frame type). Strings are
+//! `u32` length + UTF-8 bytes; vectors are `u32` count + elements.
+//!
+//! A reader must reject, without reading the payload: wrong magic, wrong
+//! version, unknown frame type, a non-zero reserved byte, and a length
+//! prefix above its configured cap ([`DEFAULT_MAX_FRAME_LEN`] by
+//! default) — the cap is what keeps a hostile 4 GiB length prefix from
+//! becoming an allocation. Payload decoding then rejects truncated or
+//! trailing bytes. The server treats any of these as fatal for the
+//! *connection* (an [`Frame::Error`] is sent best-effort, then the socket
+//! closes); the server itself keeps serving.
+
+use spechd_cluster::Linkage;
+use spechd_core::{SpecHdConfig, StreamConfig};
+use spechd_ms::{MsError, Peak, Precursor, Spectrum};
+use std::io::{Read, Write};
+
+/// Frame magic: `b"SPHD"`.
+pub const MAGIC: [u8; 4] = *b"SPHD";
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+/// Header size in bytes (magic + version + type + reserved + length).
+pub const HEADER_LEN: usize = 12;
+/// Default cap on a frame's payload length: 32 MiB. At ~16 bytes per
+/// peak this is roughly 40k spectra of 50 peaks in one `Submit` — far
+/// above any sane batch, far below an OOM.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
+
+/// Frame type discriminants as they appear on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Client→server: open (or join) a clustering job.
+    OpenJob = 0x01,
+    /// Client→server: submit a batch of spectra into the open job.
+    Submit = 0x02,
+    /// Client→server: barrier; server acks with a [`Frame::JobStats`].
+    Flush = 0x03,
+    /// Client→server: this participant is done submitting.
+    CloseJob = 0x04,
+    /// Server→client: a `Submit` was ingested; carries the batch's base
+    /// stream index.
+    SubmitAck = 0x10,
+    /// Server→client: one finalized shard's raw cluster assignment.
+    Assignment = 0x11,
+    /// Server→client: consensus (medoid) stream indices for one shard's
+    /// raw cluster block.
+    Consensus = 0x12,
+    /// Server→client: job statistics snapshot (also the `OpenJob` and
+    /// `Flush` ack, and the final `done` marker).
+    JobStats = 0x13,
+    /// Server→client: an error. Fatal errors are followed by a close.
+    Error = 0x1F,
+}
+
+impl FrameType {
+    fn from_wire(byte: u8) -> Option<Self> {
+        Some(match byte {
+            0x01 => Self::OpenJob,
+            0x02 => Self::Submit,
+            0x03 => Self::Flush,
+            0x04 => Self::CloseJob,
+            0x10 => Self::SubmitAck,
+            0x11 => Self::Assignment,
+            0x12 => Self::Consensus,
+            0x13 => Self::JobStats,
+            0x1F => Self::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// Error codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame could not be parsed; the connection will be closed.
+    Malformed = 1,
+    /// A frame arrived in a state that does not allow it (e.g. `Submit`
+    /// before `OpenJob`). The connection stays open.
+    ProtocolState = 2,
+    /// `OpenJob` named a job that is finalizing and cannot accept new
+    /// participants.
+    JobClosed = 3,
+    /// `OpenJob` tried to join an existing job with a different config.
+    ConfigMismatch = 4,
+    /// The connection sat idle (no open job, no frames) too long.
+    IdleTimeout = 5,
+    /// A length prefix exceeded the server's frame cap.
+    Oversized = 6,
+    /// The server is shutting down.
+    ServerShutdown = 7,
+}
+
+impl ErrorCode {
+    fn from_wire(byte: u8) -> Option<Self> {
+        Some(match byte {
+            1 => Self::Malformed,
+            2 => Self::ProtocolState,
+            3 => Self::JobClosed,
+            4 => Self::ConfigMismatch,
+            5 => Self::IdleTimeout,
+            6 => Self::Oversized,
+            7 => Self::ServerShutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// The `SpecHdConfig` subset a client may set per job, plus the streaming
+/// knobs. Everything else (item-memory seeds, preprocessing) stays at the
+/// server's paper defaults so all participants of a job agree on them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobConfig {
+    /// Hypervector dimensionality `D`.
+    pub dim: u32,
+    /// Eq. (1) bucketing resolution in Dalton.
+    pub resolution: f64,
+    /// Cluster-cut threshold as a fraction of `D`.
+    pub threshold_fraction: f64,
+    /// HAC linkage criterion (wire: 0 single, 1 complete, 2 average,
+    /// 3 ward).
+    pub linkage: Linkage,
+    /// [`StreamConfig::watermark`] of the job's pipeline.
+    pub watermark: u32,
+    /// [`StreamConfig::workers`] of the job's pipeline (0 = all
+    /// available on the server).
+    pub workers: u32,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        let spechd = SpecHdConfig::default();
+        let stream = StreamConfig::default();
+        Self {
+            dim: spechd.encoder.dim as u32,
+            resolution: spechd.resolution,
+            threshold_fraction: spechd.distance_threshold_fraction,
+            linkage: spechd.linkage,
+            watermark: stream.watermark as u32,
+            workers: stream.workers as u32,
+        }
+    }
+}
+
+impl JobConfig {
+    /// The pipeline configuration this job clusters with: the wire subset
+    /// applied over [`SpecHdConfig::default`]. `JobConfig::default()`
+    /// maps to exactly `SpecHdConfig::default()`, which is what makes
+    /// server results comparable against local batch runs.
+    pub fn pipeline_config(&self) -> SpecHdConfig {
+        let encoder = spechd_core::EncoderConfig {
+            dim: self.dim as usize,
+            ..Default::default()
+        };
+        SpecHdConfig::builder()
+            .encoder(encoder)
+            .resolution(self.resolution)
+            .distance_threshold_fraction(self.threshold_fraction)
+            .linkage(self.linkage)
+            .build()
+    }
+
+    /// The streaming configuration of the job's pipeline. The archive is
+    /// never kept server-side — results leave as frames, and dropping the
+    /// archive is proven label-identical by the pr5 equivalence suite.
+    pub fn stream_config(&self) -> StreamConfig {
+        StreamConfig {
+            watermark: self.watermark as usize,
+            workers: self.workers as usize,
+            keep_hypervectors: false,
+        }
+    }
+}
+
+fn linkage_to_wire(linkage: Linkage) -> u8 {
+    match linkage {
+        Linkage::Single => 0,
+        Linkage::Complete => 1,
+        Linkage::Average => 2,
+        Linkage::Ward => 3,
+    }
+}
+
+fn linkage_from_wire(byte: u8) -> Result<Linkage, WireError> {
+    Ok(match byte {
+        0 => Linkage::Single,
+        1 => Linkage::Complete,
+        2 => Linkage::Average,
+        3 => Linkage::Ward,
+        other => return Err(WireError::malformed(format!("unknown linkage {other}"))),
+    })
+}
+
+/// The statistics snapshot carried by [`Frame::JobStats`]. Counter
+/// meanings match the pipeline's [`spechd_core::StreamStats`] /
+/// [`spechd_core::RunStats`]; `done != 0` marks the job's final frame,
+/// after which `clusters`, `kept` and the HAC counters are exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobStatsFrame {
+    /// The job this snapshot describes.
+    pub job_id: u64,
+    /// Participants currently attached (have opened, not yet closed).
+    pub participants: u32,
+    /// Spectra accepted into the job's ingest queue so far.
+    pub submitted: u64,
+    /// Spectra pulled from the queue by the pipeline (final value only).
+    pub streamed: u64,
+    /// Spectra surviving preprocessing (final value only).
+    pub kept: u64,
+    /// Shards opened so far (final value only).
+    pub shards_opened: u32,
+    /// Shards whose clustering has finished.
+    pub shards_clustered: u32,
+    /// Dense global cluster count (final frame only; 0 before).
+    pub clusters: u64,
+    /// Aggregate HAC distance comparisons (final frame only).
+    pub hac_comparisons: u64,
+    /// Aggregate Lance–Williams updates (final frame only).
+    pub hac_updates: u64,
+    /// Aggregate HAC merges (final frame only).
+    pub hac_merges: u64,
+    /// Non-zero once the job has finalized and all result frames for it
+    /// have been sent.
+    pub done: u8,
+}
+
+/// A decoded protocol frame. See the [module docs](self) for the wire
+/// layout and [`FrameType`] for direction and intent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Open a new job or join an existing one (configs must match).
+    OpenJob {
+        /// Caller-chosen job identity; all participants use the same id.
+        job_id: u64,
+        /// The job's pipeline configuration.
+        config: JobConfig,
+    },
+    /// Submit a batch of spectra into the connection's open job.
+    Submit {
+        /// Must match the connection's open job.
+        job_id: u64,
+        /// The spectra, appended to the job's stream in batch order.
+        spectra: Vec<Spectrum>,
+    },
+    /// Barrier: the server replies with a [`Frame::JobStats`] once every
+    /// earlier frame on this connection has been processed.
+    Flush {
+        /// Must match the connection's open job.
+        job_id: u64,
+    },
+    /// This participant is done submitting. When the last participant
+    /// closes, the job's stream ends and the pipeline finalizes.
+    CloseJob {
+        /// Must match the connection's open job.
+        job_id: u64,
+    },
+    /// Acknowledges one `Submit`: its spectra occupy stream indices
+    /// `[base, base + count)`.
+    SubmitAck {
+        /// The acknowledged job.
+        job_id: u64,
+        /// First stream index assigned to the batch.
+        base: u64,
+        /// Number of spectra in the batch.
+        count: u32,
+    },
+    /// One finalized shard's assignment. `members[i]` (a stream index)
+    /// has raw cluster label `raw_base + labels[i]`; shards arrive in
+    /// ascending `key` order, so raw labels form the same blocks
+    /// `ShardLabelMerger` builds, and dense labels follow by first
+    /// appearance in stream order (see `AssignmentAssembler`).
+    Assignment {
+        /// The job this shard belongs to.
+        job_id: u64,
+        /// The shard's precursor bucket key.
+        key: i64,
+        /// First raw cluster id of this shard's block.
+        raw_base: u64,
+        /// Member stream indices, ascending.
+        members: Vec<u64>,
+        /// Shard-local labels, parallel to `members`.
+        labels: Vec<u32>,
+    },
+    /// Consensus (medoid) stream indices for one shard's raw cluster
+    /// block: raw cluster `raw_base + i` has medoid `medoids[i]`.
+    Consensus {
+        /// The job this shard belongs to.
+        job_id: u64,
+        /// First raw cluster id of the block, matching the shard's
+        /// [`Frame::Assignment`].
+        raw_base: u64,
+        /// Medoid stream index per raw cluster in the block.
+        medoids: Vec<u64>,
+    },
+    /// A statistics snapshot: the `OpenJob`/`Flush` ack, or — with
+    /// `done != 0` — the job's final frame. Never pushed unsolicited
+    /// before the final frame, so a client waiting for a `Flush` ack
+    /// can treat the first `JobStats` it sees as that ack.
+    JobStats(JobStatsFrame),
+    /// An error report. [`ErrorCode::Malformed`], [`ErrorCode::Oversized`]
+    /// and [`ErrorCode::IdleTimeout`] are followed by a connection close.
+    Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Frame {
+    fn frame_type(&self) -> FrameType {
+        match self {
+            Frame::OpenJob { .. } => FrameType::OpenJob,
+            Frame::Submit { .. } => FrameType::Submit,
+            Frame::Flush { .. } => FrameType::Flush,
+            Frame::CloseJob { .. } => FrameType::CloseJob,
+            Frame::SubmitAck { .. } => FrameType::SubmitAck,
+            Frame::Assignment { .. } => FrameType::Assignment,
+            Frame::Consensus { .. } => FrameType::Consensus,
+            Frame::JobStats(_) => FrameType::JobStats,
+            Frame::Error { .. } => FrameType::Error,
+        }
+    }
+}
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// An I/O error (including timeouts and mid-frame disconnects).
+    Io(std::io::Error),
+    /// The header's magic bytes were wrong.
+    BadMagic([u8; 4]),
+    /// The header announced an unsupported protocol version.
+    BadVersion(u16),
+    /// The length prefix exceeded the reader's cap.
+    Oversized {
+        /// Announced payload length.
+        len: u32,
+        /// The reader's cap.
+        max: u32,
+    },
+    /// The payload (or header) did not decode: truncated, trailing
+    /// bytes, invalid values, or an unknown frame type.
+    Malformed(String),
+}
+
+impl WireError {
+    pub(crate) fn malformed(msg: impl Into<String>) -> Self {
+        Self::Malformed(msg.into())
+    }
+
+    /// The [`ErrorCode`] a server should report for this failure.
+    pub fn error_code(&self) -> ErrorCode {
+        match self {
+            WireError::Oversized { .. } => ErrorCode::Oversized,
+            _ => ErrorCode::Malformed,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+            WireError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<MsError> for WireError {
+    fn from(e: MsError) -> Self {
+        WireError::malformed(format!("invalid spectrum: {e}"))
+    }
+}
+
+// ───────────────────────── encoding ─────────────────────────
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn spectrum(&mut self, s: &Spectrum) {
+        self.str(s.title());
+        self.f64(s.precursor().mz());
+        self.u8(s.precursor().charge());
+        match s.retention_time() {
+            Some(rt) => {
+                self.u8(1);
+                self.f64(rt);
+            }
+            None => self.u8(0),
+        }
+        self.u32(s.peaks().len() as u32);
+        for p in s.peaks() {
+            self.f64(p.mz);
+            self.f32(p.intensity);
+        }
+    }
+}
+
+/// Encodes a frame's payload bytes (no header).
+pub fn encode_payload(frame: &Frame) -> Vec<u8> {
+    let mut e = Enc::new();
+    match frame {
+        Frame::OpenJob { job_id, config } => {
+            e.u64(*job_id);
+            e.u32(config.dim);
+            e.f64(config.resolution);
+            e.f64(config.threshold_fraction);
+            e.u8(linkage_to_wire(config.linkage));
+            e.u32(config.watermark);
+            e.u32(config.workers);
+        }
+        Frame::Submit { job_id, spectra } => {
+            e.u64(*job_id);
+            e.u32(spectra.len() as u32);
+            for s in spectra {
+                e.spectrum(s);
+            }
+        }
+        Frame::Flush { job_id } | Frame::CloseJob { job_id } => {
+            e.u64(*job_id);
+        }
+        Frame::SubmitAck {
+            job_id,
+            base,
+            count,
+        } => {
+            e.u64(*job_id);
+            e.u64(*base);
+            e.u32(*count);
+        }
+        Frame::Assignment {
+            job_id,
+            key,
+            raw_base,
+            members,
+            labels,
+        } => {
+            e.u64(*job_id);
+            e.i64(*key);
+            e.u64(*raw_base);
+            e.u32(members.len() as u32);
+            for &m in members {
+                e.u64(m);
+            }
+            for &l in labels {
+                e.u32(l);
+            }
+        }
+        Frame::Consensus {
+            job_id,
+            raw_base,
+            medoids,
+        } => {
+            e.u64(*job_id);
+            e.u64(*raw_base);
+            e.u32(medoids.len() as u32);
+            for &m in medoids {
+                e.u64(m);
+            }
+        }
+        Frame::JobStats(s) => {
+            e.u64(s.job_id);
+            e.u32(s.participants);
+            e.u64(s.submitted);
+            e.u64(s.streamed);
+            e.u64(s.kept);
+            e.u32(s.shards_opened);
+            e.u32(s.shards_clustered);
+            e.u64(s.clusters);
+            e.u64(s.hac_comparisons);
+            e.u64(s.hac_updates);
+            e.u64(s.hac_merges);
+            e.u8(s.done);
+        }
+        Frame::Error { code, message } => {
+            e.u8(*code as u8);
+            e.str(message);
+        }
+    }
+    e.buf
+}
+
+/// Encodes a full frame: header + payload.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let payload = encode_payload(frame);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(frame.frame_type() as u8);
+    out.push(0); // reserved
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+// ───────────────────────── decoding ─────────────────────────
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::malformed(format!(
+                "truncated payload: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    /// A length prefix that at minimum `elem_size` bytes per element must
+    /// follow — rejects absurd counts before any allocation.
+    fn len_prefix(&mut self, elem_size: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(elem_size) > self.buf.len() - self.pos {
+            return Err(WireError::malformed(format!(
+                "length prefix {n} exceeds remaining payload"
+            )));
+        }
+        Ok(n)
+    }
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.len_prefix(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::malformed("string is not UTF-8"))
+    }
+    fn spectrum(&mut self) -> Result<Spectrum, WireError> {
+        let title = self.str()?;
+        let mz = self.f64()?;
+        let charge = self.u8()?;
+        let rt = match self.u8()? {
+            0 => None,
+            1 => Some(self.f64()?),
+            other => {
+                return Err(WireError::malformed(format!(
+                    "bad retention-time flag {other}"
+                )))
+            }
+        };
+        let n = self.len_prefix(12)?;
+        let mut peaks = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mz = self.f64()?;
+            let intensity = self.f32()?;
+            peaks.push(Peak::new(mz, intensity));
+        }
+        let mut s = Spectrum::new(title, Precursor::new(mz, charge)?, peaks)?;
+        if let Some(rt) = rt {
+            s = s.with_retention_time(rt);
+        }
+        Ok(s)
+    }
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::malformed(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Parses and validates a frame header, returning `(type, payload_len)`.
+pub fn parse_header(
+    header: &[u8; HEADER_LEN],
+    max_len: u32,
+) -> Result<(FrameType, u32), WireError> {
+    if header[0..4] != MAGIC {
+        return Err(WireError::BadMagic(header[0..4].try_into().unwrap()));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let frame_type = FrameType::from_wire(header[6])
+        .ok_or_else(|| WireError::malformed(format!("unknown frame type 0x{:02x}", header[6])))?;
+    if header[7] != 0 {
+        return Err(WireError::malformed("non-zero reserved byte"));
+    }
+    let len = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if len > max_len {
+        return Err(WireError::Oversized { len, max: max_len });
+    }
+    Ok((frame_type, len))
+}
+
+/// Decodes a frame's payload, given its type from the header. Rejects
+/// truncated payloads and trailing bytes.
+pub fn decode_payload(frame_type: FrameType, payload: &[u8]) -> Result<Frame, WireError> {
+    let mut d = Dec::new(payload);
+    let frame = match frame_type {
+        FrameType::OpenJob => {
+            let job_id = d.u64()?;
+            let config = JobConfig {
+                dim: d.u32()?,
+                resolution: d.f64()?,
+                threshold_fraction: d.f64()?,
+                linkage: linkage_from_wire(d.u8()?)?,
+                watermark: d.u32()?,
+                workers: d.u32()?,
+            };
+            if config.dim == 0 || config.dim > u16::MAX as u32 {
+                return Err(WireError::malformed(format!(
+                    "dim {} outside (0, 65535]",
+                    config.dim
+                )));
+            }
+            if !config.resolution.is_finite()
+                || config.resolution <= 0.0
+                || !(0.0..=1.0).contains(&config.threshold_fraction)
+            {
+                return Err(WireError::malformed("invalid job config values"));
+            }
+            Frame::OpenJob { job_id, config }
+        }
+        FrameType::Submit => {
+            let job_id = d.u64()?;
+            let n = d.len_prefix(18)?; // min spectrum: empty title + fixed fields
+            let mut spectra = Vec::with_capacity(n);
+            for _ in 0..n {
+                spectra.push(d.spectrum()?);
+            }
+            Frame::Submit { job_id, spectra }
+        }
+        FrameType::Flush => Frame::Flush { job_id: d.u64()? },
+        FrameType::CloseJob => Frame::CloseJob { job_id: d.u64()? },
+        FrameType::SubmitAck => Frame::SubmitAck {
+            job_id: d.u64()?,
+            base: d.u64()?,
+            count: d.u32()?,
+        },
+        FrameType::Assignment => {
+            let job_id = d.u64()?;
+            let key = d.i64()?;
+            let raw_base = d.u64()?;
+            let n = d.len_prefix(12)?; // 8 bytes member + 4 bytes label
+            let mut members = Vec::with_capacity(n);
+            for _ in 0..n {
+                members.push(d.u64()?);
+            }
+            let mut labels = Vec::with_capacity(n);
+            for _ in 0..n {
+                labels.push(d.u32()?);
+            }
+            Frame::Assignment {
+                job_id,
+                key,
+                raw_base,
+                members,
+                labels,
+            }
+        }
+        FrameType::Consensus => {
+            let job_id = d.u64()?;
+            let raw_base = d.u64()?;
+            let n = d.len_prefix(8)?;
+            let mut medoids = Vec::with_capacity(n);
+            for _ in 0..n {
+                medoids.push(d.u64()?);
+            }
+            Frame::Consensus {
+                job_id,
+                raw_base,
+                medoids,
+            }
+        }
+        FrameType::JobStats => Frame::JobStats(JobStatsFrame {
+            job_id: d.u64()?,
+            participants: d.u32()?,
+            submitted: d.u64()?,
+            streamed: d.u64()?,
+            kept: d.u64()?,
+            shards_opened: d.u32()?,
+            shards_clustered: d.u32()?,
+            clusters: d.u64()?,
+            hac_comparisons: d.u64()?,
+            hac_updates: d.u64()?,
+            hac_merges: d.u64()?,
+            done: d.u8()?,
+        }),
+        FrameType::Error => {
+            let code_byte = d.u8()?;
+            let code = ErrorCode::from_wire(code_byte)
+                .ok_or_else(|| WireError::malformed(format!("unknown error code {code_byte}")))?;
+            Frame::Error {
+                code,
+                message: d.str()?,
+            }
+        }
+    };
+    d.finish()?;
+    Ok(frame)
+}
+
+/// Writes one frame to `w` (no flush — callers batch then flush).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+/// Reads one frame from a blocking reader. Returns [`WireError::Closed`]
+/// on a clean EOF at a frame boundary; an EOF mid-frame is
+/// [`WireError::Malformed`].
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Frame, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    // First byte separately: EOF here is a clean close, EOF later is a
+    // truncated frame.
+    match r.read(&mut header[..1]) {
+        Ok(0) => return Err(WireError::Closed),
+        Ok(_) => {}
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    r.read_exact(&mut header[1..])
+        .map_err(|e| truncated(e, "header"))?;
+    let (frame_type, len) = parse_header(&header, max_len)?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| truncated(e, "payload"))?;
+    decode_payload(frame_type, &payload)
+}
+
+fn truncated(e: std::io::Error, what: &str) -> WireError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        WireError::malformed(format!("truncated frame: EOF inside {what}"))
+    } else {
+        WireError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spectrum(title: &str, mz: f64, charge: u8, rt: Option<f64>) -> Spectrum {
+        let peaks = vec![Peak::new(200.25, 1.5), Peak::new(450.75, 3.25)];
+        let mut s = Spectrum::new(title, Precursor::new(mz, charge).unwrap(), peaks).unwrap();
+        if let Some(rt) = rt {
+            s = s.with_retention_time(rt);
+        }
+        s
+    }
+
+    /// One instance of every frame type, with non-trivial payloads.
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::OpenJob {
+                job_id: 0xDEAD_BEEF_0001,
+                config: JobConfig::default(),
+            },
+            Frame::Submit {
+                job_id: 7,
+                spectra: vec![
+                    spectrum("scan=1", 500.5, 2, None),
+                    spectrum("scan=2", 611.25, 3, Some(12.5)),
+                ],
+            },
+            Frame::Submit {
+                job_id: 7,
+                spectra: Vec::new(),
+            },
+            Frame::Flush { job_id: 7 },
+            Frame::CloseJob { job_id: u64::MAX },
+            Frame::SubmitAck {
+                job_id: 7,
+                base: 1 << 40,
+                count: 1024,
+            },
+            Frame::Assignment {
+                job_id: 7,
+                key: -3,
+                raw_base: 17,
+                members: vec![0, 5, 9],
+                labels: vec![0, 1, 0],
+            },
+            Frame::Consensus {
+                job_id: 7,
+                raw_base: 17,
+                medoids: vec![9, 5],
+            },
+            Frame::JobStats(JobStatsFrame {
+                job_id: 7,
+                participants: 4,
+                submitted: 1200,
+                streamed: 1200,
+                kept: 1187,
+                shards_opened: 33,
+                shards_clustered: 33,
+                clusters: 410,
+                hac_comparisons: 123_456,
+                hac_updates: 7890,
+                hac_merges: 777,
+                done: 1,
+            }),
+            Frame::Error {
+                code: ErrorCode::ConfigMismatch,
+                message: "job 7 exists with a different config".into(),
+            },
+        ]
+    }
+
+    fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
+        read_frame(&mut &bytes[..], DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// encode→decode→re-encode is the identity on both sides for every
+    /// frame type: the wire format is deterministic and byte-exact.
+    #[test]
+    fn byte_level_round_trip_for_every_frame_type() {
+        for frame in all_frames() {
+            let bytes = encode_frame(&frame);
+            assert_eq!(&bytes[0..4], &MAGIC, "magic for {frame:?}");
+            assert_eq!(
+                u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize,
+                bytes.len() - HEADER_LEN,
+                "length prefix for {frame:?}"
+            );
+            let decoded = decode_frame(&bytes).unwrap_or_else(|e| {
+                panic!("decoding {frame:?} failed: {e}");
+            });
+            assert_eq!(decoded, frame, "value round-trip");
+            assert_eq!(encode_frame(&decoded), bytes, "byte round-trip");
+        }
+    }
+
+    /// Every proper prefix of every frame must decode to an error, never
+    /// a frame and never a panic.
+    #[test]
+    fn truncated_frames_are_rejected_at_every_length() {
+        for frame in all_frames() {
+            let bytes = encode_frame(&frame);
+            for cut in 1..bytes.len() {
+                match decode_frame(&bytes[..cut]) {
+                    Err(WireError::Malformed(_)) => {}
+                    Err(other) => panic!("cut={cut} of {frame:?}: unexpected {other}"),
+                    Ok(f) => panic!("cut={cut} of {frame:?} decoded as {f:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_clean_close_not_error() {
+        assert!(matches!(decode_frame(&[]), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = encode_frame(&Frame::Flush { job_id: 1 });
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        // Deliberately no payload behind the huge prefix: a reader that
+        // allocated or tried to read it would fail differently.
+        match read_frame(&mut &bytes[..HEADER_LEN], 1024) {
+            Err(WireError::Oversized { len, max }) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // A frame exactly at the cap is fine.
+        let ok = encode_frame(&Frame::Flush { job_id: 1 });
+        assert!(read_frame(&mut &ok[..], 8).is_ok());
+        assert!(matches!(
+            read_frame(&mut &ok[..], 7),
+            Err(WireError::Oversized { len: 8, max: 7 })
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let mut bytes = encode_frame(&Frame::Flush { job_id: 1 });
+        bytes[0..4].copy_from_slice(b"HTTP");
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::BadMagic(m)) if &m == b"HTTP"
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = encode_frame(&Frame::Flush { job_id: 1 });
+        bytes[4..6].copy_from_slice(&2u16.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::BadVersion(2))
+        ));
+    }
+
+    #[test]
+    fn unknown_frame_type_and_reserved_byte_are_rejected() {
+        let mut bytes = encode_frame(&Frame::Flush { job_id: 1 });
+        bytes[6] = 0x77;
+        assert!(matches!(decode_frame(&bytes), Err(WireError::Malformed(_))));
+        let mut bytes = encode_frame(&Frame::Flush { job_id: 1 });
+        bytes[7] = 1;
+        assert!(matches!(decode_frame(&bytes), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_after_payload_are_rejected() {
+        let payload_ok = encode_payload(&Frame::Flush { job_id: 1 });
+        let mut padded = payload_ok.clone();
+        padded.push(0);
+        assert!(decode_payload(FrameType::Flush, &payload_ok).is_ok());
+        assert!(matches!(
+            decode_payload(FrameType::Flush, &padded),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    /// A length prefix inside the payload (spectrum count, peak count,
+    /// string length) that promises more than the payload holds must be
+    /// rejected without a huge allocation.
+    #[test]
+    fn absurd_interior_counts_are_rejected() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&7u64.to_le_bytes()); // job id
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // spectrum count
+        assert!(matches!(
+            decode_payload(FrameType::Submit, &payload),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_spectrum_payloads_are_rejected_not_panicked() {
+        // A spectrum whose precursor m/z is NaN fails Precursor::new.
+        let mut e = Enc::new();
+        e.u64(7); // job id
+        e.u32(1); // one spectrum
+        e.str("bad");
+        e.f64(f64::NAN);
+        e.u8(2);
+        e.u8(0); // no retention time
+        e.u32(0); // no peaks
+        assert!(matches!(
+            decode_payload(FrameType::Submit, &e.buf),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn job_config_defaults_match_the_pipeline_defaults() {
+        let config = JobConfig::default();
+        assert_eq!(config.pipeline_config(), SpecHdConfig::default());
+        let stream = config.stream_config();
+        assert_eq!(stream.watermark, StreamConfig::default().watermark);
+        assert_eq!(stream.workers, StreamConfig::default().workers);
+        assert!(!stream.keep_hypervectors);
+    }
+
+    #[test]
+    fn invalid_job_configs_are_rejected() {
+        let mut bad_dim = encode_payload(&Frame::OpenJob {
+            job_id: 1,
+            config: JobConfig::default(),
+        });
+        bad_dim[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_payload(FrameType::OpenJob, &bad_dim),
+            Err(WireError::Malformed(_))
+        ));
+
+        let mut bad_linkage = encode_payload(&Frame::OpenJob {
+            job_id: 1,
+            config: JobConfig::default(),
+        });
+        // linkage byte sits after job id (8) + dim (4) + two f64s (16).
+        bad_linkage[28] = 9;
+        assert!(matches!(
+            decode_payload(FrameType::OpenJob, &bad_linkage),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,431 @@
+//! The TCP front end: accept loop, per-connection reader/writer
+//! threads, timeouts, and graceful shutdown.
+//!
+//! Each connection gets two threads. The **reader** polls the socket in
+//! short intervals (so it can notice shutdown and idle deadlines
+//! without a frame arriving), reads and dispatches one frame at a time,
+//! and owns the connection's [`JobHandle`]. The **writer** drains an
+//! outbound queue shared by the reader (direct acks) and the
+//! connection's job subscription (streamed results) — one queue, so
+//! every client sees a single total order of server frames.
+//!
+//! Error policy: anything the frame layer rejects — bad magic or
+//! version, an oversized length prefix, a truncated or undecodable
+//! payload — is fatal for the **connection**: a best-effort
+//! [`Frame::Error`] goes out and the socket closes, exactly as if the
+//! client had disconnected (its job participation ends, the job
+//! itself survives). Frames that are well-formed but wrong for the
+//! connection's state (`Submit` before `OpenJob`, a mismatched
+//! `job_id`) get an [`ErrorCode::ProtocolState`] error and the
+//! connection stays up.
+
+use crate::job::{JobHandle, JobRegistry};
+use crate::protocol::{
+    decode_payload, parse_header, write_frame, ErrorCode, Frame, WireError, DEFAULT_MAX_FRAME_LEN,
+    HEADER_LEN,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Cap on a single frame's payload length; larger length prefixes
+    /// are rejected before any allocation and close the connection.
+    pub max_frame_len: u32,
+    /// How long a connection with no open (unfinished) job may sit
+    /// without sending a frame before the server closes it. Connections
+    /// waiting on a live job's results are exempt.
+    pub idle_timeout: Duration,
+    /// Per-job ingest queue depth, in spectra — the backpressure bound:
+    /// submitters block once the pipeline is this far behind.
+    pub queue_depth: usize,
+    /// Reader poll interval: the granularity at which shutdown and idle
+    /// deadlines are noticed.
+    pub poll_interval: Duration,
+    /// Once a frame has started arriving, the per-read deadline for the
+    /// rest of it; a mid-frame stall is treated as a truncated frame.
+    pub frame_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            idle_timeout: Duration::from_secs(60),
+            queue_depth: 1024,
+            poll_interval: Duration::from_millis(50),
+            frame_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A bound, not-yet-serving clustering server.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    registry: Arc<JobRegistry>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let registry = Arc::new(JobRegistry::new(config.queue_depth));
+        Ok(Self {
+            listener,
+            config,
+            registry,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that, once set, makes [`Server::serve`] return after its
+    /// next accept. Combine with a wake-up connection to the bound
+    /// address, or use [`Server::spawn`] which does both.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serves until the shutdown flag is set, then drains: waits for
+    /// every connection thread to exit (dropping their job senders) and
+    /// joins every job pipeline. Blocking — see [`Server::spawn`] for
+    /// the backgrounded variant.
+    pub fn serve(self) -> std::io::Result<()> {
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let config = self.config.clone();
+            let registry = Arc::clone(&self.registry);
+            let shutdown = Arc::clone(&self.shutdown);
+            connections.retain(|c| !c.is_finished());
+            connections.push(
+                std::thread::Builder::new()
+                    .name("spechd-conn".into())
+                    .spawn(move || handle_connection(stream, config, registry, shutdown))
+                    .expect("spawn connection thread"),
+            );
+        }
+        for conn in connections {
+            let _ = conn.join();
+        }
+        self.registry.join_pipelines();
+        Ok(())
+    }
+
+    /// Serves on a background thread; the returned handle shuts the
+    /// server down (and drains it) when asked or dropped.
+    pub fn spawn(self) -> std::io::Result<RunningServer> {
+        let addr = self.local_addr()?;
+        let shutdown = self.shutdown_flag();
+        let thread = std::thread::Builder::new()
+            .name("spechd-accept".into())
+            .spawn(move || self.serve())
+            .expect("spawn accept thread");
+        Ok(RunningServer {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// A server running on a background thread.
+pub struct RunningServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<std::io::Result<()>>>,
+}
+
+impl RunningServer {
+    /// The address the server is accepting on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown, wakes the accept loop, and waits for the
+    /// server to drain (connections closed, job pipelines joined).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let _ = thread.join();
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// What the polling frame reader produced.
+enum ReadEvent {
+    Frame(Frame),
+    /// Clean close, idle kill, shutdown, or an I/O failure — in every
+    /// case the connection is done; a `Some` carries the parting error.
+    Hangup(Option<(ErrorCode, String)>),
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    config: ServerConfig,
+    registry: Arc<JobRegistry>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (out_tx, out_rx) = mpsc::channel::<Frame>();
+    let writer = std::thread::Builder::new()
+        .name("spechd-conn-writer".into())
+        .spawn(move || writer_loop(writer_stream, out_rx))
+        .expect("spawn connection writer thread");
+
+    let mut reader = FrameReader::new(stream, &config);
+    let mut handle: Option<JobHandle> = None;
+    loop {
+        let engaged = handle.as_ref().is_some_and(JobHandle::is_active);
+        match reader.next_frame(&shutdown, engaged) {
+            ReadEvent::Frame(frame) => dispatch(frame, &mut handle, &registry, &out_tx),
+            ReadEvent::Hangup(parting) => {
+                if let Some((code, message)) = parting {
+                    let _ = out_tx.send(Frame::Error { code, message });
+                }
+                break;
+            }
+        }
+    }
+    // Dropping the handle ends this connection's job participation; if
+    // it was the last participant the job's stream ends and the
+    // pipeline finalizes. Dropping `out_tx` lets the writer exit once
+    // the job's subscription (if any) is gone too.
+    drop(handle);
+    drop(out_tx);
+    let _ = writer.join();
+}
+
+/// Reads frames off a socket with a poll loop for the first byte (so
+/// shutdown and idle deadlines are honored between frames) and a
+/// deadline for the rest of each frame.
+struct FrameReader {
+    stream: TcpStream,
+    max_frame_len: u32,
+    idle_timeout: Duration,
+    poll_interval: Duration,
+    frame_deadline: Duration,
+    last_activity: Instant,
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream, config: &ServerConfig) -> Self {
+        Self {
+            stream,
+            max_frame_len: config.max_frame_len,
+            idle_timeout: config.idle_timeout,
+            poll_interval: config.poll_interval,
+            frame_deadline: config.frame_deadline,
+            last_activity: Instant::now(),
+        }
+    }
+
+    fn next_frame(&mut self, shutdown: &AtomicBool, engaged: bool) -> ReadEvent {
+        // Phase 1: poll for the frame's first byte.
+        let mut header = [0u8; HEADER_LEN];
+        if self
+            .stream
+            .set_read_timeout(Some(self.poll_interval))
+            .is_err()
+        {
+            return ReadEvent::Hangup(None);
+        }
+        loop {
+            if shutdown.load(Ordering::Acquire) {
+                return ReadEvent::Hangup(Some((
+                    ErrorCode::ServerShutdown,
+                    "server shutting down".into(),
+                )));
+            }
+            match self.stream.read(&mut header[..1]) {
+                Ok(0) => return ReadEvent::Hangup(None),
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if !engaged && self.last_activity.elapsed() >= self.idle_timeout {
+                        return ReadEvent::Hangup(Some((
+                            ErrorCode::IdleTimeout,
+                            "connection idle with no open job".into(),
+                        )));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadEvent::Hangup(None),
+            }
+        }
+        // Phase 2: the frame has started — finish it under a deadline.
+        if self
+            .stream
+            .set_read_timeout(Some(self.frame_deadline))
+            .is_err()
+        {
+            return ReadEvent::Hangup(None);
+        }
+        if let Err(e) = self.stream.read_exact(&mut header[1..]) {
+            return hangup_for(truncation(e, "header"));
+        }
+        let (frame_type, len) = match parse_header(&header, self.max_frame_len) {
+            Ok(parsed) => parsed,
+            Err(e) => return hangup_for(e),
+        };
+        let mut payload = vec![0u8; len as usize];
+        if let Err(e) = self.stream.read_exact(&mut payload) {
+            return hangup_for(truncation(e, "payload"));
+        }
+        match decode_payload(frame_type, &payload) {
+            Ok(frame) => {
+                self.last_activity = Instant::now();
+                ReadEvent::Frame(frame)
+            }
+            Err(e) => hangup_for(e),
+        }
+    }
+}
+
+fn truncation(e: std::io::Error, what: &str) -> WireError {
+    match e.kind() {
+        std::io::ErrorKind::UnexpectedEof
+        | std::io::ErrorKind::WouldBlock
+        | std::io::ErrorKind::TimedOut => {
+            WireError::Malformed(format!("truncated frame: stalled inside {what}"))
+        }
+        _ => WireError::Io(e),
+    }
+}
+
+fn hangup_for(e: WireError) -> ReadEvent {
+    let parting = match &e {
+        WireError::Closed | WireError::Io(_) => None,
+        _ => Some((e.error_code(), e.to_string())),
+    };
+    ReadEvent::Hangup(parting)
+}
+
+fn dispatch(
+    frame: Frame,
+    handle: &mut Option<JobHandle>,
+    registry: &Arc<JobRegistry>,
+    out_tx: &mpsc::Sender<Frame>,
+) {
+    let reply = |frame: Frame| {
+        let _ = out_tx.send(frame);
+    };
+    let state_error = |message: String| {
+        reply(Frame::Error {
+            code: ErrorCode::ProtocolState,
+            message,
+        });
+    };
+    match frame {
+        Frame::OpenJob { job_id, config } => {
+            if handle.is_some() {
+                state_error("connection already has an open job".into());
+                return;
+            }
+            match registry.open_or_join(job_id, config, out_tx.clone()) {
+                Ok(h) => {
+                    reply(Frame::JobStats(h.stats()));
+                    *handle = Some(h);
+                }
+                Err(e) => reply(Frame::Error {
+                    code: e.code,
+                    message: e.message,
+                }),
+            }
+        }
+        Frame::Submit { job_id, spectra } => match handle {
+            Some(h) if h.job_id() == job_id => match h.submit(spectra) {
+                Ok((base, count)) => reply(Frame::SubmitAck {
+                    job_id,
+                    base,
+                    count,
+                }),
+                Err(e) => reply(Frame::Error {
+                    code: e.code,
+                    message: e.message,
+                }),
+            },
+            _ => state_error(format!("job {job_id} is not open on this connection")),
+        },
+        Frame::Flush { job_id } => match handle {
+            Some(h) if h.job_id() == job_id => reply(Frame::JobStats(h.stats())),
+            _ => state_error(format!("job {job_id} is not open on this connection")),
+        },
+        Frame::CloseJob { job_id } => match handle {
+            Some(h) if h.job_id() == job_id => h.close(),
+            _ => state_error(format!("job {job_id} is not open on this connection")),
+        },
+        Frame::SubmitAck { .. }
+        | Frame::Assignment { .. }
+        | Frame::Consensus { .. }
+        | Frame::JobStats(_)
+        | Frame::Error { .. } => {
+            state_error("server-to-client frame sent by client".into());
+        }
+    }
+}
+
+/// Drains the connection's outbound queue onto the socket, batching
+/// writes and flushing at queue-empty boundaries. Exits when every
+/// sender is gone (reader exited and job subscription pruned) or on a
+/// write failure — in which case it shuts the socket down so the
+/// reader notices too.
+fn writer_loop(stream: TcpStream, out_rx: mpsc::Receiver<Frame>) {
+    let mut w = std::io::BufWriter::new(stream);
+    while let Ok(frame) = out_rx.recv() {
+        if write_frame(&mut w, &frame).is_err() {
+            break;
+        }
+        let mut flush_due = true;
+        while let Ok(next) = out_rx.try_recv() {
+            if write_frame(&mut w, &next).is_err() {
+                flush_due = false;
+                break;
+            }
+        }
+        if !flush_due || w.flush().is_err() {
+            break;
+        }
+    }
+    if let Ok(stream) = w.into_inner() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}

@@ -1,1 +1,112 @@
-//! Integration test host crate. All content lives in `tests/`.
+//! Integration test host crate: shared fixtures and equivalence
+//! assertions used by the suites in `tests/`.
+//!
+//! The equivalence helpers encode the workspace's central promise —
+//! every alternative execution path (streaming, served-over-TCP) is
+//! **bit-identical** to the batch pipeline on the same input sequence —
+//! so each suite asserts it the same way instead of drifting apart.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use spechd_core::{SpecHdOutcome, StreamOutcome};
+use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+use spechd_ms::SpectrumDataset;
+use spechd_server::ServiceOutcome;
+
+/// The suites' standard synthetic dataset: `n` spectra over `n/5`
+/// peptides (min 2), deterministic in `seed`.
+pub fn synthetic_dataset(n: usize, seed: u64) -> SpectrumDataset {
+    SyntheticGenerator::new(SyntheticConfig {
+        num_spectra: n,
+        num_peptides: (n / 5).max(2),
+        seed,
+        ..SyntheticConfig::default()
+    })
+    .generate()
+}
+
+/// Full-outcome equality between a streaming run and the batch run on
+/// the same sequence: labels, consensus, kept mapping, hypervector
+/// archive, and the deterministic statistics.
+pub fn assert_equivalent(streamed: &StreamOutcome, batch: &SpecHdOutcome, context: &str) {
+    assert_eq!(
+        streamed.outcome.assignment(),
+        batch.assignment(),
+        "labels diverged: {context}"
+    );
+    assert_eq!(
+        streamed.outcome.consensus(),
+        batch.consensus(),
+        "consensus diverged: {context}"
+    );
+    assert_eq!(
+        streamed.outcome.kept(),
+        batch.kept(),
+        "kept mapping diverged: {context}"
+    );
+    assert_eq!(
+        streamed.outcome.hypervectors(),
+        batch.hypervectors(),
+        "hypervector archive diverged: {context}"
+    );
+    assert_eq!(
+        streamed.outcome.stats().buckets,
+        batch.stats().buckets,
+        "bucket stats diverged: {context}"
+    );
+    assert_eq!(
+        streamed.outcome.stats().preprocess,
+        batch.stats().preprocess,
+        "preprocess stats diverged: {context}"
+    );
+    assert_eq!(
+        streamed.outcome.stats().hac,
+        batch.stats().hac,
+        "HAC work counters diverged: {context}"
+    );
+}
+
+/// Full-outcome equality between a served job's reassembled result and
+/// the batch run on the union of all participants' spectra in stream
+/// order: kept set, dense labels, consensus medoids, cluster count,
+/// and the HAC work counters the final stats frame carries.
+pub fn assert_service_equivalent(served: &ServiceOutcome, batch: &SpecHdOutcome, context: &str) {
+    let served_kept: Vec<usize> = served.kept.iter().map(|&i| i as usize).collect();
+    assert_eq!(
+        served_kept,
+        batch.kept(),
+        "kept mapping diverged: {context}"
+    );
+    assert_eq!(
+        served.labels,
+        batch.assignment().labels(),
+        "labels diverged: {context}"
+    );
+    let served_consensus: Vec<usize> = served.consensus.iter().map(|&i| i as usize).collect();
+    assert_eq!(
+        served_consensus,
+        batch.consensus(),
+        "consensus diverged: {context}"
+    );
+    assert_eq!(
+        served.stats.clusters as usize,
+        batch.assignment().num_clusters(),
+        "cluster count diverged: {context}"
+    );
+    let hac = batch.stats().hac;
+    assert_eq!(
+        (
+            served.stats.hac_comparisons,
+            served.stats.hac_updates,
+            served.stats.hac_merges
+        ),
+        (hac.comparisons, hac.updates, hac.merges),
+        "HAC work counters diverged: {context}"
+    );
+    assert_eq!(
+        served.stats.kept as usize,
+        batch.kept().len(),
+        "final kept count diverged: {context}"
+    );
+}

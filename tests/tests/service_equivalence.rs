@@ -1,0 +1,366 @@
+//! Served-vs-batch equivalence and server robustness suite.
+//!
+//! The service promise mirrors the streaming one: N concurrent clients
+//! submitting disjoint slices into one job must reassemble a clustering
+//! **bit-identical** to a local batch `SpecHd::run` over the union of
+//! their spectra in stream order. Around that core sit the lifecycle
+//! regressions: a client disconnecting mid-stream leaves a job that
+//! still finalizes cleanly for the survivors, malformed frames kill one
+//! connection and never the server, idle connections are reaped, and
+//! shutdown drains every pipeline.
+
+use spechd_core::SpecHd;
+use spechd_ms::{Spectrum, SpectrumDataset};
+use spechd_server::protocol::{encode_frame, read_frame, DEFAULT_MAX_FRAME_LEN};
+use spechd_server::{
+    ClientError, ErrorCode, Frame, JobClient, JobConfig, RunningServer, Server, ServerConfig,
+    ServiceOutcome, SubmitReceipt,
+};
+use spechd_tests::{assert_service_equivalent, synthetic_dataset};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start_server(config: ServerConfig) -> RunningServer {
+    Server::bind("127.0.0.1:0", config)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server")
+}
+
+/// Unique-enough job ids across tests sharing a server.
+fn job_id(tag: u64) -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos() as u64
+        ^ (tag << 48)
+}
+
+/// Submit receipts paired with the dataset indices they placed.
+type Placements = Vec<(SubmitReceipt, Vec<usize>)>;
+
+/// Submits `dataset`'s round-robin slice `conn` of `connections` in
+/// batches, returning the receipts paired with the dataset indices
+/// they placed.
+fn submit_slice(
+    client: &mut JobClient,
+    dataset: &SpectrumDataset,
+    conn: usize,
+    connections: usize,
+    batch: usize,
+) -> Placements {
+    let indices: Vec<usize> = (conn..dataset.len()).step_by(connections).collect();
+    indices
+        .chunks(batch)
+        .map(|chunk| {
+            let spectra: Vec<Spectrum> = chunk
+                .iter()
+                .map(|&i| dataset.spectra()[i].clone())
+                .collect();
+            let receipt = client.submit(spectra).expect("submit");
+            assert_eq!(receipt.count as usize, chunk.len());
+            (receipt, chunk.to_vec())
+        })
+        .collect()
+}
+
+/// Rebuilds the union dataset in stream order from submit receipts.
+fn union_in_stream_order(dataset: &SpectrumDataset, placements: &Placements) -> SpectrumDataset {
+    let mut order: Vec<Option<usize>> = vec![None; dataset.len()];
+    for (receipt, indices) in placements {
+        for (offset, &dataset_index) in indices.iter().enumerate() {
+            let slot = receipt.base as usize + offset;
+            assert!(order[slot].is_none(), "stream slot {slot} double-booked");
+            order[slot] = Some(dataset_index);
+        }
+    }
+    let mut union = SpectrumDataset::new();
+    for slot in order.into_iter().flatten() {
+        union.push(dataset.spectra()[slot].clone(), dataset.labels()[slot]);
+    }
+    union
+}
+
+/// The acceptance-gate test: four concurrent clients, one job, disjoint
+/// slices — every participant's reassembled outcome is identical, and
+/// bit-identical to the batch pipeline on the union in stream order.
+#[test]
+fn four_concurrent_clients_reassemble_the_batch_outcome() {
+    const CONNECTIONS: usize = 4;
+    let server = start_server(ServerConfig::default());
+    let addr = server.addr();
+    let dataset = synthetic_dataset(600, 0x5E4F);
+    let job = job_id(1);
+
+    let results: Vec<(Placements, ServiceOutcome)> = std::thread::scope(|scope| {
+        let dataset = &dataset;
+        let handles: Vec<_> = (0..CONNECTIONS)
+            .map(|conn| {
+                scope.spawn(move || {
+                    let mut client =
+                        JobClient::connect(addr, job, JobConfig::default()).expect("connect");
+                    let placements = submit_slice(&mut client, dataset, conn, CONNECTIONS, 13);
+                    let stats = client.flush().expect("flush");
+                    assert!(stats.submitted > 0);
+                    let outcome = client.close_and_wait().expect("close_and_wait");
+                    (placements, outcome)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every participant saw the same reassembled outcome.
+    for (c, (_, outcome)) in results.iter().enumerate().skip(1) {
+        assert_eq!(
+            outcome, &results[0].1,
+            "participant {c} reassembled a different outcome"
+        );
+    }
+    // And it is bit-identical to the batch run on the union.
+    let all_placements: Placements = results.iter().flat_map(|(p, _)| p.clone()).collect();
+    let union = union_in_stream_order(&dataset, &all_placements);
+    assert_eq!(union.len(), dataset.len(), "all spectra placed");
+    let engine = SpecHd::new(JobConfig::default().pipeline_config());
+    let batch = engine.run(&union);
+    assert_service_equivalent(&results[0].1, &batch, "4 concurrent clients");
+    assert_eq!(results[0].1.stats.done, 1);
+    assert_eq!(results[0].1.stats.submitted as usize, dataset.len());
+
+    server.shutdown();
+}
+
+/// Satellite regression: a client that disconnects abruptly mid-stream
+/// (no `CloseJob`) ends its participation exactly like a close — the
+/// survivor still finalizes the job over BOTH clients' spectra, and the
+/// server drains cleanly afterwards (no leaked pipeline).
+#[test]
+fn client_disconnect_mid_stream_finalizes_for_survivors() {
+    let server = start_server(ServerConfig::default());
+    let addr = server.addr();
+    let dataset = synthetic_dataset(240, 0xD15C);
+    let job = job_id(2);
+
+    let mut casualty = JobClient::connect(addr, job, JobConfig::default()).expect("connect A");
+    let mut survivor = JobClient::connect(addr, job, JobConfig::default()).expect("connect B");
+
+    // A submits its full slice (all acks received, so its spectra are
+    // ingested at known stream indices), then vanishes without closing.
+    let mut placements = submit_slice(&mut casualty, &dataset, 0, 2, 17);
+    drop(casualty);
+
+    placements.extend(submit_slice(&mut survivor, &dataset, 1, 2, 17));
+    let outcome = survivor.close_and_wait().expect("survivor close_and_wait");
+
+    let union = union_in_stream_order(&dataset, &placements);
+    assert_eq!(union.len(), dataset.len());
+    let engine = SpecHd::new(JobConfig::default().pipeline_config());
+    let batch = engine.run(&union);
+    assert_service_equivalent(&outcome, &batch, "disconnect mid-stream");
+
+    // Shutdown joins every pipeline thread: if the dead client's shard
+    // worker scope leaked, this would hang instead of returning.
+    server.shutdown();
+}
+
+/// A malformed frame (wrong magic) gets an error reply and kills that
+/// connection — while a job on another connection sails through
+/// untouched, proving the server itself survived.
+#[test]
+fn malformed_frame_kills_connection_not_server() {
+    let server = start_server(ServerConfig::default());
+    let addr = server.addr();
+
+    let mut rogue = TcpStream::connect(addr).expect("connect rogue");
+    rogue
+        .write_all(b"GET / HTTP/1.1\r\n\r\n")
+        .expect("write junk");
+    match read_frame(&mut rogue, DEFAULT_MAX_FRAME_LEN) {
+        Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected Malformed error frame, got {other:?}"),
+    }
+    // The server closed the connection after the error frame.
+    let mut rest = Vec::new();
+    rogue.read_to_end(&mut rest).expect("read EOF");
+    assert!(rest.is_empty(), "no frames after the fatal error");
+
+    // The server still serves: a full job on a fresh connection works.
+    let dataset = synthetic_dataset(120, 0xBAD);
+    let mut client =
+        JobClient::connect(addr, job_id(3), JobConfig::default()).expect("connect after rogue");
+    let placements = submit_slice(&mut client, &dataset, 0, 1, 40);
+    let outcome = client.close_and_wait().expect("close_and_wait");
+    let union = union_in_stream_order(&dataset, &placements);
+    let engine = SpecHd::new(JobConfig::default().pipeline_config());
+    assert_service_equivalent(&outcome, &engine.run(&union), "after malformed peer");
+
+    server.shutdown();
+}
+
+/// An oversized length prefix is rejected before any allocation, with
+/// the dedicated error code, and closes the connection.
+#[test]
+fn oversized_length_prefix_rejected_with_error_frame() {
+    let config = ServerConfig {
+        max_frame_len: 1024,
+        ..ServerConfig::default()
+    };
+    let server = start_server(config);
+    let mut rogue = TcpStream::connect(server.addr()).expect("connect");
+    let mut bytes = encode_frame(&Frame::Flush { job_id: 1 });
+    bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    rogue.write_all(&bytes[..12]).expect("write header");
+    match read_frame(&mut rogue, DEFAULT_MAX_FRAME_LEN) {
+        Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::Oversized),
+        other => panic!("expected Oversized error frame, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    rogue.read_to_end(&mut rest).expect("read EOF");
+    assert!(rest.is_empty());
+    server.shutdown();
+}
+
+/// Frames that are well-formed but wrong for the connection state get a
+/// `ProtocolState` error and the connection SURVIVES: the same socket
+/// can then open a job and use it.
+#[test]
+fn state_errors_do_not_kill_the_connection() {
+    let server = start_server(ServerConfig::default());
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+
+    // Submit before OpenJob.
+    stream
+        .write_all(&encode_frame(&Frame::Submit {
+            job_id: 9,
+            spectra: Vec::new(),
+        }))
+        .expect("write premature submit");
+    match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+        Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::ProtocolState),
+        other => panic!("expected ProtocolState error, got {other:?}"),
+    }
+
+    // Same connection, proper handshake: works.
+    stream
+        .write_all(&encode_frame(&Frame::OpenJob {
+            job_id: 9,
+            config: JobConfig::default(),
+        }))
+        .expect("write open");
+    match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+        Ok(Frame::JobStats(stats)) => assert_eq!(stats.job_id, 9),
+        other => panic!("expected JobStats ack, got {other:?}"),
+    }
+    // Wrong job id on an open connection: state error, still alive.
+    stream
+        .write_all(&encode_frame(&Frame::Flush { job_id: 10 }))
+        .expect("write wrong-job flush");
+    match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+        Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::ProtocolState),
+        other => panic!("expected ProtocolState error, got {other:?}"),
+    }
+    stream
+        .write_all(&encode_frame(&Frame::Flush { job_id: 9 }))
+        .expect("write good flush");
+    match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+        Ok(Frame::JobStats(stats)) => assert_eq!(stats.job_id, 9),
+        other => panic!("expected JobStats ack, got {other:?}"),
+    }
+    drop(stream);
+    server.shutdown();
+}
+
+/// Joining an existing job with a different config is refused.
+#[test]
+fn config_mismatch_on_join_is_rejected() {
+    let server = start_server(ServerConfig::default());
+    let job = job_id(4);
+    let _first =
+        JobClient::connect(server.addr(), job, JobConfig::default()).expect("first participant");
+    let different = JobConfig {
+        resolution: 2.5,
+        ..JobConfig::default()
+    };
+    match JobClient::connect(server.addr(), job, different) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::ConfigMismatch),
+        Err(other) => panic!("expected ConfigMismatch, got {other}"),
+        Ok(_) => panic!("join with a different config must be rejected"),
+    }
+    server.shutdown();
+}
+
+/// A connection with no open job is reaped after the idle timeout with
+/// the dedicated error code; a connection waiting on a live job is not.
+#[test]
+fn idle_connections_are_reaped_busy_ones_are_not() {
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(300),
+        poll_interval: Duration::from_millis(20),
+        ..ServerConfig::default()
+    };
+    let server = start_server(config);
+
+    // Busy: holds an open job, sits longer than the idle timeout, and
+    // must still be alive to close it.
+    let dataset = synthetic_dataset(40, 0x1D7E);
+    let mut busy =
+        JobClient::connect(server.addr(), job_id(5), JobConfig::default()).expect("busy connect");
+    submit_slice(&mut busy, &dataset, 0, 1, 40);
+
+    // Idle: never opens a job.
+    let mut idle = TcpStream::connect(server.addr()).expect("idle connect");
+    match read_frame(&mut idle, DEFAULT_MAX_FRAME_LEN) {
+        Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::IdleTimeout),
+        other => panic!("expected IdleTimeout error, got {other:?}"),
+    }
+
+    let outcome = busy
+        .close_and_wait()
+        .expect("busy client survived the idle window");
+    assert_eq!(outcome.stats.done, 1);
+    server.shutdown();
+}
+
+/// An empty job (open, close, no spectra) finalizes to an empty
+/// outcome instead of wedging the pipeline.
+#[test]
+fn empty_job_finalizes_empty() {
+    let server = start_server(ServerConfig::default());
+    let client =
+        JobClient::connect(server.addr(), job_id(6), JobConfig::default()).expect("connect");
+    let outcome = client.close_and_wait().expect("close empty job");
+    assert!(outcome.kept.is_empty());
+    assert!(outcome.labels.is_empty());
+    assert!(outcome.consensus.is_empty());
+    assert_eq!(outcome.stats.done, 1);
+    assert_eq!(outcome.stats.clusters, 0);
+    server.shutdown();
+}
+
+/// Shutdown stops accepting and wakes parked connections with the
+/// dedicated error code.
+#[test]
+fn shutdown_notifies_parked_connections_and_stops_accepting() {
+    let config = ServerConfig {
+        poll_interval: Duration::from_millis(20),
+        ..ServerConfig::default()
+    };
+    let server = start_server(config);
+    let addr = server.addr();
+    let mut parked = TcpStream::connect(addr).expect("parked connect");
+
+    // Shut down while the connection is parked between frames; join of
+    // the accept loop and pipelines happens inside shutdown().
+    server.shutdown();
+    match read_frame(&mut parked, DEFAULT_MAX_FRAME_LEN) {
+        Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::ServerShutdown),
+        // The socket may already be closed by the time we read.
+        Err(_) => {}
+        Ok(other) => panic!("expected ServerShutdown error, got {other:?}"),
+    }
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err(),
+        "listener must be gone after shutdown"
+    );
+}

@@ -8,60 +8,11 @@
 //! stream, a single-shard dataset, a mass-sorted stream (early shard
 //! retirement), and a channel-fed producer thread.
 
-use spechd_core::{SpecHd, SpecHdConfig, SpecHdOutcome, StreamConfig, StreamOutcome};
+use spechd_core::{SpecHd, SpecHdConfig, StreamConfig};
 use spechd_ms::stream::{sort_dataset_by_mass, AssertSorted, ChannelStream, DatasetStream};
 use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
 use spechd_ms::{Peak, Precursor, Spectrum, SpectrumDataset};
-
-fn dataset(n: usize, seed: u64) -> SpectrumDataset {
-    SyntheticGenerator::new(SyntheticConfig {
-        num_spectra: n,
-        num_peptides: (n / 5).max(2),
-        seed,
-        ..SyntheticConfig::default()
-    })
-    .generate()
-}
-
-/// Full-outcome equality: labels, consensus, kept mapping, hypervector
-/// archive, and the deterministic statistics.
-fn assert_equivalent(streamed: &StreamOutcome, batch: &SpecHdOutcome, context: &str) {
-    assert_eq!(
-        streamed.outcome.assignment(),
-        batch.assignment(),
-        "labels diverged: {context}"
-    );
-    assert_eq!(
-        streamed.outcome.consensus(),
-        batch.consensus(),
-        "consensus diverged: {context}"
-    );
-    assert_eq!(
-        streamed.outcome.kept(),
-        batch.kept(),
-        "kept mapping diverged: {context}"
-    );
-    assert_eq!(
-        streamed.outcome.hypervectors(),
-        batch.hypervectors(),
-        "hypervector archive diverged: {context}"
-    );
-    assert_eq!(
-        streamed.outcome.stats().buckets,
-        batch.stats().buckets,
-        "bucket stats diverged: {context}"
-    );
-    assert_eq!(
-        streamed.outcome.stats().preprocess,
-        batch.stats().preprocess,
-        "preprocess stats diverged: {context}"
-    );
-    assert_eq!(
-        streamed.outcome.stats().hac,
-        batch.stats().hac,
-        "HAC work counters diverged: {context}"
-    );
-}
+use spechd_tests::{assert_equivalent, synthetic_dataset as dataset};
 
 #[test]
 fn equivalence_across_watermarks_and_workers() {
