@@ -242,8 +242,11 @@ impl crate::SpecHd {
     /// threads but are serialized through one internal lock, so the
     /// observer needs `Send` but not `Sync`. The observer runs on the
     /// pipeline's critical path: a slow observer stalls the worker that
-    /// calls it (by design — this is how `spechd-server` applies
-    /// backpressure to result fan-out). Results are bit-identical to
+    /// calls it, so observers must stay cheap and non-blocking
+    /// (`spechd-server`'s observer, for instance, hands result frames
+    /// to bounded per-connection queues with a non-blocking send and
+    /// drops subscribers that stopped draining, rather than ever
+    /// blocking here). Results are bit-identical to
     /// [`run_streaming`](crate::SpecHd::run_streaming); the events are a
     /// pure tap.
     ///

@@ -11,10 +11,15 @@
 //! abruptly is indistinguishable from one that sent `CloseJob`: its
 //! spectra stay in the job and the pipeline still finalizes cleanly.
 //!
-//! Backpressure is the ingest channel's bound: when the pipeline falls
-//! behind, `submit` blocks, which stops the connection's reader thread,
-//! which stops reading the socket — slow consumers throttle at TCP,
-//! they never grow a server-side buffer.
+//! Backpressure is bounded in both directions. Ingest: the job's
+//! bounded channel — when the pipeline falls behind, `submit` blocks,
+//! which stops the connection's reader thread, which stops reading the
+//! socket, so slow pipelines throttle producers at TCP. Fan-out: each
+//! subscriber's outbound queue is bounded, and result frames are handed
+//! over with a non-blocking send — a consumer that stops draining its
+//! queue is dropped from the job (its subscription goes inactive)
+//! instead of accumulating the job's output in server memory or
+//! stalling the pipeline for the other participants.
 //!
 //! Results stream back as shards finalize. Shard events arrive in
 //! completion order, but raw label blocks must be assigned in ascending
@@ -55,7 +60,7 @@ impl JobError {
 }
 
 struct Subscriber {
-    tx: mpsc::Sender<Frame>,
+    tx: mpsc::SyncSender<Frame>,
     active: Arc<AtomicBool>,
 }
 
@@ -101,10 +106,19 @@ impl Job {
         }
     }
 
+    /// Non-blocking fan-out: a subscriber whose bounded queue is full
+    /// (a consumer that stopped draining its connection) or gone is
+    /// dropped from the job, so fan-out memory is capped at the queue
+    /// bound per connection and a stalled client never stalls the
+    /// pipeline.
     fn broadcast(&self, state: &mut JobState, frame: &Frame) {
-        state
-            .subscribers
-            .retain(|sub| sub.tx.send(frame.clone()).is_ok());
+        state.subscribers.retain(|sub| {
+            if sub.tx.try_send(frame.clone()).is_ok() {
+                return true;
+            }
+            sub.active.store(false, Ordering::Release);
+            false
+        });
     }
 
     /// Emits every buffered shard whose turn (in ascending key order)
@@ -192,10 +206,16 @@ impl Job {
             hac_merges: hac.merges,
             done: 1,
         });
-        self.broadcast(&mut state, &frame);
-        for sub in state.subscribers.drain(..) {
+        // Deactivate before broadcasting: by the time a client reads the
+        // final frame off its socket, its handle already reads as
+        // settled, so an immediately following `OpenJob` on the same
+        // connection finds the slot vacated. The queued frames still
+        // deliver after the senders drop.
+        for sub in &state.subscribers {
             sub.active.store(false, Ordering::Release);
         }
+        self.broadcast(&mut state, &frame);
+        state.subscribers.clear();
     }
 }
 
@@ -229,13 +249,16 @@ impl JobRegistry {
 
     /// Opens `job_id` (creating its pipeline) or joins it as another
     /// participant. Joining requires a bit-identical [`JobConfig`].
-    /// `out_tx` is subscribed to the job's result frames; the returned
-    /// [`JobHandle`] counts as one participant until closed or dropped.
+    /// `out_tx` is subscribed to the job's result frames; its bound is
+    /// the fan-out budget — result frames are delivered with a
+    /// non-blocking send, and a subscriber whose queue is full is
+    /// dropped from the job. The returned [`JobHandle`] counts as one
+    /// participant until closed or dropped.
     pub fn open_or_join(
         self: &Arc<Self>,
         job_id: u64,
         config: JobConfig,
-        out_tx: mpsc::Sender<Frame>,
+        out_tx: mpsc::SyncSender<Frame>,
     ) -> Result<JobHandle, JobError> {
         let active = Arc::new(AtomicBool::new(true));
         let subscriber = Subscriber {
@@ -310,10 +333,13 @@ impl JobRegistry {
                     .remove(&pipeline_job.id);
             })
             .expect("spawn job pipeline thread");
-        self.threads
-            .lock()
-            .expect("thread table poisoned")
-            .push(handle);
+        let mut threads = self.threads.lock().expect("thread table poisoned");
+        // Prune handles of pipelines that already finished — a
+        // long-running server must not retain one handle per job ever
+        // created until shutdown.
+        threads.retain(|t| !t.is_finished());
+        threads.push(handle);
+        drop(threads);
 
         Ok(JobHandle {
             job,
@@ -358,6 +384,14 @@ impl JobHandle {
     /// a live job's results is not idle.
     pub fn is_active(&self) -> bool {
         self.active.load(Ordering::Acquire)
+    }
+
+    /// True once this participation is over on both sides: closed (no
+    /// more submits) and no longer subscribed (the job finished, or the
+    /// subscription was dropped as a stalled consumer). A connection
+    /// whose handle is settled may vacate it and open a new job.
+    pub fn is_settled(&self) -> bool {
+        self.closed && !self.is_active()
     }
 
     /// Appends a batch to the job's stream, returning the batch's base

@@ -18,8 +18,10 @@
 //!   prefixes, byte-exact round-trippable frames.
 //! * [`job`] — job lifecycle and backpressure: the last participant's
 //!   close (or disconnect) ends the stream; a full ingest queue blocks
-//!   the submitter at the socket, so slow pipelines throttle clients
-//!   instead of growing server memory.
+//!   the submitter at the socket, and result fan-out goes through
+//!   bounded per-connection queues whose stalled consumers are dropped
+//!   — in both directions, slow peers cost bounded memory, never the
+//!   job's throughput or the server's heap.
 //! * [`server`] — the accept loop and per-connection threads: idle
 //!   timeouts, frame deadlines, malformed-frame rejection that kills
 //!   the connection but never the server, graceful drain on shutdown.

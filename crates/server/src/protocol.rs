@@ -42,6 +42,16 @@ pub const HEADER_LEN: usize = 12;
 /// peak this is roughly 40k spectra of 50 peaks in one `Submit` — far
 /// above any sane batch, far below an OOM.
 pub const DEFAULT_MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
+/// Cap on [`JobConfig::workers`] accepted over the wire (0 = all cores
+/// available on the server is still allowed). A worker count is a
+/// thread count: without this cap a single well-formed `OpenJob` frame
+/// could demand billions of pipeline threads.
+pub const MAX_WORKERS: u32 = 64;
+/// Cap on [`JobConfig::watermark`] accepted over the wire, in spectra
+/// per open shard. 0 — the core pipeline's "flush only at shard close"
+/// mode — is also rejected: over the network it would let a client make
+/// every shard buffer grow without bound.
+pub const MAX_WATERMARK: u32 = 1 << 20;
 
 /// Frame type discriminants as they appear on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,10 +148,13 @@ pub struct JobConfig {
     /// HAC linkage criterion (wire: 0 single, 1 complete, 2 average,
     /// 3 ward).
     pub linkage: Linkage,
-    /// [`StreamConfig::watermark`] of the job's pipeline.
+    /// [`StreamConfig::watermark`] of the job's pipeline. The wire
+    /// accepts only `[1, MAX_WATERMARK]`: the unbounded mode (0) is not
+    /// offered over the network (see [`MAX_WATERMARK`]).
     pub watermark: u32,
     /// [`StreamConfig::workers`] of the job's pipeline (0 = all
-    /// available on the server).
+    /// available on the server). The wire rejects counts above
+    /// [`MAX_WORKERS`].
     pub workers: u32,
 }
 
@@ -700,6 +713,18 @@ pub fn decode_payload(frame_type: FrameType, payload: &[u8]) -> Result<Frame, Wi
             {
                 return Err(WireError::malformed("invalid job config values"));
             }
+            if config.workers > MAX_WORKERS {
+                return Err(WireError::malformed(format!(
+                    "workers {} exceeds cap {MAX_WORKERS}",
+                    config.workers
+                )));
+            }
+            if config.watermark == 0 || config.watermark > MAX_WATERMARK {
+                return Err(WireError::malformed(format!(
+                    "watermark {} outside [1, {MAX_WATERMARK}]",
+                    config.watermark
+                )));
+            }
             Frame::OpenJob { job_id, config }
         }
         FrameType::Submit => {
@@ -1058,5 +1083,58 @@ mod tests {
             decode_payload(FrameType::OpenJob, &bad_linkage),
             Err(WireError::Malformed(_))
         ));
+    }
+
+    /// The streaming knobs turn into server threads and buffers, so the
+    /// decode path must refuse hostile values before anything is
+    /// allocated or spawned — and accept the documented boundaries.
+    #[test]
+    fn hostile_stream_knobs_are_rejected_at_decode() {
+        let open = |config: JobConfig| encode_payload(&Frame::OpenJob { job_id: 1, config });
+        let rejected = [
+            JobConfig {
+                workers: u32::MAX, // ~4B requested pipeline threads
+                ..JobConfig::default()
+            },
+            JobConfig {
+                workers: MAX_WORKERS + 1,
+                ..JobConfig::default()
+            },
+            JobConfig {
+                watermark: 0, // unbounded shard buffers
+                ..JobConfig::default()
+            },
+            JobConfig {
+                watermark: MAX_WATERMARK + 1,
+                ..JobConfig::default()
+            },
+        ];
+        for config in rejected {
+            assert!(
+                matches!(
+                    decode_payload(FrameType::OpenJob, &open(config.clone())),
+                    Err(WireError::Malformed(_))
+                ),
+                "config must be rejected: {config:?}"
+            );
+        }
+        let accepted = [
+            JobConfig {
+                workers: 0, // auto: all cores on the server
+                watermark: 1,
+                ..JobConfig::default()
+            },
+            JobConfig {
+                workers: MAX_WORKERS,
+                watermark: MAX_WATERMARK,
+                ..JobConfig::default()
+            },
+        ];
+        for config in accepted {
+            assert!(
+                decode_payload(FrameType::OpenJob, &open(config.clone())).is_ok(),
+                "boundary config must decode: {config:?}"
+            );
+        }
     }
 }

@@ -4,10 +4,17 @@
 //! Each connection gets two threads. The **reader** polls the socket in
 //! short intervals (so it can notice shutdown and idle deadlines
 //! without a frame arriving), reads and dispatches one frame at a time,
-//! and owns the connection's [`JobHandle`]. The **writer** drains an
-//! outbound queue shared by the reader (direct acks) and the
-//! connection's job subscription (streamed results) — one queue, so
-//! every client sees a single total order of server frames.
+//! and owns the connection's [`JobHandle`]; once a handle settles (job
+//! closed and finished) the reader vacates it, so a connection can run
+//! jobs sequentially. The **writer** drains a **bounded** outbound
+//! queue shared by the reader (direct acks) and the connection's job
+//! subscription (streamed results) — one queue, so every client sees a
+//! single total order of server frames, and one cap
+//! ([`ServerConfig::outbound_queue_depth`]) on what a connection can
+//! make the server buffer. A client that stops draining results is
+//! dropped from its job's fan-out when the queue fills, and a socket
+//! that stops accepting writes fails the writer at the frame deadline —
+//! a stalled consumer costs a bounded queue, never the job's output.
 //!
 //! Error policy: anything the frame layer rejects — bad magic or
 //! version, an oversized length prefix, a truncated or undecodable
@@ -44,11 +51,18 @@ pub struct ServerConfig {
     /// Per-job ingest queue depth, in spectra — the backpressure bound:
     /// submitters block once the pipeline is this far behind.
     pub queue_depth: usize,
+    /// Cap on frames queued toward one connection (direct acks plus its
+    /// job subscription) — the fan-out bound: a subscriber whose queue
+    /// is full when a result frame arrives is dropped from the job, so
+    /// a stalled client never accumulates a job's output server-side.
+    pub outbound_queue_depth: usize,
     /// Reader poll interval: the granularity at which shutdown and idle
     /// deadlines are noticed.
     pub poll_interval: Duration,
     /// Once a frame has started arriving, the per-read deadline for the
     /// rest of it; a mid-frame stall is treated as a truncated frame.
+    /// Also the writer's per-write deadline: a peer whose socket stops
+    /// accepting bytes this long is disconnected.
     pub frame_deadline: Duration,
 }
 
@@ -58,6 +72,7 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             idle_timeout: Duration::from_secs(60),
             queue_depth: 1024,
+            outbound_queue_depth: 4096,
             poll_interval: Duration::from_millis(50),
             frame_deadline: Duration::from_secs(10),
         }
@@ -201,7 +216,11 @@ fn handle_connection(
         Ok(s) => s,
         Err(_) => return,
     };
-    let (out_tx, out_rx) = mpsc::channel::<Frame>();
+    // A peer that stops accepting bytes fails the writer at the frame
+    // deadline (which shuts the socket down, unblocking the reader too)
+    // instead of wedging the connection threads forever.
+    let _ = writer_stream.set_write_timeout(Some(config.frame_deadline));
+    let (out_tx, out_rx) = mpsc::sync_channel::<Frame>(config.outbound_queue_depth.max(1));
     let writer = std::thread::Builder::new()
         .name("spechd-conn-writer".into())
         .spawn(move || writer_loop(writer_stream, out_rx))
@@ -343,7 +362,7 @@ fn dispatch(
     frame: Frame,
     handle: &mut Option<JobHandle>,
     registry: &Arc<JobRegistry>,
-    out_tx: &mpsc::Sender<Frame>,
+    out_tx: &mpsc::SyncSender<Frame>,
 ) {
     let reply = |frame: Frame| {
         let _ = out_tx.send(frame);
@@ -356,6 +375,12 @@ fn dispatch(
     };
     match frame {
         Frame::OpenJob { job_id, config } => {
+            // A settled handle (closed, job finished) no longer
+            // occupies the connection: vacate it so jobs can run
+            // sequentially on one socket.
+            if handle.as_ref().is_some_and(JobHandle::is_settled) {
+                *handle = None;
+            }
             if handle.is_some() {
                 state_error("connection already has an open job".into());
                 return;

@@ -271,6 +271,69 @@ fn state_errors_do_not_kill_the_connection() {
     server.shutdown();
 }
 
+/// A connection can run jobs **sequentially**: once a job settles
+/// (closed and finished), its handle is vacated and a fresh `OpenJob`
+/// on the same socket succeeds instead of being refused as "already
+/// has an open job".
+#[test]
+fn connection_can_run_sequential_jobs() {
+    let server = start_server(ServerConfig::default());
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    for tag in [7u64, 8] {
+        let job = job_id(tag);
+        stream
+            .write_all(&encode_frame(&Frame::OpenJob {
+                job_id: job,
+                config: JobConfig::default(),
+            }))
+            .expect("write open");
+        match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+            Ok(Frame::JobStats(stats)) => assert_eq!(stats.job_id, job),
+            other => panic!("expected open ack for job tag {tag}, got {other:?}"),
+        }
+        stream
+            .write_all(&encode_frame(&Frame::CloseJob { job_id: job }))
+            .expect("write close");
+        loop {
+            match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+                Ok(Frame::JobStats(stats)) if stats.done == 1 => break,
+                Ok(_) => {}
+                other => panic!("waiting for job tag {tag} to finish, got {other:?}"),
+            }
+        }
+    }
+    drop(stream);
+    server.shutdown();
+}
+
+/// A subscriber that never drains its result queue is dropped from the
+/// job once the queue fills: the pipeline still completes (a stalled
+/// consumer cannot wedge it) and the server buffers no more than the
+/// queue's bound on its behalf.
+#[test]
+fn stalled_subscriber_is_dropped_not_buffered() {
+    use spechd_server::JobRegistry;
+    use std::sync::{mpsc, Arc};
+
+    const FANOUT_BOUND: usize = 2;
+    let registry = Arc::new(JobRegistry::new(8192));
+    let (tx, rx) = mpsc::sync_channel(FANOUT_BOUND);
+    let mut handle = registry
+        .open_or_join(1, JobConfig::default(), tx)
+        .expect("open job");
+    let dataset = synthetic_dataset(240, 0x57A1);
+    handle.submit(dataset.spectra().to_vec()).expect("submit");
+    handle.close();
+
+    // Joins the pipeline: hangs here if the stalled subscriber blocked it.
+    registry.join_pipelines();
+    assert!(handle.is_settled(), "settled once closed and finished");
+    assert!(
+        rx.try_iter().count() <= FANOUT_BOUND,
+        "fan-out buffered beyond the queue bound for a stalled consumer"
+    );
+}
+
 /// Joining an existing job with a different config is refused.
 #[test]
 fn config_mismatch_on_join_is_rejected() {
