@@ -1,0 +1,362 @@
+//! Emits machine-readable packed-library search benchmarks as
+//! `BENCH_pr7.json`: standard (narrow-window) and open-modification
+//! (wide-window) search throughput against synthetic [`HvLibrary`]s of
+//! growing size, up to 10^6 entries.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_pr7 [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the library sizes for the CI regression gate;
+//! `--out` defaults to `BENCH_pr7.json`. Output is a JSON array of
+//! `{kernel, n, dim, threads, ns_per_op}` records (one invocation =
+//! one full query batch; queries/s follows from the batch size), plus
+//! the size-independent `search_ref_8k` kernel that `bench_gate` uses
+//! as the machine-normalizing reference.
+//!
+//! Before any timing, the packed engine is checked **bit-identical**
+//! to the scalar reference scorer in both modes, and the served path
+//! (library loaded into `spechd-server` over TCP, queries scored
+//! remotely) is checked bit-identical to the local library path — a
+//! faster-but-different engine must fail the bench. A hyperscore vs
+//! packed-standard vs packed-OMS identification agreement summary
+//! ([`venn3`]) and a target–decoy FDR cut over the HD scores are
+//! printed alongside.
+
+use spechd_bench::kernel_bench::{measure_interleaved, write_records, Kernel, KernelRecord};
+use spechd_hdc::{BinaryHypervector, EncoderConfig, IdLevelEncoder};
+use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+use spechd_rng::{Rng, Xoshiro256StarStar};
+use spechd_search::overlap::venn3;
+use spechd_search::{
+    encode_spectrum_peaks, filter_at_fdr, scalar_search_window, HdPsm, HvLibrary, HvLibraryBuilder,
+    PackedSearchConfig, PackedSearchEngine, PeptideDatabase, SearchConfig, SearchEngine,
+};
+use spechd_server::{LibraryEntryWire, QueryWire, SearchClient, Server, ServerConfig};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+const DIM: usize = 2048;
+const NUM_QUERIES: usize = 64;
+/// Bits flipped to derive a query from a library row — close enough to
+/// rank its source first, far enough to exercise real distances.
+const QUERY_NOISE_BITS: usize = 150;
+const REF_SIZE: usize = 8192;
+/// Repeats of the query batch inside one standard-search invocation —
+/// narrow windows make a single batch microsecond-scale, too small to
+/// time against scheduler jitter.
+const STD_REPS: usize = 16;
+
+/// A library of `n` random entries with evenly spaced masses over
+/// `[500, 3500]` Da (pushed pre-sorted, so the builder's identity fast
+/// path applies even at 10^6 entries). Odd rows are decoys.
+fn build_random_library(n: usize, seed: u64) -> HvLibrary {
+    let stride = DIM.div_ceil(64);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut b = HvLibraryBuilder::new(DIM);
+    let mut words = vec![0u64; stride];
+    for i in 0..n {
+        for w in &mut words {
+            *w = rng.next_u64();
+        }
+        let mass = 500.0 + 3000.0 * i as f64 / n.max(1) as f64;
+        b.push_row_words(&words, mass, 2, format!("e{i}"), i % 2 == 1);
+    }
+    b.build()
+}
+
+/// Queries derived from library rows: copy a random row, flip a few
+/// bits, jitter the mass within the standard window.
+fn make_queries(lib: &HvLibrary, seed: u64) -> Vec<(BinaryHypervector, f64)> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    (0..NUM_QUERIES)
+        .map(|_| {
+            let i = rng.bounded_u64(lib.len() as u64) as usize;
+            let mut hv = BinaryHypervector::from_words(DIM, lib.pack().row(i).to_vec());
+            hv.flip_random_bits(QUERY_NOISE_BITS, &mut rng);
+            (hv, lib.mass(i) + rng.range_f64(-0.02, 0.02))
+        })
+        .collect()
+}
+
+fn wire_entries(lib: &HvLibrary) -> Vec<LibraryEntryWire> {
+    (0..lib.len())
+        .map(|i| LibraryEntryWire {
+            mass: lib.mass(i),
+            charge: lib.charge(i),
+            is_decoy: lib.is_decoy(i),
+            id: lib.id(i).to_string(),
+            words: lib.pack().row(i).to_vec(),
+        })
+        .collect()
+}
+
+/// Packed == scalar in both modes, then served == library path — the
+/// acceptance gates that must pass before any timing.
+fn equivalence_gates(engine: &PackedSearchEngine) {
+    let lib = build_random_library(512, 0x9A7E);
+    let qs = make_queries(&lib, 0x0B5E);
+    for (qi, (hv, mass)) in qs.iter().enumerate() {
+        assert_eq!(
+            engine.search_standard(&lib, hv, *mass, qi),
+            scalar_search_window(&lib, hv, *mass, qi, engine.config().precursor_tol_da, 5),
+            "standard search diverged from scalar reference at query {qi}"
+        );
+        assert_eq!(
+            engine.search_open(&lib, hv, *mass, qi),
+            scalar_search_window(&lib, hv, *mass, qi, engine.config().open_window_da, 5),
+            "OMS search diverged from scalar reference at query {qi}"
+        );
+    }
+
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let running = server.spawn().expect("spawn");
+    let mut client =
+        SearchClient::connect(running.addr(), 7, DIM as u32).expect("connect search client");
+    client.load(&wire_entries(&lib)).expect("load library");
+    let wire_queries: Vec<QueryWire> = qs
+        .iter()
+        .map(|(hv, mass)| QueryWire {
+            mass: *mass,
+            words: hv.words().to_vec(),
+        })
+        .collect();
+    for &(window_da, top_k) in &[(0.05f64, 5u32), (250.0, 5)] {
+        let (served, _) = client
+            .search(&wire_queries, window_da, top_k)
+            .expect("served search");
+        for (qi, ((hv, mass), result)) in qs.iter().zip(&served).enumerate() {
+            let local = engine.search_window(&lib, hv, *mass, qi, window_da);
+            let local_wire: Vec<(u64, u16, f64, bool)> = local
+                .iter()
+                .map(|p| (p.library_index as u64, p.distance, p.mass_delta, p.is_decoy))
+                .collect();
+            let served_wire: Vec<(u64, u16, f64, bool)> = result
+                .hits
+                .iter()
+                .map(|h| (h.library_index, h.distance, h.mass_delta, h.is_decoy))
+                .collect();
+            assert_eq!(
+                served_wire, local_wire,
+                "served search diverged from library path: window {window_da} query {qi}"
+            );
+        }
+    }
+    running.shutdown();
+    println!("[bench_pr7] packed==scalar and served==library equivalence gates passed");
+}
+
+/// Hyperscore vs packed-standard vs packed-OMS identification
+/// agreement on one synthetic peptide workload, plus an FDR cut over
+/// the HD scores.
+fn agreement_summary() {
+    let gen = SyntheticGenerator::new(SyntheticConfig {
+        num_spectra: 400,
+        num_peptides: 80,
+        noise_spectrum_fraction: 0.0,
+        seed: 0x7EA5,
+        ..SyntheticConfig::default()
+    });
+    let dataset = gen.generate();
+    let db = PeptideDatabase::build(gen.peptide_library());
+    let hyper_engine = SearchEngine::new(db.clone(), SearchConfig::default());
+    let hyper_ids: BTreeSet<String> = hyper_engine
+        .search_dataset(dataset.spectra())
+        .iter()
+        .flatten()
+        .filter(|p| !p.is_decoy)
+        .map(|p| p.peptide.sequence().to_string())
+        .collect();
+
+    let encoder = IdLevelEncoder::new(EncoderConfig::default());
+    let lib = HvLibrary::from_database(&db, &encoder, 1);
+    let packed = PackedSearchEngine::new(PackedSearchConfig {
+        top_k: 1,
+        ..PackedSearchConfig::default()
+    });
+    let mut std_ids = BTreeSet::new();
+    let mut oms_ids = BTreeSet::new();
+    let mut oms_psms: Vec<HdPsm> = Vec::new();
+    for (i, s) in dataset.spectra().iter().enumerate() {
+        let hv = encode_spectrum_peaks(&encoder, s.peaks());
+        let mass = s.precursor().neutral_mass();
+        if let Some(h) = engine_top_target(&packed.search_standard(&lib, &hv, mass, i)) {
+            std_ids.insert(lib.id(h.library_index).to_string());
+        }
+        let open = packed.search_open(&lib, &hv, mass, i);
+        if let Some(h) = engine_top_target(&open) {
+            oms_ids.insert(lib.id(h.library_index).to_string());
+        }
+        oms_psms.extend(open.first().copied());
+    }
+
+    let venn = venn3(
+        hyper_ids.iter().map(String::as_str),
+        std_ids.iter().map(String::as_str),
+        oms_ids.iter().map(String::as_str),
+    );
+    println!(
+        "[bench_pr7] id agreement (hyperscore/standard/OMS): totals {}/{}/{} \
+         abc={} ab={} ac={} bc={} union={} hd_vs_hyperscore={:+.2}%",
+        venn.total_a(),
+        venn.total_b(),
+        venn.total_c(),
+        venn.abc,
+        venn.ab,
+        venn.ac,
+        venn.bc,
+        venn.union(),
+        -venn.a_vs_b_percent(),
+    );
+    assert!(venn.total_a() > 0, "hyperscore identified nothing");
+    assert!(venn.abc > 0, "the three search modes agree on nothing");
+
+    let accepted_1 = filter_at_fdr(&oms_psms, 0.01).len();
+    let accepted_5 = filter_at_fdr(&oms_psms, 0.05).len();
+    println!(
+        "[bench_pr7] OMS top-1 HD PSMs: {} total, {} at 1% FDR, {} at 5% FDR",
+        oms_psms.len(),
+        accepted_1,
+        accepted_5,
+    );
+    assert!(accepted_1 > 0, "FDR cut rejected every HD PSM");
+}
+
+fn engine_top_target(hits: &[HdPsm]) -> Option<&HdPsm> {
+    hits.iter().find(|h| !h.is_decoy)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut samples = 5usize;
+    let mut out_path = String::from("BENCH_pr7.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                smoke = true;
+                samples = 3;
+            }
+            "--out" => {
+                out_path = args.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_pr7 [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Kernel names are size-suffixed because the gate treats names as
+    // unique within a file; smoke and full runs use disjoint sizes, so
+    // the shared `search_ref_8k` reference normalizes between them.
+    let sizes: &[(usize, &'static str, &'static str)] = if smoke {
+        &[
+            (1_000, "standard_search_1k", "oms_search_1k"),
+            (4_000, "standard_search_4k", "oms_search_4k"),
+            (16_000, "standard_search_16k", "oms_search_16k"),
+        ]
+    } else {
+        &[
+            (10_000, "standard_search_10k", "oms_search_10k"),
+            (100_000, "standard_search_100k", "oms_search_100k"),
+            (1_000_000, "standard_search_1m", "oms_search_1m"),
+        ]
+    };
+
+    let engine = PackedSearchEngine::new(PackedSearchConfig::default());
+    println!(
+        "[bench_pr7] dim={DIM} queries/batch={NUM_QUERIES} samples={samples} \
+         tol={}Da open_window={}Da top_k={}",
+        engine.config().precursor_tol_da,
+        engine.config().open_window_da,
+        engine.config().top_k,
+    );
+
+    equivalence_gates(&engine);
+    agreement_summary();
+
+    let mut records: Vec<KernelRecord> = Vec::new();
+
+    // Size-independent reference kernel: a full query batch swept over
+    // the whole of a fixed 8192-entry library — present in every run of
+    // this bench so `bench_gate` can normalize machines against it. The
+    // whole-library sweep keeps one invocation in the milliseconds,
+    // well above thread-dispatch jitter.
+    {
+        let ref_lib = build_random_library(REF_SIZE, 0x8EF);
+        let ref_qs = make_queries(&ref_lib, 0x8EF1);
+        let mut kernels: Vec<Kernel<'_>> = vec![(
+            "search_ref_8k",
+            engine.config().threads.max(1),
+            Box::new(|| {
+                for (qi, (hv, mass)) in ref_qs.iter().enumerate() {
+                    black_box(engine.search_window(
+                        black_box(&ref_lib),
+                        black_box(hv),
+                        *mass,
+                        qi,
+                        5000.0,
+                    ));
+                }
+            }),
+        )];
+        let medians = measure_interleaved(samples, &mut kernels);
+        println!("  {:<24} {:>12} ns/op", "search_ref_8k", medians[0]);
+        records.push(KernelRecord {
+            kernel: "search_ref_8k".to_string(),
+            n: REF_SIZE,
+            dim: DIM,
+            threads: kernels[0].1,
+            ns_per_op: medians[0],
+        });
+    }
+
+    for &(n, std_name, oms_name) in sizes {
+        let lib = build_random_library(n, 0x11B ^ n as u64);
+        let qs = make_queries(&lib, 0x0E51 ^ n as u64);
+        // Narrow-window sweeps are microseconds per batch; repeating the
+        // batch inside one invocation keeps the timed unit above
+        // scheduler jitter. The per-query rate divides reps back out.
+        let mut kernels: Vec<Kernel<'_>> = vec![
+            (
+                std_name,
+                engine.config().threads.max(1),
+                Box::new(|| {
+                    for _ in 0..STD_REPS {
+                        for (qi, (hv, mass)) in qs.iter().enumerate() {
+                            black_box(engine.search_standard(black_box(&lib), hv, *mass, qi));
+                        }
+                    }
+                }),
+            ),
+            (
+                oms_name,
+                engine.config().threads.max(1),
+                Box::new(|| {
+                    for (qi, (hv, mass)) in qs.iter().enumerate() {
+                        black_box(engine.search_open(black_box(&lib), hv, *mass, qi));
+                    }
+                }),
+            ),
+        ];
+        let medians = measure_interleaved(samples, &mut kernels);
+        for (((kernel, threads, _), ns), reps) in kernels.iter().zip(&medians).zip([STD_REPS, 1]) {
+            let qps = (NUM_QUERIES * reps) as f64 / (*ns as f64 * 1e-9);
+            println!("  {kernel:<24} n={n:<8} {ns:>12} ns/inv  {qps:>10.0} queries/s");
+            records.push(KernelRecord {
+                kernel: kernel.to_string(),
+                n,
+                dim: DIM,
+                threads: *threads,
+                ns_per_op: *ns,
+            });
+        }
+    }
+
+    write_records(&out_path, &records);
+    println!("[bench_pr7] wrote {out_path}");
+}

@@ -287,19 +287,45 @@ impl PackedDistanceEngine {
     /// Panics if `query.dim() != pack.dim()` or
     /// `pack.dim() > u16::MAX as usize`.
     pub fn one_to_many(&self, query: &BinaryHypervector, pack: &HvPack) -> Vec<u16> {
+        self.one_to_many_range(query, pack, 0..pack.len())
+    }
+
+    /// Distances from `query` to the pack rows in `range` only:
+    /// `out[k]` is the distance to row `range.start + k`. This is the
+    /// windowed variant of [`PackedDistanceEngine::one_to_many`] that
+    /// library search uses to score a contiguous mass-sorted candidate
+    /// slice without gathering it into a fresh pack; it is bit-exact
+    /// with slicing the full result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim() != pack.dim()`,
+    /// `pack.dim() > u16::MAX as usize`, or the range is out of bounds.
+    pub fn one_to_many_range(
+        &self,
+        query: &BinaryHypervector,
+        pack: &HvPack,
+        range: std::ops::Range<usize>,
+    ) -> Vec<u16> {
         assert_eq!(
             query.dim(),
             pack.dim(),
             "query/pack dimensionality mismatch"
         );
         assert_dim_fits_u16(pack.dim());
-        let n = pack.len();
+        assert!(
+            range.start <= range.end && range.end <= pack.len(),
+            "row range {range:?} out of bounds for pack of len {}",
+            pack.len()
+        );
+        let base = range.start;
+        let n = range.len();
         let mut out = vec![0u16; n];
         let chunk_rows = n.div_ceil(self.resolved_threads().max(1)).max(1);
         let jobs: Vec<(usize, &mut [u16])> = out
             .chunks_mut(chunk_rows)
             .enumerate()
-            .map(|(k, c)| (k * chunk_rows, c))
+            .map(|(k, c)| (base + k * chunk_rows, c))
             .collect();
         let qw = query.words();
         self.dispatch(jobs, |(lo, chunk)| {
@@ -583,6 +609,32 @@ mod tests {
             let engine = PackedDistanceEngine::new().threads(threads);
             assert_eq!(engine.one_to_many(q, &pack), scalar, "threads {threads}");
         }
+    }
+
+    #[test]
+    fn one_to_many_range_matches_full_slice() {
+        let hvs = random_set(57, 2048, 12);
+        let pack = HvPack::from_hypervectors(2048, &hvs);
+        let q = &hvs[19];
+        let full = one_to_many(q, &hvs);
+        for threads in [1, 3] {
+            let engine = PackedDistanceEngine::new().threads(threads);
+            for range in [0..57, 0..0, 13..13, 5..31, 56..57, 0..1] {
+                assert_eq!(
+                    engine.one_to_many_range(q, &pack, range.clone()),
+                    &full[range.clone()],
+                    "range {range:?} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn one_to_many_range_rejects_out_of_bounds() {
+        let hvs = random_set(4, 64, 13);
+        let pack = HvPack::from_hypervectors(64, &hvs);
+        PackedDistanceEngine::new().one_to_many_range(&hvs[0], &pack, 2..5);
     }
 
     #[test]

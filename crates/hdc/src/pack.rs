@@ -117,6 +117,35 @@ impl HvPack {
         &mut self.words[start..start + self.stride]
     }
 
+    /// Appends one row from pre-packed words — the build primitive for
+    /// stores assembled from rows that never existed as owned
+    /// [`BinaryHypervector`]s (rows copied out of another pack, or
+    /// hypervector words received off the wire).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != stride`, or if any bit beyond `dim` in
+    /// the last word is set (the tail invariant the distance kernels
+    /// rely on).
+    pub fn push_row_words(&mut self, words: &[u64]) {
+        assert_eq!(
+            words.len(),
+            self.stride,
+            "row word count/stride mismatch for dim {}",
+            self.dim
+        );
+        if self.dim % 64 != 0 {
+            assert_eq!(
+                words[self.stride - 1] >> (self.dim % 64),
+                0,
+                "bits beyond dim {} must be zero",
+                self.dim
+            );
+        }
+        self.words.extend_from_slice(words);
+        self.len += 1;
+    }
+
     /// Removes every row while keeping the allocated storage, so a pack
     /// can be recycled across shards/batches without reallocating — the
     /// pack-pool primitive of the streaming pipeline.
@@ -342,6 +371,33 @@ mod tests {
         let pack = HvPack::from_hypervectors(65, &hvs);
         assert_eq!(pack.words().len(), 3 * 2);
         assert_eq!(&pack.words()[2..4], pack.row(1));
+    }
+
+    #[test]
+    fn push_row_words_round_trips() {
+        for dim in [63, 64, 65, 2048] {
+            let hvs = random_set(5, dim, 40 + dim as u64);
+            let src = HvPack::from_hypervectors(dim, &hvs);
+            let mut dst = HvPack::new(dim);
+            for i in 0..src.len() {
+                dst.push_row_words(src.row(i));
+            }
+            assert_eq!(dst.to_hypervectors(), hvs, "dim {dim}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stride mismatch")]
+    fn push_row_words_wrong_stride_panics() {
+        let mut pack = HvPack::new(64);
+        pack.push_row_words(&[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be zero")]
+    fn push_row_words_nonzero_tail_panics() {
+        let mut pack = HvPack::new(63);
+        pack.push_row_words(&[1u64 << 63]);
     }
 
     #[test]

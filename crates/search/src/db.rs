@@ -80,7 +80,23 @@ impl PeptideDatabase {
     }
 
     /// Entries whose neutral mass lies within `± tol_da` of `mass`.
+    ///
+    /// The window is **closed on both edges**: an entry with mass
+    /// exactly `mass − tol_da` or exactly `mass + tol_da` is included.
+    /// [`HvLibrary::window`](crate::HvLibrary::window) uses the same
+    /// convention, so scalar and packed search select identical
+    /// candidate sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mass` is not finite, or `tol_da` is negative or not
+    /// finite (a NaN tolerance would silently select an empty window).
     pub fn candidates(&self, mass: f64, tol_da: f64) -> &[DbEntry] {
+        assert!(mass.is_finite(), "window center must be finite");
+        assert!(
+            tol_da.is_finite() && tol_da >= 0.0,
+            "tolerance must be finite and non-negative"
+        );
         let lo = self.entries.partition_point(|e| e.mass < mass - tol_da);
         let hi = self.entries.partition_point(|e| e.mass <= mass + tol_da);
         &self.entries[lo..hi]
@@ -150,5 +166,55 @@ mod tests {
         let db = PeptideDatabase::build(&[]);
         assert!(db.is_empty());
         assert!(db.candidates(500.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn candidates_window_is_closed_on_both_edges() {
+        let db = PeptideDatabase::build(&peptides());
+        let m = db.entries()[1].mass;
+        // Entry mass exactly at the upper edge: center + tol == m.
+        let upper = db.candidates(m - 0.25, 0.25);
+        assert!(upper.iter().any(|e| e.mass == m), "upper edge included");
+        // Entry mass exactly at the lower edge: center - tol == m.
+        let lower = db.candidates(m + 0.25, 0.25);
+        assert!(lower.iter().any(|e| e.mass == m), "lower edge included");
+        // Zero tolerance centered on the entry still hits it.
+        assert!(db.candidates(m, 0.0).iter().any(|e| e.mass == m));
+        // Nudge the center past either edge and the entry drops out.
+        let eps = 1e-6;
+        assert!(!db
+            .candidates(m - 0.25 - eps, 0.25)
+            .iter()
+            .any(|e| e.mass == m));
+        assert!(!db
+            .candidates(m + 0.25 + eps, 0.25)
+            .iter()
+            .any(|e| e.mass == m));
+    }
+
+    #[test]
+    fn candidates_whole_library_window() {
+        let db = PeptideDatabase::build(&peptides());
+        let all = db.candidates(900.0, f64::MAX / 4.0);
+        assert_eq!(all.len(), db.len());
+        assert_eq!(all, db.entries());
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be finite and non-negative")]
+    fn candidates_rejects_nan_tolerance() {
+        PeptideDatabase::build(&peptides()).candidates(900.0, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be finite and non-negative")]
+    fn candidates_rejects_negative_tolerance() {
+        PeptideDatabase::build(&peptides()).candidates(900.0, -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "window center must be finite")]
+    fn candidates_rejects_nan_center() {
+        PeptideDatabase::build(&peptides()).candidates(f64::NAN, 0.5);
     }
 }

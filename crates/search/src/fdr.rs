@@ -1,7 +1,8 @@
 //! Target–decoy false-discovery-rate estimation.
 
 /// Minimal view of a scored match needed for FDR computation; implemented
-/// by [`crate::Psm`] and by test doubles.
+/// by [`crate::Psm`], [`crate::HdPsm`] (score = negated Hamming distance)
+/// and by test doubles.
 pub trait ScoredMatch {
     /// The match score (higher is better).
     fn score(&self) -> f64;
@@ -165,6 +166,50 @@ mod tests {
     fn all_decoys() {
         let m = fakes(&[(5.0, true), (4.0, true)]);
         assert!(filter_at_fdr(&m, 0.5).is_empty());
+    }
+
+    #[test]
+    fn q_values_monotone_non_increasing_walking_up_score_order() {
+        // Walking DOWN the score-sorted list (best → worst) q-values
+        // never decrease; equivalently, walking up they never increase.
+        let m = fakes(&[
+            (3.0, false),
+            (12.0, false),
+            (7.5, true),
+            (7.5, false),
+            (11.0, true),
+            (9.0, false),
+            (2.0, true),
+            (8.0, false),
+            (1.0, false),
+        ]);
+        let q = assign_q_values(&m);
+        let mut order: Vec<usize> = (0..m.len()).collect();
+        order.sort_by(|&a, &b| m[b].score.total_cmp(&m[a].score));
+        let down: Vec<f64> = order.iter().map(|&i| q[i]).collect();
+        assert!(down.windows(2).all(|w| w[0] <= w[1]), "{down:?}");
+        let up: Vec<f64> = order.iter().rev().map(|&i| q[i]).collect();
+        assert!(up.windows(2).all(|w| w[0] >= w[1]), "{up:?}");
+    }
+
+    #[test]
+    fn decoy_free_input_yields_all_zero_q_values() {
+        let m = fakes(&[(10.0, false), (5.0, false), (1.0, false)]);
+        assert_eq!(assign_q_values(&m), vec![0.0, 0.0, 0.0]);
+        assert_eq!(filter_at_fdr(&m, 0.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn filter_threshold_boundary_is_inclusive() {
+        // One decoy above two targets: both targets get q = 1/2 exactly.
+        let m = fakes(&[(10.0, true), (9.0, false), (8.0, false)]);
+        let q = assign_q_values(&m);
+        assert_eq!(q[1], 0.5);
+        assert_eq!(q[2], 0.5);
+        // q == fdr is accepted (<=, not <) …
+        assert_eq!(filter_at_fdr(&m, 0.5), vec![1, 2]);
+        // … and anything strictly below the q-value is rejected.
+        assert!(filter_at_fdr(&m, 0.5 - 1e-12).is_empty());
     }
 
     #[test]

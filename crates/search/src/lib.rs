@@ -14,6 +14,24 @@
 //! Relative peptide-set overlaps between tools — the Fig. 11 quantity —
 //! are computed by [`overlap::venn3`].
 //!
+//! # Packed hypervector search
+//!
+//! Alongside the scalar engine, the crate hosts a packed spectral
+//! library search pipeline operating directly in hypervector space:
+//!
+//! * [`HvLibrary`] — a persistent packed store of library
+//!   hypervectors, mass-sorted with parallel metadata arrays and
+//!   target/decoy provenance, built from a [`PeptideDatabase`]
+//!   ([`HvLibrary::from_database`]) or entry-by-entry via
+//!   [`HvLibraryBuilder`] (e.g. from a clustered run's consensus
+//!   hypervectors);
+//! * [`PackedSearchEngine`] — standard (narrow-window) and
+//!   open-modification (wide-window) search sharing one tiled code
+//!   path, bit-identical to the [`scalar_search_window`] oracle;
+//! * [`HdPsm`] — hits implementing [`ScoredMatch`] so the same
+//!   [`assign_q_values`] / [`filter_at_fdr`] machinery controls FDR on
+//!   HD scores via [`shuffled_decoy`] library entries.
+//!
 //! # Example
 //!
 //! ```
@@ -38,10 +56,14 @@
 mod db;
 mod engine;
 mod fdr;
+mod library;
 pub mod overlap;
+mod packed;
 mod score;
 
 pub use db::{DbEntry, PeptideDatabase};
 pub use engine::{Psm, SearchConfig, SearchEngine};
 pub use fdr::{assign_q_values, filter_at_fdr, ScoredMatch};
+pub use library::{encode_spectrum_peaks, shuffled_decoy, HvLibrary, HvLibraryBuilder};
+pub use packed::{scalar_search_window, HdPsm, PackedSearchConfig, PackedSearchEngine};
 pub use score::{hyperscore, shared_peak_count, MatchedIons};

@@ -7,11 +7,18 @@
 //! absorbed into an [`AssignmentAssembler`], and
 //! [`JobClient::close_and_wait`] turns them into a [`ServiceOutcome`]
 //! once the job's final frame lands.
+//!
+//! [`SearchClient`] is the search-job counterpart: library batches are
+//! acknowledged per `LoadLibrary` frame, and each
+//! [`SearchClient::search`] call sends the queries (chunked under the
+//! wire cap), collects the per-query [`Frame::SearchHit`]s, and returns
+//! once the batch's closing [`Frame::SearchStats`] lands.
 
 use crate::assemble::{AssignmentAssembler, ServiceOutcome};
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Frame, JobConfig, JobStatsFrame, WireError,
-    DEFAULT_MAX_FRAME_LEN,
+    read_frame, write_frame, ErrorCode, Frame, HitWire, JobConfig, JobStatsFrame, LibraryEntryWire,
+    QueryWire, SearchStatsFrame, WireError, DEFAULT_MAX_FRAME_LEN, MAX_LIBRARY_BATCH,
+    MAX_QUERY_BATCH,
 };
 use spechd_ms::Spectrum;
 use std::io::BufWriter;
@@ -172,6 +179,173 @@ impl JobClient {
                 }
                 other => self.assembler.absorb(&other),
             }
+        }
+    }
+}
+
+/// One query's results from [`SearchClient::search`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryHits {
+    /// Job-global index the server assigned to the query.
+    pub query_index: u64,
+    /// The hits, best first (ascending `(distance, library_index)`).
+    pub hits: Vec<HitWire>,
+}
+
+/// One connection participating in one search job.
+pub struct SearchClient {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    job_id: u64,
+    dim: u32,
+    max_frame_len: u32,
+}
+
+impl SearchClient {
+    /// Connects to `addr` and opens (or joins) search job `job_id` with
+    /// dimensionality `dim`, returning once the server acknowledges
+    /// (an empty `LoadLibrary` is the join handshake — it fails fast on
+    /// a dim mismatch or an already-sealed job).
+    pub fn connect(addr: impl ToSocketAddrs, job_id: u64, dim: u32) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = stream.try_clone()?;
+        let mut client = Self {
+            reader,
+            writer: BufWriter::new(stream),
+            job_id,
+            dim,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        };
+        client.send(&Frame::LoadLibrary {
+            job_id,
+            dim,
+            entries: Vec::new(),
+        })?;
+        client.wait_stats()?;
+        Ok(client)
+    }
+
+    /// The search job this connection participates in.
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// The job's hypervector dimensionality.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Loads entries into the job's library, chunked under the wire's
+    /// per-frame cap; each chunk is acknowledged before the next is
+    /// sent. Returns the post-load statistics snapshot. Fails once the
+    /// library is sealed (a query was served).
+    pub fn load(&mut self, entries: &[LibraryEntryWire]) -> Result<SearchStatsFrame, ClientError> {
+        if entries.is_empty() {
+            // An empty load is still a valid stats probe.
+            self.send(&Frame::LoadLibrary {
+                job_id: self.job_id,
+                dim: self.dim,
+                entries: Vec::new(),
+            })?;
+            return self.wait_stats();
+        }
+        let mut stats = SearchStatsFrame::default();
+        for chunk in entries.chunks(MAX_LIBRARY_BATCH as usize) {
+            self.send(&Frame::LoadLibrary {
+                job_id: self.job_id,
+                dim: self.dim,
+                entries: chunk.to_vec(),
+            })?;
+            stats = self.wait_stats()?;
+        }
+        Ok(stats)
+    }
+
+    /// Scores `queries` against the job's library (sealing it on the
+    /// job's first query), returning each query's hits in submission
+    /// order plus the post-batch statistics snapshot. Queries are
+    /// chunked under the wire's per-frame cap; each chunk's hit frames
+    /// are collected up to their closing [`Frame::SearchStats`].
+    pub fn search(
+        &mut self,
+        queries: &[QueryWire],
+        window_da: f64,
+        top_k: u32,
+    ) -> Result<(Vec<QueryHits>, SearchStatsFrame), ClientError> {
+        let mut results = Vec::with_capacity(queries.len());
+        let mut stats = SearchStatsFrame::default();
+        let mut any = false;
+        for chunk in queries.chunks(MAX_QUERY_BATCH as usize) {
+            any = true;
+            self.send(&Frame::SearchQuery {
+                job_id: self.job_id,
+                dim: self.dim,
+                window_da,
+                top_k,
+                queries: chunk.to_vec(),
+            })?;
+            loop {
+                match self.recv()? {
+                    Frame::SearchHit {
+                        query_index, hits, ..
+                    } => results.push(QueryHits { query_index, hits }),
+                    Frame::SearchStats(s) => {
+                        stats = s;
+                        break;
+                    }
+                    other => {
+                        return Err(ClientError::Wire(WireError::Malformed(format!(
+                            "unexpected frame during search: {other:?}"
+                        ))))
+                    }
+                }
+            }
+        }
+        if !any {
+            // Zero queries: send an empty batch so the returned stats
+            // are a real (and sealing) snapshot, not a default.
+            self.send(&Frame::SearchQuery {
+                job_id: self.job_id,
+                dim: self.dim,
+                window_da,
+                top_k,
+                queries: Vec::new(),
+            })?;
+            match self.recv()? {
+                Frame::SearchStats(s) => stats = s,
+                other => {
+                    return Err(ClientError::Wire(WireError::Malformed(format!(
+                        "unexpected frame during search: {other:?}"
+                    ))))
+                }
+            }
+        }
+        Ok((results, stats))
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        use std::io::Write;
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Frame, ClientError> {
+        match read_frame(&mut self.reader, self.max_frame_len)? {
+            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
+            frame => Ok(frame),
+        }
+    }
+
+    /// Reads the `SearchStats` frame acknowledging a load. Search jobs
+    /// never push unsolicited frames, so the ack is the next frame.
+    fn wait_stats(&mut self) -> Result<SearchStatsFrame, ClientError> {
+        match self.recv()? {
+            Frame::SearchStats(stats) => Ok(stats),
+            other => Err(ClientError::Wire(WireError::Malformed(format!(
+                "unexpected frame while awaiting search stats: {other:?}"
+            )))),
         }
     }
 }

@@ -29,6 +29,12 @@
 //!   with per-batch stream-index receipts, and reassembly of streamed
 //!   shard results into a final clustering bit-identical to a local
 //!   batch [`run`](spechd_core::SpecHd::run) over the same spectra.
+//! * [`search`] — the search job surface: shared
+//!   [`spechd_search::HvLibrary`] loading over `LoadLibrary` frames,
+//!   seal-on-first-query, and windowed packed scoring whose hits are
+//!   bit-identical to a local [`spechd_search::PackedSearchEngine`]
+//!   run over the same entries (pinned by the served-path equivalence
+//!   tests).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,10 +43,15 @@ pub mod assemble;
 pub mod client;
 pub mod job;
 pub mod protocol;
+pub mod search;
 pub mod server;
 
 pub use assemble::{AssignmentAssembler, ServiceOutcome};
-pub use client::{ClientError, JobClient, SubmitReceipt};
+pub use client::{ClientError, JobClient, QueryHits, SearchClient, SubmitReceipt};
 pub use job::{JobError, JobHandle, JobRegistry};
-pub use protocol::{ErrorCode, Frame, FrameType, JobConfig, JobStatsFrame, WireError};
+pub use protocol::{
+    ErrorCode, Frame, FrameType, HitWire, JobConfig, JobStatsFrame, LibraryEntryWire, QueryWire,
+    SearchStatsFrame, WireError,
+};
+pub use search::{SearchHandle, SearchJob, SearchRegistry};
 pub use server::{RunningServer, Server, ServerConfig};

@@ -52,6 +52,23 @@ pub const MAX_WORKERS: u32 = 64;
 /// mode — is also rejected: over the network it would let a client make
 /// every shard buffer grow without bound.
 pub const MAX_WATERMARK: u32 = 1 << 20;
+/// Cap on library entries per [`Frame::LoadLibrary`] frame. Like
+/// [`MAX_WORKERS`] / [`MAX_WATERMARK`], this is checked at decode time
+/// *before* any allocation: a hostile count prefix is rejected without
+/// reserving a single entry. Larger libraries ship as multiple frames.
+pub const MAX_LIBRARY_BATCH: u32 = 65_536;
+/// Cap on queries per [`Frame::SearchQuery`] frame, checked at decode
+/// time before allocation. Each query fans out into a windowed scan of
+/// the library, so this also bounds the work one frame can demand.
+pub const MAX_QUERY_BATCH: u32 = 4096;
+/// Cap on [`Frame::SearchQuery::top_k`]: hits kept (and sent back) per
+/// query. `top_k = 0` is also rejected — it would make a search a no-op.
+pub const MAX_TOP_K: u32 = 1024;
+/// Cap on [`Frame::SearchQuery::window_da`] in Dalton. Open-modification
+/// searches use windows of a few hundred Dalton; 10⁴ already admits any
+/// practical library slice, and capping it keeps a hostile `inf`/huge
+/// window from being meaningful.
+pub const MAX_SEARCH_WINDOW_DA: f64 = 10_000.0;
 
 /// Frame type discriminants as they appear on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +82,12 @@ pub enum FrameType {
     Flush = 0x03,
     /// Client→server: this participant is done submitting.
     CloseJob = 0x04,
+    /// Client→server: load a batch of entries into a search job's
+    /// library (opens or joins the job).
+    LoadLibrary = 0x05,
+    /// Client→server: search a batch of query hypervectors against the
+    /// job's library (seals the library on first use).
+    SearchQuery = 0x06,
     /// Server→client: a `Submit` was ingested; carries the batch's base
     /// stream index.
     SubmitAck = 0x10,
@@ -76,6 +99,11 @@ pub enum FrameType {
     /// Server→client: job statistics snapshot (also the `OpenJob` and
     /// `Flush` ack, and the final `done` marker).
     JobStats = 0x13,
+    /// Server→client: one query's top-k search hits.
+    SearchHit = 0x14,
+    /// Server→client: search-job statistics snapshot (the `LoadLibrary`
+    /// ack, and the terminator of every `SearchQuery`'s hit frames).
+    SearchStats = 0x15,
     /// Server→client: an error. Fatal errors are followed by a close.
     Error = 0x1F,
 }
@@ -87,10 +115,14 @@ impl FrameType {
             0x02 => Self::Submit,
             0x03 => Self::Flush,
             0x04 => Self::CloseJob,
+            0x05 => Self::LoadLibrary,
+            0x06 => Self::SearchQuery,
             0x10 => Self::SubmitAck,
             0x11 => Self::Assignment,
             0x12 => Self::Consensus,
             0x13 => Self::JobStats,
+            0x14 => Self::SearchHit,
+            0x15 => Self::SearchStats,
             0x1F => Self::Error,
             _ => return None,
         })
@@ -255,6 +287,73 @@ pub struct JobStatsFrame {
     pub done: u8,
 }
 
+/// One library entry as shipped in a [`Frame::LoadLibrary`]. Rows are
+/// raw packed hypervector words — exactly `dim.div_ceil(64)` of them,
+/// with any bits at or beyond `dim` in the last word zero (the decoder
+/// rejects anything else, which is what lets the server feed rows into
+/// the packed store without re-validating).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryEntryWire {
+    /// Precursor neutral mass in Dalton (must be finite).
+    pub mass: f64,
+    /// Precursor charge (0 = unknown).
+    pub charge: u8,
+    /// Whether this entry is a decoy.
+    pub is_decoy: bool,
+    /// Entry identifier (peptide sequence, consensus cluster id, …).
+    pub id: String,
+    /// Packed hypervector words, little-endian bit order.
+    pub words: Vec<u64>,
+}
+
+/// One query as shipped in a [`Frame::SearchQuery`]: a packed query
+/// hypervector (same word-layout contract as [`LibraryEntryWire`]) and
+/// its precursor neutral mass, the center of the search window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryWire {
+    /// Precursor neutral mass in Dalton (must be finite).
+    pub mass: f64,
+    /// Packed hypervector words, little-endian bit order.
+    pub words: Vec<u64>,
+}
+
+/// One search hit as shipped in a [`Frame::SearchHit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HitWire {
+    /// Row index of the matched entry in the job's library.
+    pub library_index: u64,
+    /// Hamming distance between query and entry (lower is better).
+    pub distance: u16,
+    /// `query_mass − entry_mass` in Dalton.
+    pub mass_delta: f64,
+    /// Whether the matched entry is a decoy.
+    pub is_decoy: bool,
+    /// The matched entry's identifier.
+    pub id: String,
+}
+
+/// The statistics snapshot carried by [`Frame::SearchStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStatsFrame {
+    /// The search job this snapshot describes.
+    pub job_id: u64,
+    /// Participants currently attached to the job.
+    pub participants: u32,
+    /// Library entries loaded so far (targets + decoys).
+    pub entries: u64,
+    /// Target entries loaded so far.
+    pub targets: u64,
+    /// Decoy entries loaded so far.
+    pub decoys: u64,
+    /// Non-zero once the library is sealed (first query arrived); no
+    /// further `LoadLibrary` frames are accepted after this.
+    pub sealed: u8,
+    /// Queries scored so far.
+    pub queries: u64,
+    /// Hits returned so far.
+    pub hits: u64,
+}
+
 /// A decoded protocol frame. See the [module docs](self) for the wire
 /// layout and [`FrameType`] for direction and intent.
 #[derive(Debug, Clone, PartialEq)]
@@ -284,6 +383,38 @@ pub enum Frame {
     CloseJob {
         /// Must match the connection's open job.
         job_id: u64,
+    },
+    /// Load entries into a search job's library, opening or joining the
+    /// job (dims must match). An empty batch is a valid join-only frame.
+    /// The server acks each batch with a [`Frame::SearchStats`]. At most
+    /// [`MAX_LIBRARY_BATCH`] entries per frame.
+    LoadLibrary {
+        /// Caller-chosen search-job identity; independent of clustering
+        /// job ids.
+        job_id: u64,
+        /// Hypervector dimensionality of every entry in the job.
+        dim: u32,
+        /// The entries to append.
+        entries: Vec<LibraryEntryWire>,
+    },
+    /// Search query hypervectors against the job's library. The first
+    /// `SearchQuery` seals the library (sorts it by mass); the server
+    /// replies with one [`Frame::SearchHit`] per query followed by one
+    /// [`Frame::SearchStats`]. At most [`MAX_QUERY_BATCH`] queries per
+    /// frame.
+    SearchQuery {
+        /// Must name an open search job with matching `dim`.
+        job_id: u64,
+        /// Hypervector dimensionality of every query in the frame.
+        dim: u32,
+        /// Search-window half-width in Dalton: fractions of a Dalton
+        /// for standard search, hundreds for open-modification search.
+        /// Capped at [`MAX_SEARCH_WINDOW_DA`].
+        window_da: f64,
+        /// Hits kept per query, in `[1, MAX_TOP_K]`.
+        top_k: u32,
+        /// The queries to score.
+        queries: Vec<QueryWire>,
     },
     /// Acknowledges one `Submit`: its spectra occupy stream indices
     /// `[base, base + count)`.
@@ -328,6 +459,22 @@ pub enum Frame {
     /// before the final frame, so a client waiting for a `Flush` ack
     /// can treat the first `JobStats` it sees as that ack.
     JobStats(JobStatsFrame),
+    /// One query's top-k hits, ordered by `(distance, library_index)`
+    /// ascending. `query_index` is the job-global index the server
+    /// assigned to the query (contiguous per `SearchQuery` frame).
+    SearchHit {
+        /// The search job the query ran against.
+        job_id: u64,
+        /// Job-global index of the query.
+        query_index: u64,
+        /// The hits, best first.
+        hits: Vec<HitWire>,
+    },
+    /// A search-job statistics snapshot: the `LoadLibrary` ack, and the
+    /// terminator after a `SearchQuery`'s hit frames — a client can
+    /// treat the first `SearchStats` after sending a batch as "all hits
+    /// for that batch have arrived".
+    SearchStats(SearchStatsFrame),
     /// An error report. [`ErrorCode::Malformed`], [`ErrorCode::Oversized`]
     /// and [`ErrorCode::IdleTimeout`] are followed by a connection close.
     Error {
@@ -345,10 +492,14 @@ impl Frame {
             Frame::Submit { .. } => FrameType::Submit,
             Frame::Flush { .. } => FrameType::Flush,
             Frame::CloseJob { .. } => FrameType::CloseJob,
+            Frame::LoadLibrary { .. } => FrameType::LoadLibrary,
+            Frame::SearchQuery { .. } => FrameType::SearchQuery,
             Frame::SubmitAck { .. } => FrameType::SubmitAck,
             Frame::Assignment { .. } => FrameType::Assignment,
             Frame::Consensus { .. } => FrameType::Consensus,
             Frame::JobStats(_) => FrameType::JobStats,
+            Frame::SearchHit { .. } => FrameType::SearchHit,
+            Frame::SearchStats(_) => FrameType::SearchStats,
             Frame::Error { .. } => FrameType::Error,
         }
     }
@@ -433,6 +584,9 @@ impl Enc {
     fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
     fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -469,6 +623,13 @@ impl Enc {
             self.f32(p.intensity);
         }
     }
+    /// Raw hypervector words — no count prefix: the count is implied by
+    /// the frame's `dim` (`dim.div_ceil(64)` words per row).
+    fn words(&mut self, words: &[u64]) {
+        for &w in words {
+            self.u64(w);
+        }
+    }
 }
 
 /// Encodes a frame's payload bytes (no header).
@@ -493,6 +654,39 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
         }
         Frame::Flush { job_id } | Frame::CloseJob { job_id } => {
             e.u64(*job_id);
+        }
+        Frame::LoadLibrary {
+            job_id,
+            dim,
+            entries,
+        } => {
+            e.u64(*job_id);
+            e.u32(*dim);
+            e.u32(entries.len() as u32);
+            for entry in entries {
+                e.f64(entry.mass);
+                e.u8(entry.charge);
+                e.u8(u8::from(entry.is_decoy));
+                e.str(&entry.id);
+                e.words(&entry.words);
+            }
+        }
+        Frame::SearchQuery {
+            job_id,
+            dim,
+            window_da,
+            top_k,
+            queries,
+        } => {
+            e.u64(*job_id);
+            e.u32(*dim);
+            e.f64(*window_da);
+            e.u32(*top_k);
+            e.u32(queries.len() as u32);
+            for q in queries {
+                e.f64(q.mass);
+                e.words(&q.words);
+            }
         }
         Frame::SubmitAck {
             job_id,
@@ -547,6 +741,32 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             e.u64(s.hac_merges);
             e.u8(s.done);
         }
+        Frame::SearchHit {
+            job_id,
+            query_index,
+            hits,
+        } => {
+            e.u64(*job_id);
+            e.u64(*query_index);
+            e.u32(hits.len() as u32);
+            for h in hits {
+                e.u64(h.library_index);
+                e.u16(h.distance);
+                e.f64(h.mass_delta);
+                e.u8(u8::from(h.is_decoy));
+                e.str(&h.id);
+            }
+        }
+        Frame::SearchStats(s) => {
+            e.u64(s.job_id);
+            e.u32(s.participants);
+            e.u64(s.entries);
+            e.u64(s.targets);
+            e.u64(s.decoys);
+            e.u8(s.sealed);
+            e.u64(s.queries);
+            e.u64(s.hits);
+        }
         Frame::Error { code, message } => {
             e.u8(*code as u8);
             e.str(message);
@@ -594,6 +814,9 @@ impl<'a> Dec<'a> {
     fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
     fn u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
@@ -620,10 +843,59 @@ impl<'a> Dec<'a> {
         }
         Ok(n)
     }
+    /// A count prefix with an explicit protocol cap, checked *before*
+    /// the remaining-payload bound and before any allocation: a hostile
+    /// `u32::MAX` count is rejected by the cap alone.
+    fn capped_count(&mut self, cap: u32, elem_size: usize, what: &str) -> Result<usize, WireError> {
+        let n = self.u32()?;
+        if n > cap {
+            return Err(WireError::malformed(format!(
+                "{what} count {n} exceeds cap {cap}"
+            )));
+        }
+        let n = n as usize;
+        if n.saturating_mul(elem_size) > self.buf.len() - self.pos {
+            return Err(WireError::malformed(format!(
+                "length prefix {n} exceeds remaining payload"
+            )));
+        }
+        Ok(n)
+    }
     fn str(&mut self) -> Result<String, WireError> {
         let n = self.len_prefix(1)?;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::malformed("string is not UTF-8"))
+    }
+    /// A packed hypervector row of exactly `dim.div_ceil(64)` words,
+    /// with any bits at or beyond `dim` in the last word required zero
+    /// (the packed store's invariant — validated here so the server
+    /// never has to).
+    fn hv_words(&mut self, dim: u32) -> Result<Vec<u64>, WireError> {
+        let stride = (dim as usize).div_ceil(64);
+        let mut words = Vec::with_capacity(stride);
+        for _ in 0..stride {
+            words.push(self.u64()?);
+        }
+        if dim % 64 != 0 && words[stride - 1] >> (dim % 64) != 0 {
+            return Err(WireError::malformed(format!(
+                "hypervector has non-zero bits beyond dim {dim}"
+            )));
+        }
+        Ok(words)
+    }
+    fn finite_f64(&mut self, what: &str) -> Result<f64, WireError> {
+        let v = self.f64()?;
+        if !v.is_finite() {
+            return Err(WireError::malformed(format!("{what} must be finite")));
+        }
+        Ok(v)
+    }
+    fn bool_flag(&mut self, what: &str) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::malformed(format!("bad {what} flag {other}"))),
+        }
     }
     fn spectrum(&mut self) -> Result<Spectrum, WireError> {
         let title = self.str()?;
@@ -701,12 +973,7 @@ pub fn decode_payload(frame_type: FrameType, payload: &[u8]) -> Result<Frame, Wi
                 watermark: d.u32()?,
                 workers: d.u32()?,
             };
-            if config.dim == 0 || config.dim > u16::MAX as u32 {
-                return Err(WireError::malformed(format!(
-                    "dim {} outside (0, 65535]",
-                    config.dim
-                )));
-            }
+            check_dim(config.dim)?;
             if !config.resolution.is_finite()
                 || config.resolution <= 0.0
                 || !(0.0..=1.0).contains(&config.threshold_fraction)
@@ -738,6 +1005,62 @@ pub fn decode_payload(frame_type: FrameType, payload: &[u8]) -> Result<Frame, Wi
         }
         FrameType::Flush => Frame::Flush { job_id: d.u64()? },
         FrameType::CloseJob => Frame::CloseJob { job_id: d.u64()? },
+        FrameType::LoadLibrary => {
+            let job_id = d.u64()?;
+            let dim = d.u32()?;
+            check_dim(dim)?;
+            let stride_bytes = (dim as usize).div_ceil(64) * 8;
+            // min entry: mass + charge + decoy flag + empty id + words
+            let n = d.capped_count(MAX_LIBRARY_BATCH, 14 + stride_bytes, "library entry")?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(LibraryEntryWire {
+                    mass: d.finite_f64("entry mass")?,
+                    charge: d.u8()?,
+                    is_decoy: d.bool_flag("is_decoy")?,
+                    id: d.str()?,
+                    words: d.hv_words(dim)?,
+                });
+            }
+            Frame::LoadLibrary {
+                job_id,
+                dim,
+                entries,
+            }
+        }
+        FrameType::SearchQuery => {
+            let job_id = d.u64()?;
+            let dim = d.u32()?;
+            check_dim(dim)?;
+            let window_da = d.finite_f64("search window")?;
+            if !(0.0..=MAX_SEARCH_WINDOW_DA).contains(&window_da) {
+                return Err(WireError::malformed(format!(
+                    "search window {window_da} outside [0, {MAX_SEARCH_WINDOW_DA}]"
+                )));
+            }
+            let top_k = d.u32()?;
+            if top_k == 0 || top_k > MAX_TOP_K {
+                return Err(WireError::malformed(format!(
+                    "top_k {top_k} outside [1, {MAX_TOP_K}]"
+                )));
+            }
+            let stride_bytes = (dim as usize).div_ceil(64) * 8;
+            let n = d.capped_count(MAX_QUERY_BATCH, 8 + stride_bytes, "query")?;
+            let mut queries = Vec::with_capacity(n);
+            for _ in 0..n {
+                queries.push(QueryWire {
+                    mass: d.finite_f64("query mass")?,
+                    words: d.hv_words(dim)?,
+                });
+            }
+            Frame::SearchQuery {
+                job_id,
+                dim,
+                window_da,
+                top_k,
+                queries,
+            }
+        }
         FrameType::SubmitAck => Frame::SubmitAck {
             job_id: d.u64()?,
             base: d.u64()?,
@@ -792,6 +1115,37 @@ pub fn decode_payload(frame_type: FrameType, payload: &[u8]) -> Result<Frame, Wi
             hac_merges: d.u64()?,
             done: d.u8()?,
         }),
+        FrameType::SearchHit => {
+            let job_id = d.u64()?;
+            let query_index = d.u64()?;
+            // min hit: index + distance + delta + decoy flag + empty id
+            let n = d.len_prefix(23)?;
+            let mut hits = Vec::with_capacity(n);
+            for _ in 0..n {
+                hits.push(HitWire {
+                    library_index: d.u64()?,
+                    distance: d.u16()?,
+                    mass_delta: d.f64()?,
+                    is_decoy: d.bool_flag("is_decoy")?,
+                    id: d.str()?,
+                });
+            }
+            Frame::SearchHit {
+                job_id,
+                query_index,
+                hits,
+            }
+        }
+        FrameType::SearchStats => Frame::SearchStats(SearchStatsFrame {
+            job_id: d.u64()?,
+            participants: d.u32()?,
+            entries: d.u64()?,
+            targets: d.u64()?,
+            decoys: d.u64()?,
+            sealed: d.u8()?,
+            queries: d.u64()?,
+            hits: d.u64()?,
+        }),
         FrameType::Error => {
             let code_byte = d.u8()?;
             let code = ErrorCode::from_wire(code_byte)
@@ -804,6 +1158,15 @@ pub fn decode_payload(frame_type: FrameType, payload: &[u8]) -> Result<Frame, Wi
     };
     d.finish()?;
     Ok(frame)
+}
+
+fn check_dim(dim: u32) -> Result<(), WireError> {
+    if dim == 0 || dim > u16::MAX as u32 {
+        return Err(WireError::malformed(format!(
+            "dim {dim} outside (0, 65535]"
+        )));
+    }
+    Ok(())
 }
 
 /// Writes one frame to `w` (no flush — callers batch then flush).
@@ -873,6 +1236,41 @@ mod tests {
             },
             Frame::Flush { job_id: 7 },
             Frame::CloseJob { job_id: u64::MAX },
+            Frame::LoadLibrary {
+                job_id: 40,
+                dim: 65, // stride 2, one live bit in the tail word
+                entries: vec![
+                    LibraryEntryWire {
+                        mass: 923.5,
+                        charge: 2,
+                        is_decoy: false,
+                        id: "PEPTIDEK".into(),
+                        words: vec![u64::MAX, 1],
+                    },
+                    LibraryEntryWire {
+                        mass: 923.5,
+                        charge: 0,
+                        is_decoy: true,
+                        id: "DECOY_PEPTIDEK".into(),
+                        words: vec![0x0123_4567_89AB_CDEF, 0],
+                    },
+                ],
+            },
+            Frame::LoadLibrary {
+                job_id: 40,
+                dim: 65,
+                entries: Vec::new(),
+            },
+            Frame::SearchQuery {
+                job_id: 40,
+                dim: 65,
+                window_da: 250.0,
+                top_k: 5,
+                queries: vec![QueryWire {
+                    mass: 930.25,
+                    words: vec![0xFFFF_0000_FFFF_0000, 1],
+                }],
+            },
             Frame::SubmitAck {
                 job_id: 7,
                 base: 1 << 40,
@@ -903,6 +1301,41 @@ mod tests {
                 hac_updates: 7890,
                 hac_merges: 777,
                 done: 1,
+            }),
+            Frame::SearchHit {
+                job_id: 40,
+                query_index: 12,
+                hits: vec![
+                    HitWire {
+                        library_index: 3,
+                        distance: 17,
+                        mass_delta: 6.75,
+                        is_decoy: false,
+                        id: "PEPTIDEK".into(),
+                    },
+                    HitWire {
+                        library_index: 9,
+                        distance: 17,
+                        mass_delta: -80.0,
+                        is_decoy: true,
+                        id: "DECOY_SAMPLER".into(),
+                    },
+                ],
+            },
+            Frame::SearchHit {
+                job_id: 40,
+                query_index: 13,
+                hits: Vec::new(),
+            },
+            Frame::SearchStats(SearchStatsFrame {
+                job_id: 40,
+                participants: 2,
+                entries: 12_000,
+                targets: 6_000,
+                decoys: 6_000,
+                sealed: 1,
+                queries: 512,
+                hits: 2_560,
             }),
             Frame::Error {
                 code: ErrorCode::ConfigMismatch,
@@ -1136,5 +1569,167 @@ mod tests {
                 "boundary config must decode: {config:?}"
             );
         }
+    }
+
+    fn query_frame(window_da: f64, top_k: u32) -> Frame {
+        Frame::SearchQuery {
+            job_id: 1,
+            dim: 64,
+            window_da,
+            top_k,
+            queries: vec![QueryWire {
+                mass: 900.0,
+                words: vec![42],
+            }],
+        }
+    }
+
+    /// Search batch sizes turn into server allocations and windowed
+    /// library scans, so — mirroring the stream-knob caps — hostile
+    /// counts must be rejected at decode, before any allocation.
+    #[test]
+    fn hostile_search_batches_are_rejected_at_decode() {
+        // A raw count prefix above the cap is rejected by the cap alone,
+        // even when it also exceeds the remaining payload.
+        let mut lib = Enc::new();
+        lib.u64(1); // job id
+        lib.u32(64); // dim
+        lib.u32(MAX_LIBRARY_BATCH + 1);
+        match decode_payload(FrameType::LoadLibrary, &lib.buf) {
+            Err(WireError::Malformed(msg)) => {
+                assert!(msg.contains("exceeds cap"), "cap checked first: {msg}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+
+        let mut q = Enc::new();
+        q.u64(1);
+        q.u32(64);
+        q.f64(1.0);
+        q.u32(5); // top_k
+        q.u32(u32::MAX); // query count
+        match decode_payload(FrameType::SearchQuery, &q.buf) {
+            Err(WireError::Malformed(msg)) => {
+                assert!(msg.contains("exceeds cap"), "cap checked first: {msg}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_search_knobs_are_rejected_at_decode() {
+        let rejected = [
+            query_frame(f64::NAN, 5),
+            query_frame(f64::INFINITY, 5),
+            query_frame(-1.0, 5),
+            query_frame(MAX_SEARCH_WINDOW_DA + 1.0, 5),
+            query_frame(1.0, 0),
+            query_frame(1.0, MAX_TOP_K + 1),
+            query_frame(1.0, u32::MAX),
+        ];
+        for frame in rejected {
+            let payload = encode_payload(&frame);
+            assert!(
+                matches!(
+                    decode_payload(FrameType::SearchQuery, &payload),
+                    Err(WireError::Malformed(_))
+                ),
+                "must be rejected: {frame:?}"
+            );
+        }
+        let accepted = [
+            query_frame(0.0, 1),
+            query_frame(MAX_SEARCH_WINDOW_DA, MAX_TOP_K),
+        ];
+        for frame in accepted {
+            let payload = encode_payload(&frame);
+            assert_eq!(
+                decode_payload(FrameType::SearchQuery, &payload).unwrap(),
+                frame,
+                "boundary knobs must decode"
+            );
+        }
+    }
+
+    #[test]
+    fn search_dims_are_validated_at_decode() {
+        for dim in [0u32, 65_536, u32::MAX] {
+            let mut lib = Enc::new();
+            lib.u64(1);
+            lib.u32(dim);
+            lib.u32(0);
+            assert!(
+                matches!(
+                    decode_payload(FrameType::LoadLibrary, &lib.buf),
+                    Err(WireError::Malformed(_))
+                ),
+                "LoadLibrary dim {dim} must be rejected"
+            );
+            let mut q = Enc::new();
+            q.u64(1);
+            q.u32(dim);
+            q.f64(1.0);
+            q.u32(1);
+            q.u32(0);
+            assert!(
+                matches!(
+                    decode_payload(FrameType::SearchQuery, &q.buf),
+                    Err(WireError::Malformed(_))
+                ),
+                "SearchQuery dim {dim} must be rejected"
+            );
+        }
+    }
+
+    /// The decoder enforces the packed store's row invariants — exact
+    /// stride, zero tail bits, finite mass, boolean decoy flag — so
+    /// wire-loaded rows can enter `HvPack` without re-validation.
+    #[test]
+    fn hostile_library_entries_are_rejected_at_decode() {
+        let entry = |mass: f64, decoy: u8, words: &[u64]| {
+            let mut e = Enc::new();
+            e.u64(1); // job id
+            e.u32(65); // dim → stride 2, tail bits above bit 0 must be 0
+            e.u32(1); // one entry
+            e.f64(mass);
+            e.u8(2); // charge
+            e.u8(decoy);
+            e.str("x");
+            for &w in words {
+                e.u64(w);
+            }
+            e.buf
+        };
+        let good = entry(900.0, 0, &[7, 1]);
+        assert!(decode_payload(FrameType::LoadLibrary, &good).is_ok());
+        for (name, payload) in [
+            ("NaN mass", entry(f64::NAN, 0, &[7, 1])),
+            ("infinite mass", entry(f64::INFINITY, 0, &[7, 1])),
+            ("decoy flag 2", entry(900.0, 2, &[7, 1])),
+            ("non-zero tail bits", entry(900.0, 0, &[7, 2])),
+            ("missing tail word", entry(900.0, 0, &[7])),
+        ] {
+            assert!(
+                matches!(
+                    decode_payload(FrameType::LoadLibrary, &payload),
+                    Err(WireError::Malformed(_))
+                ),
+                "{name} must be rejected"
+            );
+        }
+        // Same tail-bit contract on the query side.
+        let mut q = Enc::new();
+        q.u64(1);
+        q.u32(65);
+        q.f64(1.0);
+        q.u32(1);
+        q.u32(1);
+        q.f64(900.0);
+        q.u64(0);
+        q.u64(0b10); // bit 1 of the tail word is beyond dim 65
+        assert!(matches!(
+            decode_payload(FrameType::SearchQuery, &q.buf),
+            Err(WireError::Malformed(_))
+        ));
     }
 }

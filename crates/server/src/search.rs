@@ -1,0 +1,455 @@
+//! Search job lifecycle: shared library loading, seal-on-first-query,
+//! and windowed scoring.
+//!
+//! A **search job** is a shared [`HvLibrary`]: any number of
+//! connections load entry batches into it ([`Frame::LoadLibrary`]
+//! opens or joins the job), and the first [`Frame::SearchQuery`]
+//! **seals** the library — the accumulated entries are sorted by mass
+//! into their packed, windowed form, and further loads are rejected
+//! with [`ErrorCode::ProtocolState`]. Sealing is what makes results
+//! deterministic: every query, from every participant, scores against
+//! the same immutable snapshot.
+//!
+//! Scoring happens **outside** the job lock. A query batch reserves its
+//! contiguous job-global query-index range and grabs the sealed
+//! library's [`Arc`] under the lock, then releases it for the whole
+//! windowed scan — concurrent participants score in parallel and only
+//! re-take the lock to bump the job's counters. Every wire-facing
+//! precondition of the packed engine (finite masses, `dim ≤ 65535`,
+//! exact row stride, zero tail bits, `top_k ≥ 1`) is enforced at frame
+//! decode, so no client input can reach a panic in the search path.
+//!
+//! Lifecycle mirrors clustering jobs where it can: a handle counts as
+//! one participant and its drop (connection gone) leaves the job; the
+//! job itself is removed when the last participant leaves. Unlike
+//! clustering jobs there is no pipeline thread and no `CloseJob` —
+//! a search job is passive state, alive exactly as long as someone
+//! holds it open.
+
+use crate::job::JobError;
+use crate::protocol::{ErrorCode, Frame, HitWire, LibraryEntryWire, QueryWire, SearchStatsFrame};
+use spechd_hdc::BinaryHypervector;
+use spechd_search::{HvLibrary, HvLibraryBuilder, PackedSearchConfig, PackedSearchEngine};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Server-side cap on a search job's **total** library size, across all
+/// `LoadLibrary` frames and participants. The per-frame cap
+/// ([`crate::protocol::MAX_LIBRARY_BATCH`]) bounds one decode; this
+/// bounds what a client can make the server hold by looping frames.
+/// 2²⁰ entries at the paper's `D = 2048` is 256 MiB of packed rows.
+pub const MAX_LIBRARY_TOTAL_ENTRIES: usize = 1 << 20;
+
+struct SearchState {
+    participants: u32,
+    /// Accumulates entries until the first query seals the job.
+    builder: Option<HvLibraryBuilder>,
+    /// The sealed, immutable library (`None` until sealed).
+    library: Option<Arc<HvLibrary>>,
+    targets: u64,
+    decoys: u64,
+    queries: u64,
+    hits: u64,
+    next_query_index: u64,
+}
+
+/// One search job: a shared library and its usage counters.
+pub struct SearchJob {
+    id: u64,
+    dim: u32,
+    state: Mutex<SearchState>,
+}
+
+impl SearchJob {
+    fn stats_locked(&self, state: &SearchState) -> SearchStatsFrame {
+        SearchStatsFrame {
+            job_id: self.id,
+            participants: state.participants,
+            entries: state.targets + state.decoys,
+            targets: state.targets,
+            decoys: state.decoys,
+            sealed: u8::from(state.library.is_some()),
+            queries: state.queries,
+            hits: state.hits,
+        }
+    }
+}
+
+/// The server's table of live search jobs.
+pub struct SearchRegistry {
+    jobs: Mutex<HashMap<u64, Arc<SearchJob>>>,
+}
+
+impl Default for SearchRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SearchRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self {
+            jobs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of live search jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.lock().expect("search table poisoned").len()
+    }
+
+    /// Whether no search jobs are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Opens `job_id` or joins it as another participant. Joining
+    /// requires the same `dim`. The returned handle counts as one
+    /// participant until dropped; the job is removed when the last
+    /// participant leaves.
+    pub fn open_or_join(self: &Arc<Self>, job_id: u64, dim: u32) -> Result<SearchHandle, JobError> {
+        let mut jobs = self.jobs.lock().expect("search table poisoned");
+        let job = if let Some(job) = jobs.get(&job_id) {
+            let job = Arc::clone(job);
+            if job.dim != dim {
+                return Err(JobError {
+                    code: ErrorCode::ConfigMismatch,
+                    message: format!("search job {job_id} exists with dim {}, not {dim}", job.dim),
+                });
+            }
+            let mut state = job.state.lock().expect("search state poisoned");
+            state.participants += 1;
+            drop(state);
+            job
+        } else {
+            let job = Arc::new(SearchJob {
+                id: job_id,
+                dim,
+                state: Mutex::new(SearchState {
+                    participants: 1,
+                    builder: Some(HvLibraryBuilder::new(dim as usize)),
+                    library: None,
+                    targets: 0,
+                    decoys: 0,
+                    queries: 0,
+                    hits: 0,
+                    next_query_index: 0,
+                }),
+            });
+            jobs.insert(job_id, Arc::clone(&job));
+            job
+        };
+        Ok(SearchHandle {
+            registry: Arc::clone(self),
+            job,
+        })
+    }
+}
+
+/// One connection's participation in one search job.
+pub struct SearchHandle {
+    registry: Arc<SearchRegistry>,
+    job: Arc<SearchJob>,
+}
+
+impl SearchHandle {
+    /// The search job this handle participates in.
+    pub fn job_id(&self) -> u64 {
+        self.job.id
+    }
+
+    /// The job's hypervector dimensionality.
+    pub fn dim(&self) -> u32 {
+        self.job.dim
+    }
+
+    /// A statistics snapshot of the job.
+    pub fn stats(&self) -> SearchStatsFrame {
+        let state = self.job.state.lock().expect("search state poisoned");
+        self.job.stats_locked(&state)
+    }
+
+    /// Appends decoded entries to the job's library, returning the
+    /// post-load snapshot (the `LoadLibrary` ack). Entry row invariants
+    /// were already enforced at frame decode. Fails once the library is
+    /// sealed or when the load would exceed
+    /// [`MAX_LIBRARY_TOTAL_ENTRIES`].
+    pub fn load(&self, entries: Vec<LibraryEntryWire>) -> Result<SearchStatsFrame, JobError> {
+        let mut state = self.job.state.lock().expect("search state poisoned");
+        let Some(builder) = state.builder.as_mut() else {
+            return Err(JobError {
+                code: ErrorCode::ProtocolState,
+                message: format!(
+                    "search job {} is sealed; no further library loads",
+                    self.job.id
+                ),
+            });
+        };
+        if builder.len() + entries.len() > MAX_LIBRARY_TOTAL_ENTRIES {
+            return Err(JobError {
+                code: ErrorCode::ProtocolState,
+                message: format!("library would exceed {MAX_LIBRARY_TOTAL_ENTRIES} total entries"),
+            });
+        }
+        let mut targets = 0u64;
+        let mut decoys = 0u64;
+        for e in &entries {
+            builder.push_row_words(&e.words, e.mass, e.charge, e.id.as_str(), e.is_decoy);
+            if e.is_decoy {
+                decoys += 1;
+            } else {
+                targets += 1;
+            }
+        }
+        state.targets += targets;
+        state.decoys += decoys;
+        Ok(self.job.stats_locked(&state))
+    }
+
+    /// Scores a decoded query batch against the job's library, sealing
+    /// it first if this is the job's first query. Emits one
+    /// [`Frame::SearchHit`] per query (in batch order, with job-global
+    /// contiguous query indices) through `emit`, and returns the
+    /// post-batch snapshot — the frame pair's closing
+    /// [`Frame::SearchStats`].
+    pub fn query(
+        &self,
+        window_da: f64,
+        top_k: u32,
+        queries: Vec<QueryWire>,
+        mut emit: impl FnMut(Frame),
+    ) -> SearchStatsFrame {
+        // Seal (if first query), reserve the batch's index range, and
+        // snapshot the library Arc — then score without the lock.
+        let library = {
+            let mut state = self.job.state.lock().expect("search state poisoned");
+            if state.library.is_none() {
+                let builder = state.builder.take().expect("unsealed job has a builder");
+                state.library = Some(Arc::new(builder.build()));
+            }
+            Arc::clone(state.library.as_ref().expect("sealed job has a library"))
+        };
+        let base = {
+            let mut state = self.job.state.lock().expect("search state poisoned");
+            let base = state.next_query_index;
+            state.next_query_index += queries.len() as u64;
+            base
+        };
+        let engine = PackedSearchEngine::new(PackedSearchConfig {
+            precursor_tol_da: window_da,
+            open_window_da: window_da,
+            top_k: top_k as usize,
+            ..PackedSearchConfig::default()
+        });
+        let dim = self.job.dim as usize;
+        let mut emitted_hits = 0u64;
+        for (offset, q) in queries.iter().enumerate() {
+            let hv = BinaryHypervector::from_words(dim, q.words.clone());
+            let psms = engine.search_window(&library, &hv, q.mass, offset, window_da);
+            emitted_hits += psms.len() as u64;
+            emit(Frame::SearchHit {
+                job_id: self.job.id,
+                query_index: base + offset as u64,
+                hits: psms
+                    .into_iter()
+                    .map(|p| HitWire {
+                        library_index: p.library_index as u64,
+                        distance: p.distance,
+                        mass_delta: p.mass_delta,
+                        is_decoy: p.is_decoy,
+                        id: library.id(p.library_index).to_string(),
+                    })
+                    .collect(),
+            });
+        }
+        let mut state = self.job.state.lock().expect("search state poisoned");
+        state.queries += queries.len() as u64;
+        state.hits += emitted_hits;
+        self.job.stats_locked(&state)
+    }
+}
+
+impl Drop for SearchHandle {
+    fn drop(&mut self) {
+        let mut jobs = self.registry.jobs.lock().expect("search table poisoned");
+        let mut state = self.job.state.lock().expect("search state poisoned");
+        state.participants = state.participants.saturating_sub(1);
+        if state.participants == 0 {
+            jobs.remove(&self.job.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechd_rng::Xoshiro256StarStar;
+
+    fn entry(mass: f64, id: &str, is_decoy: bool, words: Vec<u64>) -> LibraryEntryWire {
+        LibraryEntryWire {
+            mass,
+            charge: 2,
+            is_decoy,
+            id: id.into(),
+            words,
+        }
+    }
+
+    fn random_words(dim: usize, seed: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        BinaryHypervector::random(dim, &mut rng).words().to_vec()
+    }
+
+    #[test]
+    fn load_then_query_returns_library_path_results() {
+        let registry = Arc::new(SearchRegistry::new());
+        let handle = registry.open_or_join(1, 128).unwrap();
+        let rows: Vec<Vec<u64>> = (0..20).map(|i| random_words(128, i)).collect();
+        let entries: Vec<LibraryEntryWire> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| entry(1000.0 + i as f64, &format!("e{i}"), i % 2 == 1, w.clone()))
+            .collect();
+        let stats = handle.load(entries.clone()).unwrap();
+        assert_eq!(stats.entries, 20);
+        assert_eq!(stats.targets, 10);
+        assert_eq!(stats.decoys, 10);
+        assert_eq!(stats.sealed, 0);
+
+        let mut frames = Vec::new();
+        let stats = handle.query(
+            5.0,
+            3,
+            vec![QueryWire {
+                mass: 1007.2,
+                words: rows[7].clone(),
+            }],
+            |f| frames.push(f),
+        );
+        assert_eq!(stats.sealed, 1);
+        assert_eq!(stats.queries, 1);
+        assert_eq!(frames.len(), 1);
+        let Frame::SearchHit {
+            query_index, hits, ..
+        } = &frames[0]
+        else {
+            panic!("expected SearchHit, got {:?}", frames[0]);
+        };
+        assert_eq!(*query_index, 0);
+        assert_eq!(hits[0].distance, 0, "exact row is the best hit");
+        assert_eq!(hits[0].id, "e7");
+        assert!(hits[0].is_decoy);
+
+        // Same search through the library path must agree bit-for-bit.
+        let mut b = HvLibraryBuilder::new(128);
+        for e in &entries {
+            b.push_row_words(&e.words, e.mass, e.charge, e.id.as_str(), e.is_decoy);
+        }
+        let lib = b.build();
+        let engine = PackedSearchEngine::new(PackedSearchConfig {
+            top_k: 3,
+            ..PackedSearchConfig::default()
+        });
+        let hv = BinaryHypervector::from_words(128, rows[7].clone());
+        let expect = engine.search_window(&lib, &hv, 1007.2, 0, 5.0);
+        assert_eq!(hits.len(), expect.len());
+        for (h, p) in hits.iter().zip(&expect) {
+            assert_eq!(h.library_index, p.library_index as u64);
+            assert_eq!(h.distance, p.distance);
+            assert_eq!(h.mass_delta, p.mass_delta);
+            assert_eq!(h.is_decoy, p.is_decoy);
+        }
+    }
+
+    #[test]
+    fn load_after_seal_is_rejected() {
+        let registry = Arc::new(SearchRegistry::new());
+        let handle = registry.open_or_join(1, 64).unwrap();
+        handle
+            .load(vec![entry(900.0, "a", false, vec![1])])
+            .unwrap();
+        handle.query(1.0, 1, Vec::new(), |_| {});
+        let err = handle
+            .load(vec![entry(901.0, "b", false, vec![2])])
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::ProtocolState);
+        assert!(err.message.contains("sealed"));
+    }
+
+    #[test]
+    fn total_entry_cap_is_enforced() {
+        let registry = Arc::new(SearchRegistry::new());
+        let handle = registry.open_or_join(1, 64).unwrap();
+        // A batch that would blow past the job-total cap is refused
+        // outright (its entries are not partially applied).
+        let big: Vec<LibraryEntryWire> = (0..=MAX_LIBRARY_TOTAL_ENTRIES)
+            .map(|i| entry(900.0, "x", false, vec![i as u64 & 0xFF]))
+            .collect();
+        let err = handle.load(big).unwrap_err();
+        assert_eq!(err.code, ErrorCode::ProtocolState);
+        assert_eq!(handle.stats().entries, 0);
+    }
+
+    #[test]
+    fn join_requires_matching_dim_and_last_drop_removes_job() {
+        let registry = Arc::new(SearchRegistry::new());
+        let a = registry.open_or_join(9, 256).unwrap();
+        let err = match registry.open_or_join(9, 128) {
+            Err(e) => e,
+            Ok(_) => panic!("dim mismatch must be rejected"),
+        };
+        assert_eq!(err.code, ErrorCode::ConfigMismatch);
+        let b = registry.open_or_join(9, 256).unwrap();
+        assert_eq!(a.stats().participants, 2);
+        drop(a);
+        assert_eq!(registry.len(), 1);
+        drop(b);
+        assert!(registry.is_empty(), "last participant removes the job");
+    }
+
+    #[test]
+    fn query_indices_are_contiguous_across_batches() {
+        let registry = Arc::new(SearchRegistry::new());
+        let handle = registry.open_or_join(1, 64).unwrap();
+        handle
+            .load(vec![entry(900.0, "a", false, vec![3])])
+            .unwrap();
+        let q = |mass: f64| QueryWire {
+            mass,
+            words: vec![5],
+        };
+        let mut indices = Vec::new();
+        for _ in 0..2 {
+            handle.query(10.0, 1, vec![q(900.0), q(901.0)], |f| {
+                if let Frame::SearchHit { query_index, .. } = f {
+                    indices.push(query_index);
+                }
+            });
+        }
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+        assert_eq!(handle.stats().queries, 4);
+    }
+
+    #[test]
+    fn empty_library_query_yields_empty_hits() {
+        let registry = Arc::new(SearchRegistry::new());
+        let handle = registry.open_or_join(1, 64).unwrap();
+        let mut frames = Vec::new();
+        let stats = handle.query(
+            100.0,
+            5,
+            vec![QueryWire {
+                mass: 900.0,
+                words: vec![1],
+            }],
+            |f| frames.push(f),
+        );
+        assert_eq!(stats.sealed, 1);
+        assert_eq!(stats.hits, 0);
+        assert!(
+            matches!(&frames[0], Frame::SearchHit { hits, .. } if hits.is_empty()),
+            "empty library still acks the query: {frames:?}"
+        );
+    }
+}

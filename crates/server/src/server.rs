@@ -31,6 +31,7 @@ use crate::protocol::{
     decode_payload, parse_header, write_frame, ErrorCode, Frame, WireError, DEFAULT_MAX_FRAME_LEN,
     HEADER_LEN,
 };
+use crate::search::{SearchHandle, SearchRegistry};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -84,6 +85,7 @@ pub struct Server {
     listener: TcpListener,
     config: ServerConfig,
     registry: Arc<JobRegistry>,
+    search_registry: Arc<SearchRegistry>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -96,6 +98,7 @@ impl Server {
             listener,
             config,
             registry,
+            search_registry: Arc::new(SearchRegistry::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -128,12 +131,15 @@ impl Server {
             };
             let config = self.config.clone();
             let registry = Arc::clone(&self.registry);
+            let search_registry = Arc::clone(&self.search_registry);
             let shutdown = Arc::clone(&self.shutdown);
             connections.retain(|c| !c.is_finished());
             connections.push(
                 std::thread::Builder::new()
                     .name("spechd-conn".into())
-                    .spawn(move || handle_connection(stream, config, registry, shutdown))
+                    .spawn(move || {
+                        handle_connection(stream, config, registry, search_registry, shutdown)
+                    })
                     .expect("spawn connection thread"),
             );
         }
@@ -209,6 +215,7 @@ fn handle_connection(
     stream: TcpStream,
     config: ServerConfig,
     registry: Arc<JobRegistry>,
+    search_registry: Arc<SearchRegistry>,
     shutdown: Arc<AtomicBool>,
 ) {
     let _ = stream.set_nodelay(true);
@@ -228,10 +235,22 @@ fn handle_connection(
 
     let mut reader = FrameReader::new(stream, &config);
     let mut handle: Option<JobHandle> = None;
+    let mut search: Option<SearchHandle> = None;
     loop {
+        // Idle exemption stays clustering-only: a search job never
+        // pushes unsolicited frames, so a connection merely *holding*
+        // one open is idle if it stops sending — the timeout reclaims
+        // it (and the handle's drop leaves the job).
         let engaged = handle.as_ref().is_some_and(JobHandle::is_active);
         match reader.next_frame(&shutdown, engaged) {
-            ReadEvent::Frame(frame) => dispatch(frame, &mut handle, &registry, &out_tx),
+            ReadEvent::Frame(frame) => dispatch(
+                frame,
+                &mut handle,
+                &mut search,
+                &registry,
+                &search_registry,
+                &out_tx,
+            ),
             ReadEvent::Hangup(parting) => {
                 if let Some((code, message)) = parting {
                     let _ = out_tx.send(Frame::Error { code, message });
@@ -240,11 +259,13 @@ fn handle_connection(
             }
         }
     }
-    // Dropping the handle ends this connection's job participation; if
-    // it was the last participant the job's stream ends and the
-    // pipeline finalizes. Dropping `out_tx` lets the writer exit once
-    // the job's subscription (if any) is gone too.
+    // Dropping the handles ends this connection's job participations;
+    // if it was a job's last participant the clustering stream ends
+    // (pipeline finalizes) / the search job is removed. Dropping
+    // `out_tx` lets the writer exit once the job's subscription (if
+    // any) is gone too.
     drop(handle);
+    drop(search);
     drop(out_tx);
     let _ = writer.join();
 }
@@ -358,10 +379,42 @@ fn hangup_for(e: WireError) -> ReadEvent {
     ReadEvent::Hangup(parting)
 }
 
+/// Resolves the connection's search handle for a frame naming
+/// `(job_id, dim)`: reuses the held handle when it matches, opens or
+/// joins the job when none is held, and rejects a mismatch — one
+/// connection drives at most one search job at a time (the search
+/// session ends with the connection; there is no search `CloseJob`).
+fn ensure_search<'a>(
+    search: &'a mut Option<SearchHandle>,
+    registry: &Arc<SearchRegistry>,
+    job_id: u64,
+    dim: u32,
+) -> Result<&'a SearchHandle, crate::job::JobError> {
+    if let Some(h) = search {
+        if h.job_id() != job_id {
+            return Err(crate::job::JobError {
+                code: ErrorCode::ProtocolState,
+                message: format!("connection is in search job {}, not {job_id}", h.job_id()),
+            });
+        }
+        if h.dim() != dim {
+            return Err(crate::job::JobError {
+                code: ErrorCode::ConfigMismatch,
+                message: format!("search job {job_id} has dim {}, not {dim}", h.dim()),
+            });
+        }
+    } else {
+        *search = Some(registry.open_or_join(job_id, dim)?);
+    }
+    Ok(search.as_ref().expect("search handle just ensured"))
+}
+
 fn dispatch(
     frame: Frame,
     handle: &mut Option<JobHandle>,
+    search: &mut Option<SearchHandle>,
     registry: &Arc<JobRegistry>,
+    search_registry: &Arc<SearchRegistry>,
     out_tx: &mpsc::SyncSender<Frame>,
 ) {
     let reply = |frame: Frame| {
@@ -418,10 +471,50 @@ fn dispatch(
             Some(h) if h.job_id() == job_id => h.close(),
             _ => state_error(format!("job {job_id} is not open on this connection")),
         },
+        Frame::LoadLibrary {
+            job_id,
+            dim,
+            entries,
+        } => match ensure_search(search, search_registry, job_id, dim) {
+            Ok(h) => match h.load(entries) {
+                Ok(stats) => reply(Frame::SearchStats(stats)),
+                Err(e) => reply(Frame::Error {
+                    code: e.code,
+                    message: e.message,
+                }),
+            },
+            Err(e) => reply(Frame::Error {
+                code: e.code,
+                message: e.message,
+            }),
+        },
+        Frame::SearchQuery {
+            job_id,
+            dim,
+            window_da,
+            top_k,
+            queries,
+        } => match ensure_search(search, search_registry, job_id, dim) {
+            Ok(h) => {
+                // Hit frames go through the same bounded outbound
+                // queue as everything else: a full queue blocks the
+                // reader here, so a client that stops draining its
+                // results stops being served — backpressure, not
+                // buffering.
+                let stats = h.query(window_da, top_k, queries, &reply);
+                reply(Frame::SearchStats(stats));
+            }
+            Err(e) => reply(Frame::Error {
+                code: e.code,
+                message: e.message,
+            }),
+        },
         Frame::SubmitAck { .. }
         | Frame::Assignment { .. }
         | Frame::Consensus { .. }
         | Frame::JobStats(_)
+        | Frame::SearchHit { .. }
+        | Frame::SearchStats(_)
         | Frame::Error { .. } => {
             state_error("server-to-client frame sent by client".into());
         }

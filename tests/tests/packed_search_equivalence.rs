@@ -1,0 +1,242 @@
+//! PR 7 equivalence suite: the packed search engine — standard and
+//! open-modification mode — must be **bit-identical** to the scalar
+//! per-spectrum reference scorer at every dimensionality, library
+//! size, and thread count, including tie-breaks. A second layer pins
+//! the served path: searching through `spechd-server` over TCP must
+//! return exactly the hits of a local library search over the same
+//! entries.
+
+use spechd_hdc::BinaryHypervector;
+use spechd_rng::{Rng, Xoshiro256StarStar};
+use spechd_search::{
+    scalar_search_window, HvLibrary, HvLibraryBuilder, PackedSearchConfig, PackedSearchEngine,
+};
+use spechd_server::{LibraryEntryWire, QueryWire, SearchClient, Server, ServerConfig};
+
+fn build_library(n: usize, dim: usize, seed: u64) -> HvLibrary {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut b = HvLibraryBuilder::new(dim);
+    for i in 0..n {
+        let hv = BinaryHypervector::random(dim, &mut rng);
+        let mass = rng.range_f64(500.0, 3500.0);
+        // Alternate targets and shuffled decoys so hits carry both
+        // provenances.
+        if i % 3 == 0 {
+            b.push_with_shuffled_decoy(&hv, mass, 2, &format!("p{i}"), seed.wrapping_add(i as u64));
+        } else {
+            b.push_hypervector(&hv, mass, 2, format!("p{i}"), false);
+        }
+    }
+    b.build()
+}
+
+fn queries(n: usize, dim: usize, seed: u64) -> Vec<(BinaryHypervector, f64)> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (
+                BinaryHypervector::random(dim, &mut rng),
+                rng.range_f64(500.0, 3500.0),
+            )
+        })
+        .collect()
+}
+
+/// The tentpole guarantee: packed standard + OMS search match the
+/// scalar oracle — same hit ids, same u16 distances, same tie-break —
+/// across dims {63, 64, 2048} × library sizes {0, 1, 257} × 1/2/4
+/// threads.
+#[test]
+fn packed_search_matches_scalar_reference_everywhere() {
+    for &dim in &[63usize, 64, 2048] {
+        for &size in &[0usize, 1, 257] {
+            let lib = build_library(size, dim, 0x5EED ^ (dim * 1000 + size) as u64);
+            let qs = queries(8, dim, 0xFACE ^ dim as u64);
+            for &threads in &[1usize, 2, 4] {
+                let engine = PackedSearchEngine::new(PackedSearchConfig {
+                    precursor_tol_da: 50.0, // wide enough to catch candidates
+                    open_window_da: 800.0,
+                    top_k: 5,
+                    batch_rows: 13, // force multi-batch sweeps over the window
+                    threads,
+                });
+                for (qi, (q, mass)) in qs.iter().enumerate() {
+                    let std_hits = engine.search_standard(&lib, q, *mass, qi);
+                    let oms_hits = engine.search_open(&lib, q, *mass, qi);
+                    assert_eq!(
+                        std_hits,
+                        scalar_search_window(&lib, q, *mass, qi, 50.0, 5),
+                        "standard mismatch: dim {dim} size {size} threads {threads} query {qi}"
+                    );
+                    assert_eq!(
+                        oms_hits,
+                        scalar_search_window(&lib, q, *mass, qi, 800.0, 5),
+                        "OMS mismatch: dim {dim} size {size} threads {threads} query {qi}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Tie-breaks are part of the contract: duplicate rows at one mass
+/// must come back in ascending library-index order from packed and
+/// scalar alike, at every thread count.
+#[test]
+fn tie_breaks_are_deterministic_across_thread_counts() {
+    let dim = 192;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(99);
+    let hv = BinaryHypervector::random(dim, &mut rng);
+    let mut b = HvLibraryBuilder::new(dim);
+    for i in 0..12 {
+        // Three distinct rows, each duplicated four times, same mass.
+        let mut row = hv.clone();
+        row.flip_random_bits(
+            (i % 3) * 7,
+            &mut Xoshiro256StarStar::seed_from_u64(i as u64 % 3),
+        );
+        b.push_hypervector(&row, 1000.0, 2, format!("d{i}"), false);
+    }
+    let lib = b.build();
+    let mut reference = None;
+    for &threads in &[1usize, 2, 4] {
+        let engine = PackedSearchEngine::new(PackedSearchConfig {
+            top_k: 7,
+            batch_rows: 5,
+            threads,
+            ..PackedSearchConfig::default()
+        });
+        let hits = engine.search_standard(&lib, &hv, 1000.0, 0);
+        assert_eq!(
+            hits,
+            scalar_search_window(&lib, &hv, 1000.0, 0, 0.05, 7),
+            "threads {threads}"
+        );
+        assert!(
+            hits.windows(2)
+                .all(|w| (w[0].distance, w[0].library_index) < (w[1].distance, w[1].library_index)),
+            "strict (distance, index) order at threads {threads}"
+        );
+        match &reference {
+            None => reference = Some(hits),
+            Some(r) => assert_eq!(&hits, r, "thread count changed results"),
+        }
+    }
+}
+
+fn wire_entries(lib: &HvLibrary) -> Vec<LibraryEntryWire> {
+    (0..lib.len())
+        .map(|i| LibraryEntryWire {
+            mass: lib.mass(i),
+            charge: lib.charge(i),
+            is_decoy: lib.is_decoy(i),
+            id: lib.id(i).to_string(),
+            words: lib.pack().row(i).to_vec(),
+        })
+        .collect()
+}
+
+/// The served path — library loaded over TCP, queries scored by the
+/// server — must return exactly the hits of a local
+/// `PackedSearchEngine` run over the same entries, for both a narrow
+/// (standard) and a wide (OMS) window.
+#[test]
+fn served_search_is_bit_identical_to_library_path() {
+    let dim = 256;
+    let lib = build_library(120, dim, 0xBEEF);
+    let qs = queries(17, dim, 0xCAFE);
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            idle_timeout: std::time::Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let running = server.spawn().expect("spawn");
+
+    let mut client = SearchClient::connect(running.addr(), 77, dim as u32).expect("connect");
+    let stats = client.load(&wire_entries(&lib)).expect("load");
+    assert_eq!(stats.entries as usize, lib.len());
+    assert_eq!(stats.targets as usize, lib.target_count());
+    assert_eq!(stats.decoys as usize, lib.decoy_count());
+    assert_eq!(stats.sealed, 0);
+
+    let wire_queries: Vec<QueryWire> = qs
+        .iter()
+        .map(|(hv, mass)| QueryWire {
+            mass: *mass,
+            words: hv.words().to_vec(),
+        })
+        .collect();
+
+    for &(window_da, top_k) in &[(0.5f64, 3u32), (400.0, 5)] {
+        let (served, stats) = client
+            .search(&wire_queries, window_da, top_k)
+            .expect("search");
+        assert_eq!(stats.sealed, 1);
+        assert_eq!(served.len(), qs.len());
+        let engine = PackedSearchEngine::new(PackedSearchConfig {
+            top_k: top_k as usize,
+            ..PackedSearchConfig::default()
+        });
+        for (qi, ((hv, mass), result)) in qs.iter().zip(&served).enumerate() {
+            let local = engine.search_window(&lib, hv, *mass, qi, window_da);
+            assert_eq!(
+                result.hits.len(),
+                local.len(),
+                "hit count: window {window_da} query {qi}"
+            );
+            for (h, p) in result.hits.iter().zip(&local) {
+                assert_eq!(h.library_index, p.library_index as u64, "query {qi}");
+                assert_eq!(h.distance, p.distance, "query {qi}");
+                assert_eq!(h.mass_delta, p.mass_delta, "query {qi}");
+                assert_eq!(h.is_decoy, p.is_decoy, "query {qi}");
+                assert_eq!(h.id, lib.id(p.library_index), "query {qi}");
+            }
+        }
+    }
+
+    // Sealed: further loads must be rejected server-side.
+    assert!(client.load(&wire_entries(&lib)).is_err());
+    running.shutdown();
+}
+
+/// Two participants share one search job: entries loaded by either are
+/// visible to both, and query indices are job-global.
+#[test]
+fn search_job_is_shared_between_participants() {
+    let dim = 64;
+    let lib = build_library(30, dim, 0xABBA);
+    let entries = wire_entries(&lib);
+    let (first, second) = entries.split_at(entries.len() / 2);
+
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let running = server.spawn().expect("spawn");
+
+    let mut a = SearchClient::connect(running.addr(), 5, dim as u32).expect("connect a");
+    let mut b = SearchClient::connect(running.addr(), 5, dim as u32).expect("connect b");
+    a.load(first).expect("load a");
+    let stats = b.load(second).expect("load b");
+    assert_eq!(stats.entries as usize, lib.len(), "loads are pooled");
+    assert_eq!(stats.participants, 2);
+
+    let q = QueryWire {
+        mass: lib.mass(0),
+        words: lib.pack().row(0).to_vec(),
+    };
+    let (hits_a, _) = a
+        .search(std::slice::from_ref(&q), 1000.0, 4)
+        .expect("search a");
+    let (hits_b, _) = b
+        .search(std::slice::from_ref(&q), 1000.0, 4)
+        .expect("search b");
+    assert_eq!(hits_a[0].hits, hits_b[0].hits, "same job, same library");
+    assert_eq!(hits_a[0].query_index, 0);
+    assert_eq!(hits_b[0].query_index, 1, "query indices are job-global");
+
+    // A third participant with a different dim is turned away.
+    assert!(SearchClient::connect(running.addr(), 5, 128).is_err());
+    running.shutdown();
+}
