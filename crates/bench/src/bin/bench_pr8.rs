@@ -1,0 +1,239 @@
+//! Emits machine-readable incremental-clustering benchmarks as
+//! `BENCH_pr8.json`: the batch `SpecHd::run` baseline against the
+//! persistent-store incremental mode (cold start, installment replay, and
+//! the steady-state single-installment update), plus the store
+//! serialization round trip, on one labelled synthetic workload.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_pr8 [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks n for the CI regression gate; `--out` defaults to
+//! `BENCH_pr8.json`. Output is a JSON array of
+//! `{kernel, n, dim, threads, ns_per_op}` records (see
+//! `spechd_bench::kernel_bench`); `bench_gate` compares two such files
+//! with `batch_pipeline` as the machine-normalizing reference.
+//!
+//! Before any timing, the incremental mode is checked against batch: the
+//! cold start (one installment into an empty store) must be
+//! **bit-identical** to `SpecHd::run`, a k-installment replay must pass
+//! the default `spechd_metrics::EquivalenceGate`, and the store must
+//! survive a serialization round trip bit-identically — a
+//! faster-but-different pipeline must fail the bench, so the CI smoke
+//! catches divergence the same way `bench_pr4` catches kernel bit-rot.
+
+use spechd_bench::kernel_bench::{measure_interleaved, write_records, Kernel, KernelRecord};
+use spechd_core::{ClusterStore, SpecHd, SpecHdConfig};
+use spechd_metrics::EquivalenceGate;
+use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+use spechd_ms::SpectrumDataset;
+use std::hint::black_box;
+
+const DIM: usize = 2048;
+const INSTALLMENTS: usize = 5;
+
+/// Splits a dataset into `k` contiguous installments.
+fn split(dataset: &SpectrumDataset, k: usize) -> Vec<SpectrumDataset> {
+    let chunk = dataset.len().div_ceil(k);
+    let mut parts = Vec::with_capacity(k);
+    let mut iter = dataset.iter();
+    for _ in 0..k {
+        let mut part = SpectrumDataset::new();
+        for (spectrum, label) in iter.by_ref().take(chunk) {
+            part.push(spectrum.clone(), label);
+        }
+        parts.push(part);
+    }
+    parts
+}
+
+fn main() {
+    let mut n = 3000usize;
+    let mut samples = 5usize;
+    let mut out_path = String::from("BENCH_pr8.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                n = 300;
+                samples = 3;
+            }
+            "--out" => {
+                out_path = args.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_pr8 [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let union = SyntheticGenerator::new(SyntheticConfig {
+        num_spectra: n,
+        num_peptides: (n / 5).max(10),
+        seed: 0x5BEC8,
+        ..SyntheticConfig::default()
+    })
+    .generate();
+    let parts = split(&union, INSTALLMENTS);
+    // The steady-state update workload: the archive already holds the
+    // first k-1 installments; one new installment arrives.
+    let (last, prefix) = parts.split_last().expect("at least one installment");
+    let engine = SpecHd::new(SpecHdConfig::default());
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    println!("[bench_pr8] n={n} dim={DIM} samples={samples} workers={workers}");
+
+    // ── Equivalence gates before timing anything. ──
+    let batch = engine.run(&union);
+    let mut cold = engine.new_store().expect("fresh store");
+    let cold_out = engine
+        .run_incremental(&mut cold, &union)
+        .expect("cold-start incremental run");
+    assert_eq!(
+        cold_out.assignment(),
+        batch.assignment(),
+        "cold-start incremental diverged from batch labels"
+    );
+
+    let mut replayed = engine.new_store().expect("fresh store");
+    let mut last_out = None;
+    for part in &parts {
+        last_out = Some(
+            engine
+                .run_incremental(&mut replayed, part)
+                .expect("installment replay"),
+        );
+    }
+    let replay_out = last_out.expect("INSTALLMENTS > 0");
+    let truth: Vec<Option<u32>> = batch
+        .kept()
+        .iter()
+        .map(|&orig| union.labels()[orig])
+        .collect();
+    let report = EquivalenceGate::default().check(
+        replay_out.assignment().labels(),
+        batch.assignment().labels(),
+        &truth,
+    );
+    assert!(
+        report.passed(),
+        "{INSTALLMENTS}-installment replay failed the equivalence gate: {:?}",
+        report.violations
+    );
+
+    let bytes = replayed.to_bytes();
+    let reloaded = ClusterStore::from_bytes(&bytes).expect("round-trip reload");
+    assert_eq!(reloaded, replayed, "store round trip lost state");
+    assert_eq!(
+        reloaded.to_bytes(),
+        bytes,
+        "store re-serialization is not bit-identical"
+    );
+    println!(
+        "[bench_pr8] equivalence gates passed: cold start bit-identical, \
+         k={INSTALLMENTS} NMI {:.4} (ARI {:.4}), store round trip bit-identical",
+        report.agreement.nmi, report.agreement.ari,
+    );
+
+    // The update kernel's starting archive: everything but the last
+    // installment. Cloned per op so each invocation updates the same
+    // pre-update state.
+    let mut warm = engine.new_store().expect("fresh store");
+    for part in prefix {
+        engine
+            .run_incremental(&mut warm, part)
+            .expect("prefix installment");
+    }
+    println!(
+        "[bench_pr8] update workload: archive of {} spectra in {} clusters, +{} new",
+        warm.next_spectrum_id(),
+        warm.num_clusters(),
+        last.len(),
+    );
+
+    let mut kernels: Vec<Kernel<'_>> = vec![
+        (
+            "batch_pipeline",
+            workers,
+            Box::new(|| {
+                black_box(engine.run(black_box(&union)));
+            }),
+        ),
+        (
+            "incremental_cold",
+            workers,
+            Box::new(|| {
+                let mut store = engine.new_store().expect("fresh store");
+                black_box(
+                    engine
+                        .run_incremental(&mut store, black_box(&union))
+                        .expect("cold incremental"),
+                );
+            }),
+        ),
+        (
+            "incremental_replay_k5",
+            workers,
+            Box::new(|| {
+                let mut store = engine.new_store().expect("fresh store");
+                for part in &parts {
+                    black_box(
+                        engine
+                            .run_incremental(&mut store, black_box(part))
+                            .expect("replay installment"),
+                    );
+                }
+            }),
+        ),
+        (
+            "incremental_update",
+            workers,
+            Box::new(|| {
+                let mut store = warm.clone();
+                black_box(
+                    engine
+                        .run_incremental(&mut store, black_box(last))
+                        .expect("update installment"),
+                );
+            }),
+        ),
+        (
+            "store_roundtrip",
+            1,
+            Box::new(|| {
+                let bytes = black_box(&replayed).to_bytes();
+                black_box(ClusterStore::from_bytes(&bytes).expect("reload"));
+            }),
+        ),
+    ];
+    let medians = measure_interleaved(samples, &mut kernels);
+    let mut records: Vec<KernelRecord> = Vec::new();
+    for ((kernel, threads, _), ns) in kernels.iter().zip(&medians) {
+        let rate = n as f64 / (*ns as f64 * 1e-9);
+        println!("  {kernel:<24} threads={threads:<2} {ns:>12} ns/op  {rate:>9.0} spectra/s");
+        records.push(KernelRecord {
+            kernel: kernel.to_string(),
+            n,
+            dim: DIM,
+            threads: *threads,
+            ns_per_op: *ns,
+        });
+    }
+
+    let batch_ns = records[0].ns_per_op.max(1);
+    println!(
+        "[bench_pr8] update/batch wall-clock ratio: {:.3}x (cold: {:.2}x, replay k={INSTALLMENTS}: {:.2}x)",
+        records[3].ns_per_op.max(1) as f64 / batch_ns as f64,
+        records[1].ns_per_op.max(1) as f64 / batch_ns as f64,
+        records[2].ns_per_op.max(1) as f64 / batch_ns as f64,
+    );
+
+    write_records(&out_path, &records);
+    println!("[bench_pr8] wrote {out_path}");
+}

@@ -1,0 +1,66 @@
+//! The workspace-level error umbrella.
+
+use crate::ConfigError;
+use spechd_store::StoreError;
+
+/// Any failure a fallible `spechd-core` entry point can report:
+/// configuration rejection ([`ConfigError`]) or persistent-store trouble
+/// ([`StoreError`], which itself covers I/O and file-format defects).
+///
+/// `From` impls let call sites use `?` across layers; [`SpecHdError`]
+/// implements [`std::error::Error`] with `source()` chaining, so it also
+/// boxes cleanly into `Box<dyn Error>` applications.
+#[derive(Debug)]
+pub enum SpecHdError {
+    /// The pipeline configuration is invalid.
+    Config(ConfigError),
+    /// The persistent cluster store failed (I/O, format, or consistency).
+    Store(StoreError),
+}
+
+impl std::fmt::Display for SpecHdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecHdError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SpecHdError::Store(e) => write!(f, "cluster store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecHdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecHdError::Config(e) => Some(e),
+            SpecHdError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for SpecHdError {
+    fn from(e: ConfigError) -> Self {
+        SpecHdError::Config(e)
+    }
+}
+
+impl From<StoreError> for SpecHdError {
+    fn from(e: StoreError) -> Self {
+        SpecHdError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn wraps_and_chains_sources() {
+        let e: SpecHdError = ConfigError::ZeroTopK.into();
+        assert!(e.to_string().contains("top_k"));
+        assert!(e.source().is_some());
+
+        let e: SpecHdError = StoreError::IdSpaceExhausted.into();
+        assert!(e.to_string().contains("id space"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,317 @@
+//! Incremental clustering over a persistent [`ClusterStore`].
+//!
+//! The paper's usage model (§IV-B) is "one-time preprocessing and
+//! subsequent updates": an archive grows run by run, and reclustering the
+//! whole archive for every new run throws away all prior work.
+//! [`SpecHd::run_incremental`] is the subsequent-updates half:
+//!
+//! 1. preprocess + encode the new installment exactly as the batch path
+//!    does (hypervectors are deterministic for a fixed config);
+//! 2. route each new spectrum to its Eq. (1) precursor bucket;
+//! 3. in a bucket the store has never seen (**fresh**), cluster from
+//!    scratch with the same shard kernel the batch pipeline uses;
+//! 4. in a bucket with prior clusters (**dirty**), score each new
+//!    spectrum against the stored medoid rows with the packed distance
+//!    kernel and absorb it into the nearest cluster when that distance is
+//!    within the cut threshold; the spectra no existing cluster accepts
+//!    are reclustered among themselves and appended as new clusters;
+//! 5. replay the union through [`spechd_cluster::ShardLabelMerger`]
+//!    ([`ClusterStore::union_assignment`]) for the global assignment.
+//!
+//! Label stability falls out of the dense-by-first-appearance renumbering:
+//! old spectra keep lower global ids than anything new, absorption never
+//! relabels an old spectrum, and new clusters only append — so the labels
+//! of a previous session survive verbatim as a prefix of the new ones. On
+//! an empty store the fresh-bucket path runs for every bucket, making the
+//! first installment bit-identical to [`SpecHd::run`] over the same data.
+
+use crate::pipeline::cluster_shard;
+use crate::{SpecHd, SpecHdError};
+use spechd_cluster::ClusterAssignment;
+use spechd_hdc::distance::PackedDistanceEngine;
+use spechd_ms::SpectrumDataset;
+use spechd_store::ClusterStore;
+
+/// Work counters of one incremental installment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalStats {
+    /// Spectra in the installment before preprocessing.
+    pub spectra_in: usize,
+    /// Spectra surviving preprocessing (= global ids reserved).
+    pub spectra_kept: usize,
+    /// Buckets of this installment the store had never seen.
+    pub fresh_buckets: usize,
+    /// Buckets of this installment with prior clusters.
+    pub dirty_buckets: usize,
+    /// New spectra absorbed into an existing cluster.
+    pub absorbed: usize,
+    /// New spectra that no existing cluster accepted and that were
+    /// reclustered among themselves.
+    pub residual: usize,
+    /// Clusters appended this installment (fresh buckets + residuals).
+    pub new_clusters: usize,
+}
+
+/// Result of [`SpecHd::run_incremental`]: the updated global view plus
+/// installment bookkeeping.
+#[derive(Debug, Clone)]
+pub struct IncrementalOutcome {
+    assignment: ClusterAssignment,
+    consensus: Vec<u64>,
+    base_id: u64,
+    kept: Vec<usize>,
+    stats: IncrementalStats,
+}
+
+impl IncrementalOutcome {
+    /// The dense global assignment over **every** spectrum the store has
+    /// ever absorbed (index = global spectrum id).
+    pub fn assignment(&self) -> &ClusterAssignment {
+        &self.assignment
+    }
+
+    /// Global spectrum id of the medoid of each dense cluster.
+    pub fn consensus(&self) -> &[u64] {
+        &self.consensus
+    }
+
+    /// First global id assigned to this installment; its kept spectra own
+    /// ids `base_id .. base_id + kept().len()`.
+    pub fn base_id(&self) -> u64 {
+        self.base_id
+    }
+
+    /// For each kept spectrum of this installment (in id order), its index
+    /// in the installment's input dataset.
+    pub fn kept(&self) -> &[usize] {
+        &self.kept
+    }
+
+    /// The labels of just this installment's spectra — the
+    /// `base_id`-offset slice of [`IncrementalOutcome::assignment`].
+    pub fn installment_labels(&self) -> &[usize] {
+        let base = self.base_id as usize;
+        &self.assignment.labels()[base..base + self.kept.len()]
+    }
+
+    /// Work counters of this installment.
+    pub fn stats(&self) -> &IncrementalStats {
+        &self.stats
+    }
+}
+
+impl SpecHd {
+    /// Creates an empty [`ClusterStore`] bound to this engine's
+    /// dimensionality and configuration fingerprint — the starting point
+    /// of an incremental session sequence.
+    pub fn new_store(&self) -> Result<ClusterStore, SpecHdError> {
+        Ok(ClusterStore::new(
+            self.encoder.dim(),
+            self.config.fingerprint(),
+        )?)
+    }
+
+    /// Clusters one new installment of spectra *into* a persistent store
+    /// (see the [module docs](self) for the algorithm), returning the
+    /// updated global assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecHdError::Store`] if the store was produced under a different
+    /// dimensionality or configuration fingerprint
+    /// ([`spechd_store::StoreError::DimMismatch`] /
+    /// [`spechd_store::StoreError::ConfigMismatch`]), or if its id space
+    /// is exhausted.
+    pub fn run_incremental(
+        &self,
+        store: &mut ClusterStore,
+        dataset: &SpectrumDataset,
+    ) -> Result<IncrementalOutcome, SpecHdError> {
+        store.ensure_compatible(self.encoder.dim(), self.config.fingerprint())?;
+        let threshold = self.config.distance_threshold_bits();
+        let linkage = self.config.linkage;
+
+        let pre = self.preprocess.run(dataset);
+        let pack = self.encode_dataset_packed(&pre.dataset);
+        let buckets = self.bucketer.bucketize(pre.dataset.spectra());
+        let base = store.reserve_ids(pack.len() as u64)?;
+
+        let mut stats = IncrementalStats {
+            spectra_in: dataset.len(),
+            spectra_kept: pack.len(),
+            ..IncrementalStats::default()
+        };
+        // Single-threaded scoring: medoid sets per bucket are small, and
+        // buckets already arrive in deterministic ascending-key order.
+        let engine = PackedDistanceEngine::new().threads(1);
+
+        for bucket in &buckets {
+            let gid = |local: usize| base + bucket.members[local] as u64;
+            let sub = pack.gather(&bucket.members);
+
+            // Snapshot the stored medoid rows (if any) so scoring sees a
+            // fixed target set while the store mutates below. Medoids are
+            // frozen on absorption — recomputing them would relabel old
+            // spectra and break cross-session stability.
+            let stored_medoids = store.bucket(bucket.key).map(|b| b.medoids().clone());
+
+            let (absorbed, residual_rows) = match &stored_medoids {
+                None => (Vec::new(), (0..sub.len()).collect::<Vec<_>>()),
+                Some(medoids) => {
+                    stats.dirty_buckets += 1;
+                    let mut absorbed = Vec::new();
+                    let mut residual = Vec::new();
+                    for row in 0..sub.len() {
+                        let query = sub.hypervector(row);
+                        let dists = engine.one_to_many(&query, medoids);
+                        // First minimum wins: deterministic lowest-index
+                        // tiebreak, mirroring the dendrogram cut's `<=`.
+                        let best = dists
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|&(_, &d)| d)
+                            .expect("stored buckets hold at least one cluster");
+                        if f64::from(*best.1) <= threshold {
+                            absorbed.push((best.0, row));
+                        } else {
+                            residual.push(row);
+                        }
+                    }
+                    (absorbed, residual)
+                }
+            };
+            if stored_medoids.is_none() {
+                stats.fresh_buckets += 1;
+            }
+
+            stats.absorbed += absorbed.len();
+            for (cluster, row) in absorbed {
+                let cluster = u32::try_from(cluster).expect("cluster index fits u32");
+                store.absorb(bucket.key, cluster, gid(row))?;
+            }
+
+            if residual_rows.is_empty() {
+                continue;
+            }
+            if stored_medoids.is_some() {
+                stats.residual += residual_rows.len();
+            }
+            // Recluster the leftovers with the same shard kernel the batch
+            // pipeline uses; on a fresh bucket this IS the batch path.
+            let rsub = sub.gather(&residual_rows);
+            let local: Vec<usize> = (0..residual_rows.len()).collect();
+            let clustering = cluster_shard(&local, &rsub, linkage, threshold);
+            stats.new_clusters += clustering.medoids.len();
+            let mut appended = Vec::with_capacity(clustering.medoids.len());
+            for &medoid_row in &clustering.medoids {
+                let id = gid(residual_rows[medoid_row]);
+                appended.push(store.add_cluster(bucket.key, rsub.row(medoid_row), id)?);
+            }
+            for (j, &label) in clustering.labels.iter().enumerate() {
+                store.absorb(bucket.key, appended[label], gid(residual_rows[j]))?;
+            }
+        }
+
+        let (assignment, consensus) = store.union_assignment()?;
+        Ok(IncrementalOutcome {
+            assignment,
+            consensus,
+            base_id: base,
+            kept: pre.kept,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpecHdConfig;
+    use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+    use spechd_store::StoreError;
+
+    fn dataset(n: usize, seed: u64) -> SpectrumDataset {
+        SyntheticGenerator::new(SyntheticConfig {
+            num_spectra: n,
+            num_peptides: n / 5,
+            seed,
+            ..SyntheticConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn first_installment_matches_batch_exactly() {
+        let ds = dataset(300, 11);
+        let engine = SpecHd::new(SpecHdConfig::default());
+        let batch = engine.run(&ds);
+
+        let mut store = engine.new_store().unwrap();
+        let inc = engine.run_incremental(&mut store, &ds).unwrap();
+        assert_eq!(inc.assignment(), batch.assignment());
+        assert_eq!(inc.base_id(), 0);
+        assert_eq!(inc.kept(), batch.kept());
+        assert_eq!(inc.installment_labels(), batch.assignment().labels());
+        assert_eq!(inc.stats().dirty_buckets, 0);
+        assert_eq!(inc.stats().absorbed, 0);
+        // Consensus ids map to the same kept-index medoids.
+        let batch_consensus_kept: Vec<u64> = batch
+            .consensus()
+            .iter()
+            .map(|&orig| batch.kept().iter().position(|&k| k == orig).unwrap() as u64)
+            .collect();
+        assert_eq!(inc.consensus(), batch_consensus_kept);
+    }
+
+    #[test]
+    fn second_installment_preserves_prior_labels() {
+        let engine = SpecHd::new(SpecHdConfig::default());
+        let mut store = engine.new_store().unwrap();
+        let first = engine
+            .run_incremental(&mut store, &dataset(200, 12))
+            .unwrap();
+        let second = engine
+            .run_incremental(&mut store, &dataset(150, 13))
+            .unwrap();
+        let n_first = first.assignment().len();
+        assert_eq!(second.base_id() as usize, n_first);
+        assert_eq!(
+            &second.assignment().labels()[..n_first],
+            first.assignment().labels(),
+            "old labels must survive verbatim"
+        );
+        assert!(second.stats().dirty_buckets > 0, "runs should overlap");
+        assert!(second.stats().absorbed + second.stats().residual > 0);
+    }
+
+    #[test]
+    fn incompatible_store_is_rejected_up_front() {
+        let engine = SpecHd::new(SpecHdConfig::default());
+        let other = SpecHd::new(SpecHdConfig::builder().resolution(0.5).build());
+        let mut store = other.new_store().unwrap();
+        let err = engine
+            .run_incremental(&mut store, &dataset(50, 14))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SpecHdError::Store(StoreError::ConfigMismatch { .. })
+        ));
+        assert_eq!(store.next_spectrum_id(), 0, "store must be untouched");
+    }
+
+    #[test]
+    fn empty_installment_is_a_no_op() {
+        let engine = SpecHd::new(SpecHdConfig::default());
+        let mut store = engine.new_store().unwrap();
+        engine
+            .run_incremental(&mut store, &dataset(200, 15))
+            .unwrap();
+        let before = store.clone();
+        let out = engine
+            .run_incremental(&mut store, &SpectrumDataset::new())
+            .unwrap();
+        assert_eq!(store, before);
+        assert_eq!(out.stats().spectra_kept, 0);
+        assert!(out.installment_labels().is_empty());
+    }
+}

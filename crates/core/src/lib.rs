@@ -9,11 +9,21 @@
 //!         ──pairwise Hamming──▶ NN-chain HAC ──cut──▶ clusters ──▶ medoids
 //! ```
 //!
-//! Two execution modes share that dataflow: the batch [`SpecHd::run`] over
-//! a materialized dataset, and the sharded [`SpecHd::run_streaming`] over
+//! Three execution modes share that dataflow: the batch [`SpecHd::run`]
+//! over a materialized dataset; the sharded [`SpecHd::run_streaming`] over
 //! a [`spechd_ms::stream::SpectrumStream`] (module [`stream`]), which
 //! bounds raw-spectrum memory by a per-shard watermark and clusters shards
-//! on a worker pool while ingest continues — with bit-identical results.
+//! on a worker pool while ingest continues — with bit-identical results;
+//! and the incremental [`SpecHd::run_incremental`] (module
+//! [`incremental`]), which folds new installments of spectra into a
+//! persistent [`ClusterStore`] across sessions, reclustering only the
+//! precursor buckets that actually changed while keeping prior labels
+//! stable.
+//!
+//! Fallible entry points ([`SpecHd::try_new`],
+//! [`SpecHdConfigBuilder::try_build`], [`SpecHd::run_incremental`],
+//! [`ClusterStore::load`]) report typed errors under the [`SpecHdError`]
+//! umbrella; the panicking constructors remain as thin shims for scripts.
 //!
 //! The functional pipeline runs bit-exactly on the host (results are real,
 //! not simulated); the FPGA *performance* of the same dataflow is modelled
@@ -42,12 +52,16 @@
 
 mod compression;
 mod config;
+mod error;
+pub mod incremental;
 mod pipeline;
 mod result;
 pub mod stream;
 
 pub use compression::CompressionReport;
-pub use config::{SpecHdConfig, SpecHdConfigBuilder};
+pub use config::{ConfigError, SpecHdConfig, SpecHdConfigBuilder};
+pub use error::SpecHdError;
+pub use incremental::{IncrementalOutcome, IncrementalStats};
 pub use pipeline::SpecHd;
 pub use result::{RunStats, SpecHdOutcome};
 pub use stream::{ShardAssignment, StreamConfig, StreamEvent, StreamOutcome, StreamStats};
@@ -58,3 +72,4 @@ pub use spechd_cluster::{ClusterAssignment, Linkage};
 pub use spechd_hdc::{BinaryHypervector, EncoderConfig};
 pub use spechd_metrics::ClusteringEval;
 pub use spechd_preprocess::PreprocessConfig;
+pub use spechd_store::{ClusterStore, StoreError};

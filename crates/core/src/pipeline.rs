@@ -21,28 +21,39 @@ use std::sync::Mutex;
 /// archives remain valid across re-clustering runs.
 #[derive(Debug)]
 pub struct SpecHd {
-    config: SpecHdConfig,
-    encoder: IdLevelEncoder,
-    preprocess: PreprocessPipeline,
-    bucketer: PrecursorBucketer,
+    pub(crate) config: SpecHdConfig,
+    pub(crate) encoder: IdLevelEncoder,
+    pub(crate) preprocess: PreprocessPipeline,
+    pub(crate) bucketer: PrecursorBucketer,
 }
 
 impl SpecHd {
-    /// Builds the engine.
+    /// Builds the engine, reporting an invalid configuration as a typed
+    /// [`crate::ConfigError`] instead of panicking.
+    pub fn try_new(config: SpecHdConfig) -> Result<Self, crate::ConfigError> {
+        config.try_validate()?;
+        // The stage constructors below assert the same invariants
+        // `try_validate` just proved, so they cannot panic from here.
+        let encoder = IdLevelEncoder::new(config.encoder);
+        let preprocess = PreprocessPipeline::new(config.preprocess);
+        let bucketer = PrecursorBucketer::new(config.resolution);
+        Ok(Self {
+            config,
+            encoder,
+            preprocess,
+            bucketer,
+        })
+    }
+
+    /// Builds the engine; the panicking shim over [`SpecHd::try_new`].
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
     pub fn new(config: SpecHdConfig) -> Self {
-        config.validate();
-        let encoder = IdLevelEncoder::new(config.encoder);
-        let preprocess = PreprocessPipeline::new(config.preprocess);
-        let bucketer = PrecursorBucketer::new(config.resolution);
-        Self {
-            config,
-            encoder,
-            preprocess,
-            bucketer,
+        match Self::try_new(config) {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
         }
     }
 

@@ -57,5 +57,5 @@ pub use accumulator::MajorityAccumulator;
 pub use encoder::{EncoderConfig, IdLevelEncoder};
 pub use hypervector::BinaryHypervector;
 pub use item_memory::{ItemMemory, LevelMemory};
-pub use pack::HvPack;
+pub use pack::{HvPack, PackError};
 pub use quantize::{IntensityQuantizer, IntensityScale, MzQuantizer};

@@ -11,6 +11,49 @@
 
 use crate::BinaryHypervector;
 
+/// A structural defect found while building an [`HvPack`] from untrusted
+/// words (rows off the wire or out of a file).
+///
+/// The panicking build API ([`HvPack::push`], [`HvPack::push_row_words`])
+/// treats malformed rows as caller bugs; deserializers instead use the
+/// fallible counterparts ([`HvPack::from_raw_parts`],
+/// [`HvPack::try_push_row_words`]) and surface these as data errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackError {
+    /// The dimensionality was zero.
+    ZeroDim,
+    /// The word buffer is not a whole number of `stride`-sized rows.
+    WordCountMismatch {
+        /// Words per row the pack requires (`dim.div_ceil(64)`).
+        stride: usize,
+        /// Words actually supplied.
+        found: usize,
+    },
+    /// A row has bits set beyond `dim` in its last word, violating the
+    /// tail invariant the distance kernels rely on.
+    NonZeroTail {
+        /// Index of the offending row.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackError::ZeroDim => write!(f, "hypervector dimensionality must be positive"),
+            PackError::WordCountMismatch { stride, found } => write!(
+                f,
+                "word count {found} is not a multiple of the row stride {stride}"
+            ),
+            PackError::NonZeroTail { row } => {
+                write!(f, "row {row} has non-zero bits beyond the dimensionality")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
 /// A contiguous store of `len` bit-packed hypervectors sharing one
 /// dimensionality.
 ///
@@ -144,6 +187,59 @@ impl HvPack {
         }
         self.words.extend_from_slice(words);
         self.len += 1;
+    }
+
+    /// Builds a pack directly from a flat word buffer — the fallible
+    /// deserialization counterpart of [`HvPack::from_hypervectors`], for
+    /// rows read from untrusted bytes (a store file, the wire).
+    ///
+    /// The buffer must hold a whole number of `dim.div_ceil(64)`-word
+    /// rows, each respecting the tail invariant (bits beyond `dim` in the
+    /// last word zero). Violations are returned as [`PackError`]s, never
+    /// panics.
+    pub fn from_raw_parts(dim: usize, words: Vec<u64>) -> Result<Self, PackError> {
+        if dim == 0 {
+            return Err(PackError::ZeroDim);
+        }
+        let stride = dim.div_ceil(64);
+        if words.len() % stride != 0 {
+            return Err(PackError::WordCountMismatch {
+                stride,
+                found: words.len(),
+            });
+        }
+        let len = words.len() / stride;
+        if dim % 64 != 0 {
+            for row in 0..len {
+                if words[(row + 1) * stride - 1] >> (dim % 64) != 0 {
+                    return Err(PackError::NonZeroTail { row });
+                }
+            }
+        }
+        Ok(Self {
+            dim,
+            stride,
+            len,
+            words,
+        })
+    }
+
+    /// Fallible [`HvPack::push_row_words`]: appends one pre-packed row,
+    /// reporting stride or tail-invariant violations as [`PackError`]s
+    /// instead of panicking. The pack is unchanged on error.
+    pub fn try_push_row_words(&mut self, words: &[u64]) -> Result<(), PackError> {
+        if words.len() != self.stride {
+            return Err(PackError::WordCountMismatch {
+                stride: self.stride,
+                found: words.len(),
+            });
+        }
+        if self.dim % 64 != 0 && words[self.stride - 1] >> (self.dim % 64) != 0 {
+            return Err(PackError::NonZeroTail { row: self.len });
+        }
+        self.words.extend_from_slice(words);
+        self.len += 1;
+        Ok(())
     }
 
     /// Removes every row while keeping the allocated storage, so a pack
@@ -384,6 +480,56 @@ mod tests {
             }
             assert_eq!(dst.to_hypervectors(), hvs, "dim {dim}");
         }
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips() {
+        for dim in [63, 64, 65, 2048] {
+            let hvs = random_set(4, dim, 80 + dim as u64);
+            let src = HvPack::from_hypervectors(dim, &hvs);
+            let rebuilt = HvPack::from_raw_parts(dim, src.words().to_vec()).unwrap();
+            assert_eq!(rebuilt, src, "dim {dim}");
+        }
+        let empty = HvPack::from_raw_parts(100, Vec::new()).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.dim(), 100);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_defects() {
+        assert_eq!(HvPack::from_raw_parts(0, vec![]), Err(PackError::ZeroDim));
+        assert_eq!(
+            HvPack::from_raw_parts(100, vec![0; 3]),
+            Err(PackError::WordCountMismatch {
+                stride: 2,
+                found: 3
+            })
+        );
+        // Second row violates the tail invariant for dim 63.
+        assert_eq!(
+            HvPack::from_raw_parts(63, vec![0, 1u64 << 63]),
+            Err(PackError::NonZeroTail { row: 1 })
+        );
+    }
+
+    #[test]
+    fn try_push_row_words_reports_instead_of_panicking() {
+        let mut pack = HvPack::new(63);
+        assert_eq!(
+            pack.try_push_row_words(&[0, 0]),
+            Err(PackError::WordCountMismatch {
+                stride: 1,
+                found: 2
+            })
+        );
+        assert_eq!(
+            pack.try_push_row_words(&[1u64 << 63]),
+            Err(PackError::NonZeroTail { row: 0 })
+        );
+        assert!(pack.is_empty(), "failed pushes must leave the pack intact");
+        pack.try_push_row_words(&[7]).unwrap();
+        assert_eq!(pack.len(), 1);
+        assert_eq!(pack.row(0), &[7]);
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Equivalence gating between two clusterings of the same items.
+//!
+//! The incremental pipeline (`SpecHd::run_incremental` in `spechd-core`)
+//! approximates the batch clustering on buckets that change across
+//! sessions; whether that approximation is acceptable is a *measured*
+//! question, answered here. [`PartitionAgreement`] quantifies how closely
+//! two label vectors agree (ARI/NMI/V-measure, truth-free), and
+//! [`EquivalenceGate`] turns agreement plus ground-truth quality deltas
+//! into a pass/fail [`GateReport`] with typed [`GateViolation`]s — the
+//! same artifact the incremental equivalence tests and the PR benchmark
+//! assert on.
+
+use crate::{ClusteringEval, Contingency};
+
+/// Truth-free agreement between two flat clusterings of the same items,
+/// computed by treating one partition as the "classes" of the other.
+/// Symmetric in its inputs for ARI and NMI; V-measure is symmetric by
+/// construction (harmonic mean of the two conditional entropies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionAgreement {
+    /// Number of items compared.
+    pub num_items: usize,
+    /// Adjusted Rand index in `[-1, 1]` (1 = identical partitions).
+    pub ari: f64,
+    /// Normalized mutual information in `[0, 1]`.
+    pub nmi: f64,
+    /// V-measure in `[0, 1]`.
+    pub v_measure: f64,
+}
+
+impl PartitionAgreement {
+    /// Compares two label vectors over the same items.
+    ///
+    /// Labels are opaque — only the induced partitions matter, so
+    /// differently-numbered but identical groupings score 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn compute(a: &[usize], b: &[usize]) -> Self {
+        assert_eq!(a.len(), b.len(), "partition length mismatch");
+        // Contingency takes u32 truth labels; renumber `b` densely so
+        // arbitrary usize labels cannot overflow the cast.
+        let mut dense: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+        let truth: Vec<Option<u32>> = b
+            .iter()
+            .map(|&label| {
+                let next = dense.len() as u32;
+                Some(*dense.entry(label).or_insert(next))
+            })
+            .collect();
+        let contingency = Contingency::build(a, &truth);
+        let homogeneity = contingency.homogeneity();
+        let completeness = contingency.completeness();
+        let v_measure = if homogeneity + completeness > 0.0 {
+            2.0 * homogeneity * completeness / (homogeneity + completeness)
+        } else if a.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
+        Self {
+            num_items: a.len(),
+            ari: if a.is_empty() { 1.0 } else { contingency.ari() },
+            nmi: contingency.nmi(),
+            v_measure,
+        }
+    }
+}
+
+/// Acceptance thresholds for "incremental is equivalent to batch".
+///
+/// The defaults encode the acceptance gate: the two partitions must
+/// agree strongly (NMI ≥ 0.90) and, against ground truth, the
+/// incremental result may lose at most 2 V-measure points and gain at
+/// most 1 point of incorrect-clustering ratio.
+///
+/// Agreement is gated on **NMI rather than ARI** deliberately. SpecHD's
+/// threshold cut produces very fine partitions (hundreds of 2–3-member
+/// clusters per few hundred spectra), and at that granularity the
+/// pair-counting ARI is hypersensitive: flipping a handful of merge
+/// decisions — exactly what freezing session boundaries does — moves
+/// many pairs but very little information. Measured on the synthetic
+/// corpus, installment splits score NMI 0.93–0.96 against batch while
+/// ARI swings 0.46–0.66 on the *same* partitions whose truth-based
+/// quality is equal or better than batch. ARI is still computed and
+/// reported in [`PartitionAgreement`] for visibility.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EquivalenceGate {
+    /// Minimum NMI between the two partitions.
+    pub min_agreement_nmi: f64,
+    /// Maximum allowed `batch − incremental` V-measure drop (truth-based).
+    pub max_v_measure_drop: f64,
+    /// Maximum allowed `incremental − batch` rise of the incorrect
+    /// clustering ratio (truth-based).
+    pub max_incorrect_rise: f64,
+}
+
+impl Default for EquivalenceGate {
+    fn default() -> Self {
+        Self {
+            min_agreement_nmi: 0.90,
+            max_v_measure_drop: 0.02,
+            max_incorrect_rise: 0.01,
+        }
+    }
+}
+
+/// One way a [`GateReport`] failed its [`EquivalenceGate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GateViolation {
+    /// The partitions disagree more than allowed.
+    Agreement {
+        /// Measured NMI.
+        nmi: f64,
+        /// Gate minimum.
+        min: f64,
+    },
+    /// The incremental V-measure fell too far below batch.
+    VMeasureDrop {
+        /// Batch V-measure.
+        batch: f64,
+        /// Incremental V-measure.
+        incremental: f64,
+        /// Gate maximum drop.
+        max_drop: f64,
+    },
+    /// The incremental incorrect-clustering ratio rose too far above
+    /// batch.
+    IncorrectRise {
+        /// Batch ICR.
+        batch: f64,
+        /// Incremental ICR.
+        incremental: f64,
+        /// Gate maximum rise.
+        max_rise: f64,
+    },
+}
+
+impl std::fmt::Display for GateViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateViolation::Agreement { nmi, min } => {
+                write!(f, "partition agreement NMI {nmi:.4} below minimum {min:.4}")
+            }
+            GateViolation::VMeasureDrop {
+                batch,
+                incremental,
+                max_drop,
+            } => write!(
+                f,
+                "V-measure dropped {:.4} (batch {batch:.4} → incremental {incremental:.4}), max {max_drop:.4}",
+                batch - incremental
+            ),
+            GateViolation::IncorrectRise {
+                batch,
+                incremental,
+                max_rise,
+            } => write!(
+                f,
+                "incorrect ratio rose {:.4} (batch {batch:.4} → incremental {incremental:.4}), max {max_rise:.4}",
+                incremental - batch
+            ),
+        }
+    }
+}
+
+/// The full evidence behind one equivalence decision.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Truth-free agreement between the two partitions.
+    pub agreement: PartitionAgreement,
+    /// Ground-truth quality of the batch partition.
+    pub batch: ClusteringEval,
+    /// Ground-truth quality of the incremental partition.
+    pub incremental: ClusteringEval,
+    /// Every threshold the comparison violated (empty = pass).
+    pub violations: Vec<GateViolation>,
+}
+
+impl GateReport {
+    /// Whether every threshold held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl EquivalenceGate {
+    /// Evaluates an incremental partition against the batch partition of
+    /// the same items, with `truth` supplying ground-truth labels for the
+    /// quality deltas (use all-`None` truth to gate on agreement alone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices have different lengths.
+    pub fn check(
+        &self,
+        incremental: &[usize],
+        batch: &[usize],
+        truth: &[Option<u32>],
+    ) -> GateReport {
+        let agreement = PartitionAgreement::compute(incremental, batch);
+        let batch_eval = ClusteringEval::compute(batch, truth);
+        let incremental_eval = ClusteringEval::compute(incremental, truth);
+        let mut violations = Vec::new();
+        if agreement.nmi < self.min_agreement_nmi {
+            violations.push(GateViolation::Agreement {
+                nmi: agreement.nmi,
+                min: self.min_agreement_nmi,
+            });
+        }
+        if batch_eval.v_measure - incremental_eval.v_measure > self.max_v_measure_drop {
+            violations.push(GateViolation::VMeasureDrop {
+                batch: batch_eval.v_measure,
+                incremental: incremental_eval.v_measure,
+                max_drop: self.max_v_measure_drop,
+            });
+        }
+        if incremental_eval.incorrect_ratio - batch_eval.incorrect_ratio > self.max_incorrect_rise {
+            violations.push(GateViolation::IncorrectRise {
+                batch: batch_eval.incorrect_ratio,
+                incremental: incremental_eval.incorrect_ratio,
+                max_rise: self.max_incorrect_rise,
+            });
+        }
+        GateReport {
+            agreement,
+            batch: batch_eval,
+            incremental: incremental_eval,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_agree_perfectly() {
+        let a = [0, 0, 1, 1, 2];
+        let agreement = PartitionAgreement::compute(&a, &a);
+        assert!((agreement.ari - 1.0).abs() < 1e-12);
+        assert!((agreement.v_measure - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renumbered_partitions_still_agree_perfectly() {
+        let a = [0, 0, 1, 1, 2];
+        let b = [9, 9, 4, 4, 7];
+        let agreement = PartitionAgreement::compute(&a, &b);
+        assert!((agreement.ari - 1.0).abs() < 1e-12, "{agreement:?}");
+        assert!((agreement.v_measure - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_is_symmetric() {
+        let a = [0, 0, 1, 1, 2, 2, 2];
+        let b = [0, 1, 1, 1, 2, 2, 0];
+        let ab = PartitionAgreement::compute(&a, &b);
+        let ba = PartitionAgreement::compute(&b, &a);
+        assert!((ab.ari - ba.ari).abs() < 1e-12);
+        assert!((ab.v_measure - ba.v_measure).abs() < 1e-12);
+        assert!(ab.ari < 1.0);
+    }
+
+    #[test]
+    fn empty_partitions_agree() {
+        let agreement = PartitionAgreement::compute(&[], &[]);
+        assert_eq!(agreement.num_items, 0);
+        assert_eq!(agreement.ari, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        PartitionAgreement::compute(&[0], &[]);
+    }
+
+    #[test]
+    fn gate_passes_identical_partitions() {
+        let labels = [0, 0, 1, 1, 2, 2];
+        let truth: Vec<Option<u32>> = [1, 1, 2, 2, 3, 3].map(Some).to_vec();
+        let report = EquivalenceGate::default().check(&labels, &labels, &truth);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert!((report.agreement.ari - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_flags_disagreement() {
+        let batch = [0, 0, 1, 1, 2, 2];
+        let incremental = [0, 1, 2, 0, 1, 2];
+        let truth: Vec<Option<u32>> = [1, 1, 2, 2, 3, 3].map(Some).to_vec();
+        let report = EquivalenceGate::default().check(&incremental, &batch, &truth);
+        assert!(!report.passed());
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, GateViolation::Agreement { .. })),
+            "{:?}",
+            report.violations
+        );
+        // Violations render human-readable messages.
+        for v in &report.violations {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn gate_flags_incorrect_rise_specifically() {
+        // Batch separates the two peptides; incremental merges them, so
+        // its ICR rises from 0 to 0.5 while the partitions still overlap
+        // enough that only quality thresholds can catch it with a lax
+        // agreement gate.
+        let batch = [0, 0, 1, 1];
+        let incremental = [0, 0, 0, 0];
+        let truth: Vec<Option<u32>> = [1, 1, 2, 2].map(Some).to_vec();
+        let lax = EquivalenceGate {
+            min_agreement_nmi: -1.0,
+            max_v_measure_drop: 1.0,
+            max_incorrect_rise: 0.01,
+        };
+        let report = lax.check(&incremental, &batch, &truth);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(matches!(
+            report.violations[0],
+            GateViolation::IncorrectRise { .. }
+        ));
+    }
+
+    #[test]
+    fn gate_without_truth_checks_agreement_only() {
+        let batch = [0, 0, 1, 1];
+        let incremental = [0, 0, 1, 2];
+        let truth = [None, None, None, None];
+        let report = EquivalenceGate::default().check(&incremental, &batch, &truth);
+        // Quality metrics degenerate to zero without truth; only the
+        // agreement threshold can fire.
+        for v in &report.violations {
+            assert!(matches!(v, GateViolation::Agreement { .. }), "{v}");
+        }
+    }
+}

@@ -32,8 +32,10 @@
 #![warn(missing_docs)]
 
 mod contingency;
+mod gate;
 
 pub use contingency::Contingency;
+pub use gate::{EquivalenceGate, GateReport, GateViolation, PartitionAgreement};
 
 /// Full set of clustering quality metrics for one assignment.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,18 +1,22 @@
 //! A blocking client for the `spechd` protocol.
 //!
-//! [`JobClient`] wraps one TCP connection participating in one job.
-//! Submission is acknowledged per batch (the ack carries the batch's
-//! base stream index, so a participant knows exactly which stream
-//! slots its spectra occupy); result frames arriving in between are
-//! absorbed into an [`AssignmentAssembler`], and
-//! [`JobClient::close_and_wait`] turns them into a [`ServiceOutcome`]
-//! once the job's final frame lands.
+//! [`Connection`] is the shared transport: it owns the TCP socket pair
+//! (buffered writer + cloned reader), the frame codec, and the
+//! error-frame-to-[`ClientError`] translation every client needs. The two
+//! job-flavored clients are thin state machines over it:
 //!
-//! [`SearchClient`] is the search-job counterpart: library batches are
-//! acknowledged per `LoadLibrary` frame, and each
-//! [`SearchClient::search`] call sends the queries (chunked under the
-//! wire cap), collects the per-query [`Frame::SearchHit`]s, and returns
-//! once the batch's closing [`Frame::SearchStats`] lands.
+//! * [`JobClient`] wraps one connection participating in one clustering
+//!   job. Submission is acknowledged per batch (the ack carries the
+//!   batch's base stream index, so a participant knows exactly which
+//!   stream slots its spectra occupy); result frames arriving in between
+//!   are absorbed into an [`AssignmentAssembler`], and
+//!   [`JobClient::close_and_wait`] turns them into a [`ServiceOutcome`]
+//!   once the job's final frame lands.
+//! * [`SearchClient`] is the search-job counterpart: library batches are
+//!   acknowledged per `LoadLibrary` frame, and each
+//!   [`SearchClient::search`] call sends the queries (chunked under the
+//!   wire cap), collects the per-query [`Frame::SearchHit`]s, and returns
+//!   once the batch's closing [`Frame::SearchStats`] lands.
 
 use crate::assemble::{AssignmentAssembler, ServiceOutcome};
 use crate::protocol::{
@@ -63,6 +67,51 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// One established client connection: socket pair, frame codec, and the
+/// server-error translation shared by every protocol client.
+///
+/// [`JobClient`] and [`SearchClient`] each wrap one of these with their
+/// job-flavored handshake and state machine; custom tooling (load
+/// generators, protocol probes) can drive a raw `Connection` directly.
+pub struct Connection {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    max_frame_len: u32,
+}
+
+impl Connection {
+    /// Opens a TCP connection to `addr` (Nagle disabled, frames capped at
+    /// [`DEFAULT_MAX_FRAME_LEN`]). No protocol traffic is exchanged —
+    /// job handshakes belong to the clients layered on top.
+    pub fn open(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = stream.try_clone()?;
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        })
+    }
+
+    /// Writes one frame and flushes it to the wire.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        use std::io::Write;
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads one frame, turning server `Error` frames into
+    /// [`ClientError::Server`].
+    pub fn recv(&mut self) -> Result<Frame, ClientError> {
+        match read_frame(&mut self.reader, self.max_frame_len)? {
+            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
+            frame => Ok(frame),
+        }
+    }
+}
+
 /// Acknowledgement of one submitted batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SubmitReceipt {
@@ -75,11 +124,9 @@ pub struct SubmitReceipt {
 
 /// One connection participating in one clustering job.
 pub struct JobClient {
-    reader: TcpStream,
-    writer: BufWriter<TcpStream>,
+    conn: Connection,
     job_id: u64,
     assembler: AssignmentAssembler,
-    max_frame_len: u32,
 }
 
 impl JobClient {
@@ -90,17 +137,12 @@ impl JobClient {
         job_id: u64,
         config: JobConfig,
     ) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let reader = stream.try_clone()?;
         let mut client = Self {
-            reader,
-            writer: BufWriter::new(stream),
+            conn: Connection::open(addr)?,
             job_id,
             assembler: AssignmentAssembler::new(),
-            max_frame_len: DEFAULT_MAX_FRAME_LEN,
         };
-        client.send(&Frame::OpenJob { job_id, config })?;
+        client.conn.send(&Frame::OpenJob { job_id, config })?;
         client.wait_stats()?;
         Ok(client)
     }
@@ -114,12 +156,12 @@ impl JobClient {
     /// the batch's stream-index range. Result frames that arrive before
     /// the ack are absorbed, not lost.
     pub fn submit(&mut self, spectra: Vec<Spectrum>) -> Result<SubmitReceipt, ClientError> {
-        self.send(&Frame::Submit {
+        self.conn.send(&Frame::Submit {
             job_id: self.job_id,
             spectra,
         })?;
         loop {
-            match self.recv()? {
+            match self.conn.recv()? {
                 Frame::SubmitAck { base, count, .. } => return Ok(SubmitReceipt { base, count }),
                 other => self.assembler.absorb(&other),
             }
@@ -129,7 +171,7 @@ impl JobClient {
     /// Barrier: returns a statistics snapshot taken after the server
     /// has ingested every frame this connection sent before the flush.
     pub fn flush(&mut self) -> Result<JobStatsFrame, ClientError> {
-        self.send(&Frame::Flush {
+        self.conn.send(&Frame::Flush {
             job_id: self.job_id,
         })?;
         self.wait_stats()
@@ -140,37 +182,21 @@ impl JobClient {
     /// reassembles the global clustering. The job finalizes once
     /// **every** participant has closed.
     pub fn close_and_wait(mut self) -> Result<ServiceOutcome, ClientError> {
-        self.send(&Frame::CloseJob {
+        self.conn.send(&Frame::CloseJob {
             job_id: self.job_id,
         })?;
         while !self.assembler.is_done() {
-            let frame = self.recv()?;
+            let frame = self.conn.recv()?;
             self.assembler.absorb(&frame);
         }
         Ok(self.assembler.finish())
-    }
-
-    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
-        use std::io::Write;
-        write_frame(&mut self.writer, frame)?;
-        self.writer.flush()?;
-        Ok(())
-    }
-
-    /// Reads one frame, turning server `Error` frames into
-    /// [`ClientError::Server`].
-    fn recv(&mut self) -> Result<Frame, ClientError> {
-        match read_frame(&mut self.reader, self.max_frame_len)? {
-            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
-            frame => Ok(frame),
-        }
     }
 
     /// Reads until a `JobStats` frame (an open/flush ack), absorbing
     /// result frames seen on the way.
     fn wait_stats(&mut self) -> Result<JobStatsFrame, ClientError> {
         loop {
-            match self.recv()? {
+            match self.conn.recv()? {
                 Frame::JobStats(stats) => {
                     if stats.done != 0 {
                         self.assembler.absorb(&Frame::JobStats(stats));
@@ -194,11 +220,9 @@ pub struct QueryHits {
 
 /// One connection participating in one search job.
 pub struct SearchClient {
-    reader: TcpStream,
-    writer: BufWriter<TcpStream>,
+    conn: Connection,
     job_id: u64,
     dim: u32,
-    max_frame_len: u32,
 }
 
 impl SearchClient {
@@ -207,17 +231,12 @@ impl SearchClient {
     /// (an empty `LoadLibrary` is the join handshake — it fails fast on
     /// a dim mismatch or an already-sealed job).
     pub fn connect(addr: impl ToSocketAddrs, job_id: u64, dim: u32) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let reader = stream.try_clone()?;
         let mut client = Self {
-            reader,
-            writer: BufWriter::new(stream),
+            conn: Connection::open(addr)?,
             job_id,
             dim,
-            max_frame_len: DEFAULT_MAX_FRAME_LEN,
         };
-        client.send(&Frame::LoadLibrary {
+        client.conn.send(&Frame::LoadLibrary {
             job_id,
             dim,
             entries: Vec::new(),
@@ -243,7 +262,7 @@ impl SearchClient {
     pub fn load(&mut self, entries: &[LibraryEntryWire]) -> Result<SearchStatsFrame, ClientError> {
         if entries.is_empty() {
             // An empty load is still a valid stats probe.
-            self.send(&Frame::LoadLibrary {
+            self.conn.send(&Frame::LoadLibrary {
                 job_id: self.job_id,
                 dim: self.dim,
                 entries: Vec::new(),
@@ -252,7 +271,7 @@ impl SearchClient {
         }
         let mut stats = SearchStatsFrame::default();
         for chunk in entries.chunks(MAX_LIBRARY_BATCH as usize) {
-            self.send(&Frame::LoadLibrary {
+            self.conn.send(&Frame::LoadLibrary {
                 job_id: self.job_id,
                 dim: self.dim,
                 entries: chunk.to_vec(),
@@ -278,7 +297,7 @@ impl SearchClient {
         let mut any = false;
         for chunk in queries.chunks(MAX_QUERY_BATCH as usize) {
             any = true;
-            self.send(&Frame::SearchQuery {
+            self.conn.send(&Frame::SearchQuery {
                 job_id: self.job_id,
                 dim: self.dim,
                 window_da,
@@ -286,7 +305,7 @@ impl SearchClient {
                 queries: chunk.to_vec(),
             })?;
             loop {
-                match self.recv()? {
+                match self.conn.recv()? {
                     Frame::SearchHit {
                         query_index, hits, ..
                     } => results.push(QueryHits { query_index, hits }),
@@ -305,14 +324,14 @@ impl SearchClient {
         if !any {
             // Zero queries: send an empty batch so the returned stats
             // are a real (and sealing) snapshot, not a default.
-            self.send(&Frame::SearchQuery {
+            self.conn.send(&Frame::SearchQuery {
                 job_id: self.job_id,
                 dim: self.dim,
                 window_da,
                 top_k,
                 queries: Vec::new(),
             })?;
-            match self.recv()? {
+            match self.conn.recv()? {
                 Frame::SearchStats(s) => stats = s,
                 other => {
                     return Err(ClientError::Wire(WireError::Malformed(format!(
@@ -324,24 +343,10 @@ impl SearchClient {
         Ok((results, stats))
     }
 
-    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
-        use std::io::Write;
-        write_frame(&mut self.writer, frame)?;
-        self.writer.flush()?;
-        Ok(())
-    }
-
-    fn recv(&mut self) -> Result<Frame, ClientError> {
-        match read_frame(&mut self.reader, self.max_frame_len)? {
-            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
-            frame => Ok(frame),
-        }
-    }
-
     /// Reads the `SearchStats` frame acknowledging a load. Search jobs
     /// never push unsolicited frames, so the ack is the next frame.
     fn wait_stats(&mut self) -> Result<SearchStatsFrame, ClientError> {
-        match self.recv()? {
+        match self.conn.recv()? {
             Frame::SearchStats(stats) => Ok(stats),
             other => Err(ClientError::Wire(WireError::Malformed(format!(
                 "unexpected frame while awaiting search stats: {other:?}"

@@ -47,7 +47,7 @@ pub mod search;
 pub mod server;
 
 pub use assemble::{AssignmentAssembler, ServiceOutcome};
-pub use client::{ClientError, JobClient, QueryHits, SearchClient, SubmitReceipt};
+pub use client::{ClientError, Connection, JobClient, QueryHits, SearchClient, SubmitReceipt};
 pub use job::{JobError, JobHandle, JobRegistry};
 pub use protocol::{
     ErrorCode, Frame, FrameType, HitWire, JobConfig, JobStatsFrame, LibraryEntryWire, QueryWire,

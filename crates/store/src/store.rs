@@ -1,0 +1,454 @@
+//! The in-memory cluster store model.
+
+use crate::format;
+use crate::StoreError;
+use spechd_cluster::{ClusterAssignment, HacStats, ShardLabelMerger};
+use spechd_hdc::HvPack;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One persisted cluster: the global spectrum id of its medoid (whose
+/// hypervector row lives in the owning bucket's medoid pack) and its
+/// member count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredCluster {
+    /// Global spectrum id of the medoid spectrum.
+    pub medoid_id: u64,
+    /// Number of member spectra (including the medoid).
+    pub members: u32,
+}
+
+/// One persisted spectrum membership: which local cluster of its bucket a
+/// spectrum belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredMember {
+    /// Global spectrum id.
+    pub id: u64,
+    /// Local cluster index within the bucket.
+    pub cluster: u32,
+}
+
+/// One precursor bucket's persisted state: the medoid hypervector rows
+/// (row `c` belongs to cluster `c`), cluster bookkeeping, and the
+/// per-spectrum memberships.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredBucket {
+    pub(crate) medoids: HvPack,
+    pub(crate) clusters: Vec<StoredCluster>,
+    pub(crate) members: Vec<StoredMember>,
+}
+
+impl StoredBucket {
+    /// The medoid hypervector rows, one per cluster.
+    pub fn medoids(&self) -> &HvPack {
+        &self.medoids
+    }
+
+    /// Cluster bookkeeping, parallel to the medoid rows.
+    pub fn clusters(&self) -> &[StoredCluster] {
+        &self.clusters
+    }
+
+    /// Per-spectrum memberships, in absorption order.
+    pub fn members(&self) -> &[StoredMember] {
+        &self.members
+    }
+}
+
+/// A persistent store of per-bucket medoid hypervectors and cluster
+/// memberships — the state `SpecHd::run_incremental` (in `spechd-core`)
+/// reads, extends, and re-persists between sessions.
+///
+/// Spectra are identified by dense **global ids** assigned in arrival
+/// order across sessions ([`ClusterStore::reserve_ids`]); every id in
+/// `[0, next_spectrum_id)` belongs to exactly one bucket. That density is
+/// what makes [`ClusterStore::union_assignment`] a pure
+/// [`ShardLabelMerger`] replay: buckets added in ascending key order, raw
+/// labels renumbered densely by first appearance in id order — so a
+/// spectrum's label can only change if its cluster membership changes,
+/// never because new spectra arrived elsewhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStore {
+    dim: usize,
+    fingerprint: u64,
+    next_id: u64,
+    buckets: BTreeMap<i64, StoredBucket>,
+}
+
+impl ClusterStore {
+    /// Creates an empty store for hypervectors of dimensionality `dim`,
+    /// pinned to a pipeline-configuration `fingerprint` (see
+    /// [`ClusterStore::ensure_compatible`]).
+    pub fn new(dim: usize, fingerprint: u64) -> Result<Self, StoreError> {
+        if dim == 0 {
+            return Err(StoreError::Pack(spechd_hdc::PackError::ZeroDim));
+        }
+        Ok(Self {
+            dim,
+            fingerprint,
+            next_id: 0,
+            buckets: BTreeMap::new(),
+        })
+    }
+
+    /// Hypervector dimensionality shared by every stored medoid row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The pipeline-configuration fingerprint the store was built under.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The id the next reserved spectrum will receive — also the total
+    /// number of spectra the store covers.
+    pub fn next_spectrum_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Number of non-empty buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total clusters across all buckets.
+    pub fn num_clusters(&self) -> usize {
+        self.buckets.values().map(|b| b.clusters.len()).sum()
+    }
+
+    /// Whether the store covers no spectra.
+    pub fn is_empty(&self) -> bool {
+        self.next_id == 0
+    }
+
+    /// Ascending bucket keys.
+    pub fn keys(&self) -> impl Iterator<Item = i64> + '_ {
+        self.buckets.keys().copied()
+    }
+
+    /// The persisted state of one bucket.
+    pub fn bucket(&self, key: i64) -> Option<&StoredBucket> {
+        self.buckets.get(&key)
+    }
+
+    /// Number of clusters in bucket `key` (0 when the bucket is absent).
+    pub fn cluster_count(&self, key: i64) -> usize {
+        self.buckets.get(&key).map_or(0, |b| b.clusters.len())
+    }
+
+    /// Checks that the store can serve an engine with dimensionality
+    /// `dim` and configuration fingerprint `fingerprint`.
+    ///
+    /// Returns [`StoreError::DimMismatch`] / [`StoreError::ConfigMismatch`]
+    /// otherwise — hypervectors encoded under different settings are not
+    /// comparable, so mixing them would silently corrupt every cluster.
+    pub fn ensure_compatible(&self, dim: usize, fingerprint: u64) -> Result<(), StoreError> {
+        if self.dim != dim {
+            return Err(StoreError::DimMismatch {
+                store: self.dim,
+                expected: dim,
+            });
+        }
+        if self.fingerprint != fingerprint {
+            return Err(StoreError::ConfigMismatch {
+                store: self.fingerprint,
+                expected: fingerprint,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reserves `count` consecutive global spectrum ids, returning the
+    /// first. Every kept spectrum of a session must be registered (via
+    /// [`ClusterStore::absorb`]) under exactly one reserved id before
+    /// [`ClusterStore::union_assignment`] is meaningful again.
+    pub fn reserve_ids(&mut self, count: u64) -> Result<u64, StoreError> {
+        let base = self.next_id;
+        self.next_id = base
+            .checked_add(count)
+            .ok_or(StoreError::IdSpaceExhausted)?;
+        Ok(base)
+    }
+
+    /// Appends a new cluster to bucket `key` (creating the bucket if
+    /// absent) with the given medoid hypervector row and medoid spectrum
+    /// id, returning the cluster's local index. The medoid itself still
+    /// needs to be registered as a member via [`ClusterStore::absorb`].
+    pub fn add_cluster(
+        &mut self,
+        key: i64,
+        medoid_words: &[u64],
+        medoid_id: u64,
+    ) -> Result<u32, StoreError> {
+        if medoid_id >= self.next_id {
+            return Err(StoreError::InvalidSpectrumId {
+                id: medoid_id,
+                next: self.next_id,
+            });
+        }
+        let dim = self.dim;
+        let bucket = self.buckets.entry(key).or_insert_with(|| StoredBucket {
+            medoids: HvPack::new(dim),
+            clusters: Vec::new(),
+            members: Vec::new(),
+        });
+        let local = u32::try_from(bucket.clusters.len())
+            .map_err(|_| StoreError::Corrupt(format!("bucket {key} exceeds 2^32 clusters")))?;
+        bucket.medoids.try_push_row_words(medoid_words)?;
+        bucket.clusters.push(StoredCluster {
+            medoid_id,
+            members: 0,
+        });
+        Ok(local)
+    }
+
+    /// Registers spectrum `id` as a member of cluster `cluster` in bucket
+    /// `key`, bumping that cluster's member count.
+    pub fn absorb(&mut self, key: i64, cluster: u32, id: u64) -> Result<(), StoreError> {
+        if id >= self.next_id {
+            return Err(StoreError::InvalidSpectrumId {
+                id,
+                next: self.next_id,
+            });
+        }
+        let bucket = self
+            .buckets
+            .get_mut(&key)
+            .ok_or(StoreError::UnknownBucket { key })?;
+        let meta = bucket
+            .clusters
+            .get_mut(cluster as usize)
+            .ok_or(StoreError::UnknownCluster { key, cluster })?;
+        meta.members = meta.members.checked_add(1).ok_or_else(|| {
+            StoreError::Corrupt(format!("cluster {key}/{cluster} count overflow"))
+        })?;
+        bucket.members.push(StoredMember { id, cluster });
+        Ok(())
+    }
+
+    /// Replays every bucket through [`ShardLabelMerger`] in ascending key
+    /// order, producing the dense global assignment over all
+    /// `next_spectrum_id` spectra plus the medoid spectrum id per dense
+    /// cluster — the exact merge the batch and streaming pipelines use,
+    /// which is what keeps labels stable across sessions.
+    ///
+    /// Fails with [`StoreError::Corrupt`] if the memberships do not cover
+    /// every reserved id exactly once (a store mid-session, or a
+    /// hand-edited file that slipped past the checksum).
+    pub fn union_assignment(&self) -> Result<(ClusterAssignment, Vec<u64>), StoreError> {
+        let total = usize::try_from(self.next_id)
+            .map_err(|_| StoreError::Corrupt("id space exceeds usize".into()))?;
+        let mut seen = vec![false; total];
+        for (key, bucket) in &self.buckets {
+            for m in &bucket.members {
+                let idx = m.id as usize; // < next_id, enforced by absorb/load
+                if idx >= total || seen[idx] {
+                    return Err(StoreError::Corrupt(format!(
+                        "spectrum id {} of bucket {key} is out of range or duplicated",
+                        m.id
+                    )));
+                }
+                seen[idx] = true;
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            let missing = seen.iter().filter(|&&s| !s).count();
+            return Err(StoreError::Corrupt(format!(
+                "{missing} reserved spectrum ids have no bucket membership"
+            )));
+        }
+        let mut merger = ShardLabelMerger::new(total);
+        for bucket in self.buckets.values() {
+            let members: Vec<usize> = bucket.members.iter().map(|m| m.id as usize).collect();
+            let labels: Vec<usize> = bucket.members.iter().map(|m| m.cluster as usize).collect();
+            let medoids: Vec<usize> = bucket
+                .clusters
+                .iter()
+                .map(|c| c.medoid_id as usize)
+                .collect();
+            merger.add_shard(&members, &labels, &medoids, &HacStats::default());
+        }
+        let (assignment, consensus, _) = merger.finish();
+        Ok((
+            assignment,
+            consensus.into_iter().map(|c| c as u64).collect(),
+        ))
+    }
+
+    /// Serializes the store into the versioned `SHPK` byte format (see
+    /// the [crate docs](crate) for the layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        format::to_bytes(self)
+    }
+
+    /// Deserializes a store from `SHPK` bytes, validating structure,
+    /// checksum, and internal consistency before any state is built.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        format::from_bytes(bytes)
+    }
+
+    /// Writes the store to `path` ([`ClusterStore::to_bytes`] + one
+    /// `fs::write`).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a store back from `path`; the round trip is bit-identical
+    /// (`load(save(s)) == s` and re-saving reproduces the same bytes).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+
+    pub(crate) fn buckets(&self) -> &BTreeMap<i64, StoredBucket> {
+        &self.buckets
+    }
+
+    pub(crate) fn from_parts(
+        dim: usize,
+        fingerprint: u64,
+        next_id: u64,
+        buckets: BTreeMap<i64, StoredBucket>,
+    ) -> Self {
+        Self {
+            dim,
+            fingerprint,
+            next_id,
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechd_hdc::BinaryHypervector;
+    use spechd_rng::Xoshiro256StarStar;
+
+    fn row(dim: usize, seed: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        BinaryHypervector::random(dim, &mut rng).words().to_vec()
+    }
+
+    /// A small two-bucket store: bucket 10 has clusters {0: ids 0,2} and
+    /// {1: id 3}, bucket -4 has cluster {0: id 1}.
+    fn sample(dim: usize) -> ClusterStore {
+        let mut store = ClusterStore::new(dim, 0xF00D).unwrap();
+        assert_eq!(store.reserve_ids(4).unwrap(), 0);
+        let c0 = store.add_cluster(10, &row(dim, 1), 0).unwrap();
+        let c1 = store.add_cluster(10, &row(dim, 2), 3).unwrap();
+        let d0 = store.add_cluster(-4, &row(dim, 3), 1).unwrap();
+        store.absorb(10, c0, 0).unwrap();
+        store.absorb(-4, d0, 1).unwrap();
+        store.absorb(10, c0, 2).unwrap();
+        store.absorb(10, c1, 3).unwrap();
+        store
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let store = sample(100);
+        assert_eq!(store.dim(), 100);
+        assert_eq!(store.next_spectrum_id(), 4);
+        assert_eq!(store.num_buckets(), 2);
+        assert_eq!(store.num_clusters(), 3);
+        assert_eq!(store.keys().collect::<Vec<_>>(), vec![-4, 10]);
+        let b = store.bucket(10).unwrap();
+        assert_eq!(b.clusters()[0].members, 2);
+        assert_eq!(b.medoids().len(), 2);
+        assert_eq!(store.cluster_count(7), 0);
+    }
+
+    #[test]
+    fn union_assignment_is_dense_and_stable() {
+        let store = sample(100);
+        let (assignment, consensus) = store.union_assignment().unwrap();
+        // Id order: 0 (bucket 10/c0), 1 (bucket -4/d0), 2 (10/c0), 3 (10/c1).
+        assert_eq!(assignment.labels(), &[0, 1, 0, 2]);
+        assert_eq!(consensus, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn union_assignment_rejects_uncovered_ids() {
+        let mut store = sample(100);
+        store.reserve_ids(1).unwrap();
+        let err = store.union_assignment().unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn mutations_validate_their_references() {
+        let mut store = ClusterStore::new(64, 1).unwrap();
+        assert!(matches!(
+            store.add_cluster(0, &[0], 0),
+            Err(StoreError::InvalidSpectrumId { .. })
+        ));
+        store.reserve_ids(2).unwrap();
+        assert!(matches!(
+            store.absorb(0, 0, 0),
+            Err(StoreError::UnknownBucket { key: 0 })
+        ));
+        let c = store.add_cluster(0, &[0], 0).unwrap();
+        assert!(matches!(
+            store.absorb(0, c + 1, 0),
+            Err(StoreError::UnknownCluster { .. })
+        ));
+        assert!(matches!(
+            store.absorb(0, c, 9),
+            Err(StoreError::InvalidSpectrumId { id: 9, next: 2 })
+        ));
+        // A malformed medoid row is a PackError, not a panic.
+        assert!(matches!(
+            store.add_cluster(0, &[0, 0], 1),
+            Err(StoreError::Pack(_))
+        ));
+    }
+
+    #[test]
+    fn zero_dim_is_rejected() {
+        assert!(matches!(
+            ClusterStore::new(0, 0),
+            Err(StoreError::Pack(spechd_hdc::PackError::ZeroDim))
+        ));
+    }
+
+    #[test]
+    fn compatibility_gate() {
+        let store = sample(100);
+        store.ensure_compatible(100, 0xF00D).unwrap();
+        assert!(matches!(
+            store.ensure_compatible(64, 0xF00D),
+            Err(StoreError::DimMismatch {
+                store: 100,
+                expected: 64
+            })
+        ));
+        assert!(matches!(
+            store.ensure_compatible(100, 1),
+            Err(StoreError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn byte_round_trip_all_dims() {
+        for dim in [63, 64, 65, 100, 2048] {
+            let store = sample(dim);
+            let bytes = store.to_bytes();
+            let reloaded = ClusterStore::from_bytes(&bytes).unwrap();
+            assert_eq!(reloaded, store, "dim {dim}");
+            assert_eq!(reloaded.to_bytes(), bytes, "re-save must be identical");
+        }
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let store = ClusterStore::new(2048, 42).unwrap();
+        let reloaded = ClusterStore::from_bytes(&store.to_bytes()).unwrap();
+        assert_eq!(reloaded, store);
+        let (assignment, consensus) = reloaded.union_assignment().unwrap();
+        assert!(assignment.is_empty());
+        assert!(consensus.is_empty());
+    }
+}

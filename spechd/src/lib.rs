@@ -16,6 +16,7 @@
 //! | [`fpga`] | `spechd-fpga` | FPGA / near-storage system model |
 //! | [`search`] | `spechd-search` | database search + FDR |
 //! | [`baselines`] | `spechd-baselines` | comparator tools |
+//! | [`store`] | `spechd-store` | persistent versioned cluster store |
 //! | [`core`] | `spechd-core` | the end-to-end pipeline |
 //!
 //! # Quickstart
@@ -50,7 +51,9 @@ pub use spechd_ms as ms;
 pub use spechd_preprocess as preprocess;
 pub use spechd_rng as rng;
 pub use spechd_search as search;
+pub use spechd_store as store;
 
 pub use spechd_core::{
-    SpecHd, SpecHdConfig, SpecHdConfigBuilder, SpecHdOutcome, StreamConfig, StreamOutcome,
+    ClusterStore, ConfigError, SpecHd, SpecHdConfig, SpecHdConfigBuilder, SpecHdError,
+    SpecHdOutcome, StoreError, StreamConfig, StreamOutcome,
 };
