@@ -12,7 +12,7 @@
 //! `observed_events_reconstruct_the_outcome` test pins this contract).
 
 use crate::protocol::{Frame, JobStatsFrame};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The reassembled result of a served clustering job, in the shapes
 /// [`spechd_core::SpecHdOutcome`] uses.
@@ -40,6 +40,13 @@ pub struct ServiceOutcome {
 /// ignores the irrelevant ones); when [`is_done`] turns true, call
 /// [`finish`].
 ///
+/// Absorption is **idempotent per shard**: a re-delivered
+/// `Assignment` frame (the server replays its result archive when a
+/// participant reconnects mid-job) is recognized by its `raw_base` —
+/// unique per shard, since every shard allocates at least one raw
+/// label — and ignored, so a resume never double-counts members.
+/// `Consensus` and `JobStats` absorption are naturally idempotent.
+///
 /// [`absorb`]: AssignmentAssembler::absorb
 /// [`is_done`]: AssignmentAssembler::is_done
 /// [`finish`]: AssignmentAssembler::finish
@@ -47,6 +54,8 @@ pub struct ServiceOutcome {
 pub struct AssignmentAssembler {
     /// `(stream index, raw global label)` per member, across shards.
     pairs: Vec<(u64, u64)>,
+    /// `raw_base` of every `Assignment` frame already absorbed.
+    absorbed_assignments: BTreeSet<u64>,
     /// Raw global label → medoid stream index.
     medoid_by_raw: BTreeMap<u64, u64>,
     stats: Option<JobStatsFrame>,
@@ -68,6 +77,9 @@ impl AssignmentAssembler {
                 labels,
                 ..
             } => {
+                if !self.absorbed_assignments.insert(*raw_base) {
+                    return;
+                }
                 for (&member, &label) in members.iter().zip(labels) {
                     self.pairs.push((member, raw_base + u64::from(label)));
                 }
@@ -191,5 +203,45 @@ mod tests {
     #[should_panic(expected = "finish() before the final JobStats frame")]
     fn finish_before_done_panics() {
         AssignmentAssembler::new().finish();
+    }
+
+    /// A replayed (duplicate) shard frame — what a reconnecting client
+    /// sees when the server re-delivers its result archive — must not
+    /// change the assembled outcome.
+    #[test]
+    fn replayed_frames_are_absorbed_idempotently() {
+        let assignment = Frame::Assignment {
+            job_id: 3,
+            key: 1,
+            raw_base: 0,
+            members: vec![0, 1],
+            labels: vec![0, 0],
+        };
+        let consensus = Frame::Consensus {
+            job_id: 3,
+            raw_base: 0,
+            medoids: vec![1],
+        };
+        let done = Frame::JobStats(JobStatsFrame {
+            job_id: 3,
+            done: 1,
+            ..JobStatsFrame::default()
+        });
+        let mut once = AssignmentAssembler::new();
+        for f in [&assignment, &consensus, &done] {
+            once.absorb(f);
+        }
+        let mut twice = AssignmentAssembler::new();
+        for f in [
+            &assignment,
+            &consensus,
+            &assignment,
+            &consensus,
+            &done,
+            &done,
+        ] {
+            twice.absorb(f);
+        }
+        assert_eq!(once.finish(), twice.finish());
     }
 }

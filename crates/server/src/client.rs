@@ -17,6 +17,30 @@
 //!   [`SearchClient::search`] call sends the queries (chunked under the
 //!   wire cap), collects the per-query [`Frame::SearchHit`]s, and returns
 //!   once the batch's closing [`Frame::SearchStats`] lands.
+//!
+//! ## Failure handling
+//!
+//! Every failure a client can see is classified by
+//! [`ClientError::is_retryable`]: connection-level faults (the socket
+//! died, the peer hung up) and server frames in the retryable code range
+//! ([`ErrorCode::is_retryable`], e.g. [`ErrorCode::Busy`] load shedding)
+//! may be retried; protocol violations and fatal server errors must not
+//! be. Both clients accept a [`RetryPolicy`] — deterministic bounded
+//! exponential backoff — and, when one is set, transparently reconnect
+//! and resume:
+//!
+//! * A [`JobClient`] identifies itself to the server with a `client_id`
+//!   that outlives its TCP connection and sequence-numbers its submits,
+//!   so a reconnect re-opens the same job slot, re-sends only the
+//!   unacknowledged batch (a duplicate is recognized server-side and
+//!   re-acked, never re-ingested), and absorbs the server's replay of
+//!   any result frames that were in flight when the connection died —
+//!   the assembled [`ServiceOutcome`] is bit-identical to an undisturbed
+//!   run.
+//! * A [`SearchClient`] retries its connect handshake and its query
+//!   batches (scoring is read-only, hence idempotent); library loads are
+//!   **not** retried, because a load whose ack was lost may or may not
+//!   have been applied and re-sending it could double-load entries.
 
 use crate::assemble::{AssignmentAssembler, ServiceOutcome};
 use crate::protocol::{
@@ -26,7 +50,8 @@ use crate::protocol::{
 };
 use spechd_ms::Spectrum;
 use std::io::BufWriter;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -40,6 +65,28 @@ pub enum ClientError {
         /// Server-provided detail.
         message: String,
     },
+}
+
+impl ClientError {
+    /// Whether retrying the failed operation can possibly succeed.
+    ///
+    /// Transport faults (`Wire(Io)` / `Wire(Closed)` / `Wire(Truncated)`
+    /// — a connection killed mid-frame surfaces as a truncated read) are
+    /// retryable: the connection died, but a reconnect may find the
+    /// server healthy. Server error frames defer to the wire contract:
+    /// [`ErrorCode::is_retryable`] (transient conditions such as
+    /// [`ErrorCode::Busy`] load shedding). Everything else — malformed
+    /// frames, protocol violations, config mismatches — is a bug or a
+    /// genuine rejection, and retrying would only repeat it.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Wire(WireError::Io(_) | WireError::Closed | WireError::Truncated(_)) => {
+                true
+            }
+            ClientError::Wire(_) => false,
+            ClientError::Server { code, .. } => code.is_retryable(),
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -65,6 +112,98 @@ impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
         ClientError::Wire(WireError::Io(e))
     }
+}
+
+/// Deterministic bounded-exponential-backoff retry schedule.
+///
+/// Attempt *n* (1-based) sleeps `base_delay × 2ⁿ⁻¹`, capped at
+/// `max_delay`, before retrying; after `max_retries` failed retries the
+/// last error is returned. The schedule is a pure function of the
+/// attempt number — no jitter, no clocks — so tests exercising retry
+/// paths are exactly reproducible. [`RetryPolicy::none`] (zero retries)
+/// disables retrying entirely; it is the default for
+/// [`JobClient::connect`] / [`SearchClient::connect`], which preserve
+/// fail-fast semantics unless a policy is opted into via the
+/// `connect_with` constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How many times a failed operation is retried (0 = never).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: every failure is returned immediately.
+    pub const fn none() -> Self {
+        Self {
+            max_retries: 0,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Whether this policy retries at all.
+    pub fn enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+
+    /// The backoff before retry `attempt` (1-based):
+    /// `base_delay × 2^(attempt-1)`, capped at `max_delay`.
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        self.base_delay
+            .saturating_mul(1u32 << exp)
+            .min(self.max_delay)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Six retries starting at 25 ms, capped at 800 ms — under two
+    /// seconds of total backoff, enough to ride out a server restart or
+    /// a transient [`ErrorCode::Busy`] without hiding a real outage.
+    fn default() -> Self {
+        Self {
+            max_retries: 6,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_millis(800),
+        }
+    }
+}
+
+/// A process-unique-ish participant id for clients that did not choose
+/// one: a hash of wall clock, pid, and a process-global counter. Two
+/// *concurrent* participants of one job must not share a `client_id`
+/// (the server binds a job slot to it); explicit ids belong to callers
+/// that want deterministic resume identities across process restarts.
+fn default_client_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let pid = u64::from(std::process::id());
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in [nanos, pid, n] {
+        for b in v.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+fn resolve(addr: impl ToSocketAddrs) -> Result<Vec<SocketAddr>, ClientError> {
+    let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    if addrs.is_empty() {
+        return Err(ClientError::Wire(WireError::Io(std::io::Error::other(
+            "address resolved to no socket addresses",
+        ))));
+    }
+    Ok(addrs)
 }
 
 /// One established client connection: socket pair, frame codec, and the
@@ -123,28 +262,94 @@ pub struct SubmitReceipt {
 }
 
 /// One connection participating in one clustering job.
+///
+/// The client is identified to the server by its `client_id`, not its
+/// TCP connection: with a [`RetryPolicy`] set (see
+/// [`JobClient::connect_with`]) a dead connection is transparently
+/// re-opened, the job re-joined, the in-flight batch re-sent (the
+/// sequence number makes the server treat a duplicate as a re-ack, not
+/// a re-ingest), and replayed result frames absorbed idempotently — so
+/// the final [`ServiceOutcome`] is bit-identical to an undisturbed run.
 pub struct JobClient {
     conn: Connection,
+    addrs: Vec<SocketAddr>,
     job_id: u64,
+    client_id: u64,
+    config: JobConfig,
+    retry: RetryPolicy,
+    next_seq: u64,
+    close_sent: bool,
+    reconnects: u64,
     assembler: AssignmentAssembler,
 }
 
 impl JobClient {
     /// Connects to `addr` and opens (or joins) `job_id` with `config`,
-    /// returning once the server acknowledges.
+    /// returning once the server acknowledges. No retries: any failure
+    /// — including a retryable one — is returned immediately. Use
+    /// [`JobClient::connect_with`] for resilience.
     pub fn connect(
         addr: impl ToSocketAddrs,
         job_id: u64,
         config: JobConfig,
     ) -> Result<Self, ClientError> {
-        let mut client = Self {
-            conn: Connection::open(addr)?,
+        Self::connect_with(
+            addr,
             job_id,
-            assembler: AssignmentAssembler::new(),
-        };
-        client.conn.send(&Frame::OpenJob { job_id, config })?;
-        client.wait_stats()?;
-        Ok(client)
+            config,
+            default_client_id(),
+            RetryPolicy::none(),
+        )
+    }
+
+    /// Connects with an explicit participant identity and retry policy.
+    ///
+    /// `client_id` names this participant's slot in the job across
+    /// connections — a reconnect presenting the same id resumes where
+    /// the old connection left off. Concurrent participants of one job
+    /// must use distinct ids. The connect itself honors `retry` (a
+    /// server shedding load with [`ErrorCode::Busy`] is retried after
+    /// backoff), as do all subsequent operations on the client.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        job_id: u64,
+        config: JobConfig,
+        client_id: u64,
+        retry: RetryPolicy,
+    ) -> Result<Self, ClientError> {
+        let addrs = resolve(addr)?;
+        let mut attempt = 0u32;
+        loop {
+            let result = Connection::open(&addrs[..]).and_then(|conn| {
+                let mut client = Self {
+                    conn,
+                    addrs: addrs.clone(),
+                    job_id,
+                    client_id,
+                    config: config.clone(),
+                    retry,
+                    next_seq: 0,
+                    close_sent: false,
+                    reconnects: 0,
+                    assembler: AssignmentAssembler::new(),
+                };
+                client.conn.send(&Frame::OpenJob {
+                    job_id,
+                    client_id,
+                    config: config.clone(),
+                })?;
+                client.wait_stats()?;
+                Ok(client)
+            });
+            match result {
+                Ok(client) => return Ok(client),
+                Err(e) if e.is_retryable() && attempt < retry.max_retries => {
+                    attempt += 1;
+                    std::thread::sleep(retry.delay_for(attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// The job this connection participates in.
@@ -152,44 +357,181 @@ impl JobClient {
         self.job_id
     }
 
+    /// The participant identity this client presents to the server.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// How many times this client has reconnected and resumed.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
     /// Submits a batch and blocks until its acknowledgement, returning
     /// the batch's stream-index range. Result frames that arrive before
-    /// the ack are absorbed, not lost.
+    /// the ack are absorbed, not lost. With a retry policy set, a
+    /// connection failure reconnects and re-sends the batch under the
+    /// same sequence number — if the original made it through and only
+    /// the ack was lost, the server re-acks without re-ingesting, so
+    /// retries never duplicate spectra in the stream.
     pub fn submit(&mut self, spectra: Vec<Spectrum>) -> Result<SubmitReceipt, ClientError> {
-        self.conn.send(&Frame::Submit {
-            job_id: self.job_id,
-            spectra,
-        })?;
+        let seq = self.next_seq;
+        if !self.retry.enabled() {
+            self.conn.send(&Frame::Submit {
+                job_id: self.job_id,
+                seq,
+                spectra,
+            })?;
+            let receipt = self.await_submit_ack(seq)?;
+            self.next_seq += 1;
+            return Ok(receipt);
+        }
+        let mut attempt = 0u32;
         loop {
-            match self.conn.recv()? {
-                Frame::SubmitAck { base, count, .. } => return Ok(SubmitReceipt { base, count }),
-                other => self.assembler.absorb(&other),
+            let outcome = self
+                .conn
+                .send(&Frame::Submit {
+                    job_id: self.job_id,
+                    seq,
+                    spectra: spectra.clone(),
+                })
+                .and_then(|()| self.await_submit_ack(seq));
+            match outcome {
+                Ok(receipt) => {
+                    self.next_seq += 1;
+                    return Ok(receipt);
+                }
+                Err(e) if e.is_retryable() && attempt < self.retry.max_retries => {
+                    attempt += 1;
+                    std::thread::sleep(self.retry.delay_for(attempt));
+                    // If recovery fails, the stale connection makes the
+                    // next attempt fail fast and consume another retry.
+                    let _ = self.recover();
+                }
+                Err(e) => return Err(e),
             }
         }
     }
 
     /// Barrier: returns a statistics snapshot taken after the server
     /// has ingested every frame this connection sent before the flush.
+    /// Idempotent, so freely retried under the policy.
     pub fn flush(&mut self) -> Result<JobStatsFrame, ClientError> {
-        self.conn.send(&Frame::Flush {
-            job_id: self.job_id,
-        })?;
-        self.wait_stats()
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self
+                .conn
+                .send(&Frame::Flush {
+                    job_id: self.job_id,
+                })
+                .and_then(|()| self.wait_stats());
+            match outcome {
+                Ok(stats) => return Ok(stats),
+                Err(e) if e.is_retryable() && attempt < self.retry.max_retries => {
+                    attempt += 1;
+                    std::thread::sleep(self.retry.delay_for(attempt));
+                    let _ = self.recover();
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Declares this participant done submitting and waits for the
     /// job's results: blocks until the final `done` frame, then
     /// reassembles the global clustering. The job finalizes once
-    /// **every** participant has closed.
+    /// **every** participant has closed. With a retry policy set, a
+    /// connection lost while waiting reconnects and rejoins — the
+    /// server replays the result frames this client missed (absorbed
+    /// idempotently) and the re-sent `CloseJob` is a no-op server-side.
     pub fn close_and_wait(mut self) -> Result<ServiceOutcome, ClientError> {
-        self.conn.send(&Frame::CloseJob {
+        self.close_sent = true;
+        let mut result = self.conn.send(&Frame::CloseJob {
             job_id: self.job_id,
-        })?;
-        while !self.assembler.is_done() {
-            let frame = self.conn.recv()?;
-            self.assembler.absorb(&frame);
+        });
+        let mut attempt = 0u32;
+        loop {
+            match result {
+                Ok(()) => {}
+                Err(e)
+                    if self.retry.enabled()
+                        && e.is_retryable()
+                        && attempt < self.retry.max_retries =>
+                {
+                    attempt += 1;
+                    std::thread::sleep(self.retry.delay_for(attempt));
+                    // recover() re-sends CloseJob; if it fails, the next
+                    // recv fails fast and consumes another retry.
+                    let _ = self.recover();
+                    result = Ok(());
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            if self.assembler.is_done() {
+                break;
+            }
+            result = self.conn.recv().map(|frame| {
+                attempt = 0;
+                self.assembler.absorb(&frame);
+            });
         }
         Ok(self.assembler.finish())
+    }
+
+    /// Re-opens the connection and resumes this participant's slot:
+    /// re-sends `OpenJob` with the same `client_id` (triggering the
+    /// server's result replay, absorbed by [`Self::wait_stats`]) and
+    /// re-sends `CloseJob` if it was already sent on the old connection.
+    fn recover(&mut self) -> Result<(), ClientError> {
+        self.conn = Connection::open(&self.addrs[..])?;
+        self.conn.send(&Frame::OpenJob {
+            job_id: self.job_id,
+            client_id: self.client_id,
+            config: self.config.clone(),
+        })?;
+        let stats = self.wait_stats()?;
+        if stats.done == 0 && stats.submitted == 0 && self.next_seq > 0 {
+            // The job no longer knows us: our slot (and the job's
+            // state) aged out of the server's rejoin grace, and the
+            // OpenJob just created a *fresh* job. Resuming into it
+            // would silently produce a wrong outcome — fail instead.
+            return Err(ClientError::Wire(WireError::Malformed(format!(
+                "resume failed: job {} no longer holds this client's state \
+                 (rejoin grace elapsed?)",
+                self.job_id
+            ))));
+        }
+        if self.close_sent {
+            self.conn.send(&Frame::CloseJob {
+                job_id: self.job_id,
+            })?;
+        }
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// Reads until the matching `SubmitAck`, absorbing result frames
+    /// seen on the way.
+    fn await_submit_ack(&mut self, seq: u64) -> Result<SubmitReceipt, ClientError> {
+        loop {
+            match self.conn.recv()? {
+                Frame::SubmitAck {
+                    seq: ack_seq,
+                    base,
+                    count,
+                    ..
+                } => {
+                    if ack_seq != seq {
+                        return Err(ClientError::Wire(WireError::Malformed(format!(
+                            "submit ack for seq {ack_seq}, expected {seq}"
+                        ))));
+                    }
+                    return Ok(SubmitReceipt { base, count });
+                }
+                other => self.assembler.absorb(&other),
+            }
+        }
     }
 
     /// Reads until a `JobStats` frame (an open/flush ack), absorbing
@@ -221,28 +563,62 @@ pub struct QueryHits {
 /// One connection participating in one search job.
 pub struct SearchClient {
     conn: Connection,
+    addrs: Vec<SocketAddr>,
     job_id: u64,
     dim: u32,
+    retry: RetryPolicy,
+    reconnects: u64,
 }
 
 impl SearchClient {
     /// Connects to `addr` and opens (or joins) search job `job_id` with
     /// dimensionality `dim`, returning once the server acknowledges
     /// (an empty `LoadLibrary` is the join handshake — it fails fast on
-    /// a dim mismatch or an already-sealed job).
+    /// a dim mismatch or an already-sealed job). No retries; see
+    /// [`SearchClient::connect_with`].
     pub fn connect(addr: impl ToSocketAddrs, job_id: u64, dim: u32) -> Result<Self, ClientError> {
-        let mut client = Self {
-            conn: Connection::open(addr)?,
-            job_id,
-            dim,
-        };
-        client.conn.send(&Frame::LoadLibrary {
-            job_id,
-            dim,
-            entries: Vec::new(),
-        })?;
-        client.wait_stats()?;
-        Ok(client)
+        Self::connect_with(addr, job_id, dim, RetryPolicy::none())
+    }
+
+    /// Connects with a retry policy: the handshake and every
+    /// [`SearchClient::search`] call retry retryable failures
+    /// (reconnecting first), since joining and querying are idempotent.
+    /// [`SearchClient::load`] never retries — see its docs.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        job_id: u64,
+        dim: u32,
+        retry: RetryPolicy,
+    ) -> Result<Self, ClientError> {
+        let addrs = resolve(addr)?;
+        let mut attempt = 0u32;
+        loop {
+            let result = Connection::open(&addrs[..]).and_then(|conn| {
+                let mut client = Self {
+                    conn,
+                    addrs: addrs.clone(),
+                    job_id,
+                    dim,
+                    retry,
+                    reconnects: 0,
+                };
+                client.conn.send(&Frame::LoadLibrary {
+                    job_id,
+                    dim,
+                    entries: Vec::new(),
+                })?;
+                client.wait_stats()?;
+                Ok(client)
+            });
+            match result {
+                Ok(client) => return Ok(client),
+                Err(e) if e.is_retryable() && attempt < retry.max_retries => {
+                    attempt += 1;
+                    std::thread::sleep(retry.delay_for(attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// The search job this connection participates in.
@@ -255,10 +631,22 @@ impl SearchClient {
         self.dim
     }
 
+    /// How many times this client has reconnected.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
     /// Loads entries into the job's library, chunked under the wire's
     /// per-frame cap; each chunk is acknowledged before the next is
     /// sent. Returns the post-load statistics snapshot. Fails once the
     /// library is sealed (a query was served).
+    ///
+    /// Loads are **never retried**, even with a retry policy set: if
+    /// the connection dies between sending a chunk and reading its ack
+    /// there is no way to know whether the chunk was applied, and
+    /// re-sending it could load the entries twice (loads are not
+    /// idempotent, unlike queries). Callers that lose a load should
+    /// restart the search job under a fresh `job_id`.
     pub fn load(&mut self, entries: &[LibraryEntryWire]) -> Result<SearchStatsFrame, ClientError> {
         if entries.is_empty() {
             // An empty load is still a valid stats probe.
@@ -286,6 +674,12 @@ impl SearchClient {
     /// order plus the post-batch statistics snapshot. Queries are
     /// chunked under the wire's per-frame cap; each chunk's hit frames
     /// are collected up to their closing [`Frame::SearchStats`].
+    ///
+    /// With a retry policy set, a chunk that fails retryably is
+    /// re-scored from scratch after a reconnect (its partial hits are
+    /// discarded): queries are read-only, so re-scoring returns the
+    /// same hits — though the server-assigned `query_index` values may
+    /// then have gaps, as abandoned attempts consumed indices.
     pub fn search(
         &mut self,
         queries: &[QueryWire],
@@ -297,42 +691,74 @@ impl SearchClient {
         let mut any = false;
         for chunk in queries.chunks(MAX_QUERY_BATCH as usize) {
             any = true;
-            self.conn.send(&Frame::SearchQuery {
-                job_id: self.job_id,
-                dim: self.dim,
-                window_da,
-                top_k,
-                queries: chunk.to_vec(),
-            })?;
-            loop {
-                match self.conn.recv()? {
-                    Frame::SearchHit {
-                        query_index, hits, ..
-                    } => results.push(QueryHits { query_index, hits }),
-                    Frame::SearchStats(s) => {
-                        stats = s;
-                        break;
-                    }
-                    other => {
-                        return Err(ClientError::Wire(WireError::Malformed(format!(
-                            "unexpected frame during search: {other:?}"
-                        ))))
-                    }
-                }
-            }
+            let (chunk_hits, chunk_stats) = self.search_chunk(chunk, window_da, top_k)?;
+            results.extend(chunk_hits);
+            stats = chunk_stats;
         }
         if !any {
             // Zero queries: send an empty batch so the returned stats
             // are a real (and sealing) snapshot, not a default.
-            self.conn.send(&Frame::SearchQuery {
-                job_id: self.job_id,
-                dim: self.dim,
-                window_da,
-                top_k,
-                queries: Vec::new(),
-            })?;
+            let (_, chunk_stats) = self.search_chunk(&[], window_da, top_k)?;
+            stats = chunk_stats;
+        }
+        Ok((results, stats))
+    }
+
+    /// One chunk, with retry: on a retryable failure the partial hits
+    /// are discarded, the connection re-opened (the next query frame
+    /// rejoins the job), and the chunk re-sent whole.
+    fn search_chunk(
+        &mut self,
+        chunk: &[QueryWire],
+        window_da: f64,
+        top_k: u32,
+    ) -> Result<(Vec<QueryHits>, SearchStatsFrame), ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.search_chunk_once(chunk, window_da, top_k) {
+                Ok(ok) => return Ok(ok),
+                Err(e)
+                    if self.retry.enabled()
+                        && e.is_retryable()
+                        && attempt < self.retry.max_retries =>
+                {
+                    attempt += 1;
+                    std::thread::sleep(self.retry.delay_for(attempt));
+                    if let Ok(conn) = Connection::open(&self.addrs[..]) {
+                        self.conn = conn;
+                        self.reconnects += 1;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn search_chunk_once(
+        &mut self,
+        chunk: &[QueryWire],
+        window_da: f64,
+        top_k: u32,
+    ) -> Result<(Vec<QueryHits>, SearchStatsFrame), ClientError> {
+        self.conn.send(&Frame::SearchQuery {
+            job_id: self.job_id,
+            dim: self.dim,
+            window_da,
+            top_k,
+            queries: chunk.to_vec(),
+        })?;
+        let mut hits = Vec::with_capacity(chunk.len());
+        loop {
             match self.conn.recv()? {
-                Frame::SearchStats(s) => stats = s,
+                Frame::SearchHit {
+                    query_index,
+                    hits: h,
+                    ..
+                } => hits.push(QueryHits {
+                    query_index,
+                    hits: h,
+                }),
+                Frame::SearchStats(s) => return Ok((hits, s)),
                 other => {
                     return Err(ClientError::Wire(WireError::Malformed(format!(
                         "unexpected frame during search: {other:?}"
@@ -340,7 +766,6 @@ impl SearchClient {
                 }
             }
         }
-        Ok((results, stats))
     }
 
     /// Reads the `SearchStats` frame acknowledging a load. Search jobs

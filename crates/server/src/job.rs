@@ -2,14 +2,35 @@
 //! pipeline per job.
 //!
 //! Each job owns one [`spechd_core::SpecHd::run_streaming_observed`]
-//! pipeline fed through a bounded [`ChannelStream`]. Connections that
-//! open (or join) the job each hold a clone of the job's
-//! [`SyncSender`]; the stream — and therefore the job — ends when the
-//! **last** participant closes or disconnects, which drops the final
-//! sender (see the end-of-stream semantics on
-//! [`spechd_ms::stream::ChannelStream`]). A participant that dies
-//! abruptly is indistinguishable from one that sent `CloseJob`: its
-//! spectra stay in the job and the pipeline still finalizes cleanly.
+//! pipeline fed through a bounded [`ChannelStream`]. Participants are
+//! identified by the wire `client_id`, **not** by their TCP connection:
+//! a job tracks one `ClientSlot` per participant, and the stream —
+//! and therefore the job — ends when the **last** slot closes, which
+//! drops the final sender (see the end-of-stream semantics on
+//! [`spechd_ms::stream::ChannelStream`]).
+//!
+//! ## Reconnect and resume
+//!
+//! A connection that dies abruptly *detaches* its slot instead of
+//! closing it: the slot survives for the registry's rejoin grace, during
+//! which the same `client_id` may reconnect, re-send `OpenJob`, and
+//! resume. Resume is idempotent on both directions of the stream:
+//!
+//! * **Submits** are sequence-numbered per slot. Each `seq` is ingested
+//!   exactly once; a duplicate of the last acknowledged `seq` (a re-send
+//!   after a lost ack) is answered with the stored ack instead of being
+//!   re-ingested, so the clustering input — and therefore the outcome —
+//!   is unchanged by retries.
+//! * **Results** are archived per job (`emitted`) and replayed to a
+//!   rejoining participant before it re-subscribes, so frames that were
+//!   in flight when the connection died are not lost. The archive holds
+//!   exactly the job's output frames and is freed when the job leaves
+//!   the registry (a bounded linger after completion, so a participant
+//!   disconnected across finalization can still rejoin for the replay).
+//!
+//! If the grace expires without a rejoin the slot closes as if it had
+//! sent `CloseJob` — with a grace of zero this degenerates to the old
+//! behavior where a disconnect *is* a close.
 //!
 //! Backpressure is bounded in both directions. Ingest: the job's
 //! bounded channel — when the pipeline falls behind, `submit` blocks,
@@ -19,7 +40,9 @@
 //! over with a non-blocking send — a consumer that stops draining its
 //! queue is dropped from the job (its subscription goes inactive)
 //! instead of accumulating the job's output in server memory or
-//! stalling the pipeline for the other participants.
+//! stalling the pipeline for the other participants. (Rejoin replay is
+//! the one blocking send: it pushes the backlog into the rejoining
+//! connection's own bounded queue, throttled by that client's reads.)
 //!
 //! Results stream back as shards finalize. Shard events arrive in
 //! completion order, but raw label blocks must be assigned in ascending
@@ -37,6 +60,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 type IngestItem = (Spectrum, Option<u32>);
 
@@ -70,11 +94,29 @@ struct IngestPlan {
     streamed: usize,
 }
 
+/// One participant's durable state, keyed by `client_id` — it outlives
+/// the TCP connection carrying it.
+struct ClientSlot {
+    /// A live connection currently holds this slot.
+    attached: bool,
+    /// The participant is done submitting (explicit `CloseJob`, or its
+    /// rejoin grace expired).
+    closed: bool,
+    /// The next submit sequence number this slot will ingest.
+    next_seq: u64,
+    /// The last acknowledged submit, for duplicate re-acks:
+    /// `(seq, base, count)`.
+    last_ack: Option<(u64, u64, u32)>,
+    /// Bumped on every rejoin; lets a pending grace timer recognize it
+    /// has been superseded.
+    epoch: u64,
+}
+
 struct JobState {
     /// Template sender; dropped when the last participant closes, which
     /// ends the job's stream.
     template: Option<SyncSender<IngestItem>>,
-    participants: u32,
+    clients: HashMap<u64, ClientSlot>,
     /// Next stream index to hand out; submits reserve contiguous ranges.
     next_index: u64,
     submitted: u64,
@@ -86,12 +128,32 @@ struct JobState {
     emit_ptr: usize,
     raw_base: u64,
     finished: bool,
+    /// Every result frame the job has broadcast, in order — the replay
+    /// backlog for rejoining participants. Bounded by the job's own
+    /// output (assignments + consensus + the final stats frame) and
+    /// freed when the job leaves the registry.
+    emitted: Vec<Frame>,
+}
+
+impl JobState {
+    fn participants(&self) -> u32 {
+        self.clients.values().filter(|c| !c.closed).count() as u32
+    }
+
+    /// Drops the template once every slot has closed, ending the
+    /// job's ingest stream so the pipeline can finalize.
+    fn maybe_finalize(&mut self) {
+        if self.participants() == 0 {
+            self.template = None;
+        }
+    }
 }
 
 /// One clustering job: config, pipeline, and fan-out to subscribers.
 pub struct Job {
     id: u64,
     config: JobConfig,
+    rejoin_grace: Duration,
     state: Mutex<JobState>,
 }
 
@@ -99,7 +161,7 @@ impl Job {
     fn stats_locked(&self, state: &JobState) -> JobStatsFrame {
         JobStatsFrame {
             job_id: self.id,
-            participants: state.participants,
+            participants: state.participants(),
             submitted: state.submitted,
             shards_clustered: state.shards_clustered,
             ..JobStatsFrame::default()
@@ -119,6 +181,12 @@ impl Job {
             sub.active.store(false, Ordering::Release);
             false
         });
+    }
+
+    /// Broadcasts a result frame and archives it for rejoin replay.
+    fn emit(&self, state: &mut JobState, frame: Frame) {
+        self.broadcast(state, &frame);
+        state.emitted.push(frame);
     }
 
     /// Emits every buffered shard whose turn (in ascending key order)
@@ -145,8 +213,8 @@ impl Job {
                 raw_base: state.raw_base,
                 medoids: shard.medoids.iter().map(|&m| m as u64).collect(),
             };
-            self.broadcast(state, &assignment);
-            self.broadcast(state, &consensus);
+            self.emit(state, assignment);
+            self.emit(state, consensus);
             state.raw_base += shard.medoids.len() as u64;
             state.emit_ptr += 1;
         }
@@ -194,7 +262,7 @@ impl Job {
             .map_or(outcome.outcome.kept().len(), |p| p.kept);
         let frame = Frame::JobStats(JobStatsFrame {
             job_id: self.id,
-            participants: state.participants,
+            participants: state.participants(),
             submitted: state.submitted,
             streamed: plan_streamed as u64,
             kept: plan_kept as u64,
@@ -214,8 +282,20 @@ impl Job {
         for sub in &state.subscribers {
             sub.active.store(false, Ordering::Release);
         }
-        self.broadcast(&mut state, &frame);
+        self.emit(&mut state, frame);
         state.subscribers.clear();
+    }
+
+    /// Replays the archived result frames into a rejoining
+    /// participant's outbound queue. This send is *blocking* — the
+    /// backlog drains at the pace the rejoining client reads its socket
+    /// — and aborts quietly if the connection dies mid-replay.
+    fn replay_locked(&self, state: &JobState, out_tx: &mpsc::SyncSender<Frame>) {
+        for frame in &state.emitted {
+            if out_tx.send(frame.clone()).is_err() {
+                return;
+            }
+        }
     }
 }
 
@@ -224,16 +304,32 @@ pub struct JobRegistry {
     jobs: Mutex<HashMap<u64, Arc<Job>>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     queue_depth: usize,
+    max_jobs: usize,
+    rejoin_grace: Duration,
 }
 
 impl JobRegistry {
     /// Creates an empty registry whose jobs use an ingest queue of
-    /// `queue_depth` spectra (the backpressure bound).
+    /// `queue_depth` spectra (the backpressure bound), with no job cap
+    /// and a zero rejoin grace — disconnect means close, exactly the
+    /// pre-resume semantics. Servers use [`JobRegistry::with_policy`].
     pub fn new(queue_depth: usize) -> Self {
+        Self::with_policy(queue_depth, usize::MAX, Duration::ZERO)
+    }
+
+    /// Creates an empty registry with explicit robustness policy:
+    /// at most `max_jobs` jobs may be live at once (`OpenJob` creating
+    /// one more is shed with a retryable [`ErrorCode::Busy`]), and a
+    /// disconnected participant's slot survives `rejoin_grace` for the
+    /// same `client_id` to reconnect and resume. The same grace is the
+    /// linger a finished job stays in the registry for result replay.
+    pub fn with_policy(queue_depth: usize, max_jobs: usize, rejoin_grace: Duration) -> Self {
         Self {
             jobs: Mutex::new(HashMap::new()),
             threads: Mutex::new(Vec::new()),
             queue_depth: queue_depth.max(1),
+            max_jobs: max_jobs.max(1),
+            rejoin_grace,
         }
     }
 
@@ -247,59 +343,120 @@ impl JobRegistry {
         self.len() == 0
     }
 
-    /// Opens `job_id` (creating its pipeline) or joins it as another
-    /// participant. Joining requires a bit-identical [`JobConfig`].
-    /// `out_tx` is subscribed to the job's result frames; its bound is
-    /// the fan-out budget — result frames are delivered with a
-    /// non-blocking send, and a subscriber whose queue is full is
-    /// dropped from the job. The returned [`JobHandle`] counts as one
-    /// participant until closed or dropped.
+    /// Opens `job_id` (creating its pipeline), joins it as a new
+    /// participant, or — when `client_id` already holds a slot —
+    /// **rejoins** after a disconnect: the job replays every result
+    /// frame the participant may have missed, then resumes its slot
+    /// (submit seq numbering and all).
+    ///
+    /// Joining requires a bit-identical [`JobConfig`]. `out_tx` is
+    /// subscribed to the job's result frames; its bound is the fan-out
+    /// budget — result frames are delivered with a non-blocking send,
+    /// and a subscriber whose queue is full is dropped from the job.
+    /// The returned [`JobHandle`] counts as one participant until
+    /// closed or dropped. Creating a new job when `max_jobs` are live
+    /// is shed with a retryable [`ErrorCode::Busy`].
     pub fn open_or_join(
         self: &Arc<Self>,
         job_id: u64,
+        client_id: u64,
         config: JobConfig,
         out_tx: mpsc::SyncSender<Frame>,
     ) -> Result<JobHandle, JobError> {
         let active = Arc::new(AtomicBool::new(true));
         let subscriber = Subscriber {
-            tx: out_tx,
+            tx: out_tx.clone(),
             active: Arc::clone(&active),
         };
         let mut jobs = self.jobs.lock().expect("job table poisoned");
         if let Some(job) = jobs.get(&job_id) {
             let job = Arc::clone(job);
+            drop(jobs);
             let mut state = job.state.lock().expect("job state poisoned");
-            if state.finished || state.template.is_none() {
-                return Err(JobError::new(
-                    ErrorCode::JobClosed,
-                    format!("job {job_id} is finalizing and cannot be joined"),
-                ));
-            }
             if job.config != config {
                 return Err(JobError::new(
                     ErrorCode::ConfigMismatch,
                     format!("job {job_id} exists with a different config"),
                 ));
             }
-            state.participants += 1;
+            let known = state.clients.contains_key(&client_id);
+            if !known && (state.finished || state.template.is_none()) {
+                return Err(JobError::new(
+                    ErrorCode::JobClosed,
+                    format!("job {job_id} is finalizing and cannot be joined"),
+                ));
+            }
+            if known {
+                let slot = state.clients.get_mut(&client_id).expect("slot known");
+                // If the slot still reads as attached, the server has
+                // not yet noticed the old connection die — the rejoin
+                // *steals* it (newest connection wins). The epoch bump
+                // turns the zombie handle's close/detach into no-ops,
+                // and its dead subscription self-prunes on the next
+                // broadcast.
+                slot.attached = true;
+                slot.epoch += 1;
+                let epoch = slot.epoch;
+                let slot_closed = slot.closed;
+                // Replay the backlog *before* subscribing, so the
+                // rejoiner sees every frame exactly once and in order.
+                job.replay_locked(&state, &out_tx);
+                let (sender, handle_active) = if state.finished {
+                    // Nothing further will be broadcast; the replay
+                    // already delivered the final done frame.
+                    active.store(false, Ordering::Release);
+                    (None, active)
+                } else {
+                    state.subscribers.push(subscriber);
+                    let sender = if slot_closed {
+                        None
+                    } else {
+                        state.template.clone()
+                    };
+                    (sender, active)
+                };
+                drop(state);
+                return Ok(JobHandle {
+                    job,
+                    client_id,
+                    epoch,
+                    sender,
+                    active: handle_active,
+                    closed: slot_closed,
+                });
+            }
+            state.clients.insert(client_id, ClientSlot::fresh());
             let sender = state.template.clone();
             state.subscribers.push(subscriber);
             drop(state);
             return Ok(JobHandle {
                 job,
+                client_id,
+                epoch: 0,
                 sender,
                 active,
                 closed: false,
             });
         }
 
+        if jobs.len() >= self.max_jobs {
+            return Err(JobError::new(
+                ErrorCode::Busy,
+                format!(
+                    "job registry is full ({} jobs); retry after backoff",
+                    jobs.len()
+                ),
+            ));
+        }
+
         let (tx, rx) = mpsc::sync_channel::<IngestItem>(self.queue_depth);
         let job = Arc::new(Job {
             id: job_id,
             config: config.clone(),
+            rejoin_grace: self.rejoin_grace,
             state: Mutex::new(JobState {
                 template: Some(tx.clone()),
-                participants: 1,
+                clients: HashMap::from([(client_id, ClientSlot::fresh())]),
                 next_index: 0,
                 submitted: 0,
                 subscribers: vec![subscriber],
@@ -309,6 +466,7 @@ impl JobRegistry {
                 emit_ptr: 0,
                 raw_base: 0,
                 finished: false,
+                emitted: Vec::new(),
             }),
         });
         jobs.insert(job_id, Arc::clone(&job));
@@ -326,11 +484,7 @@ impl JobRegistry {
                         pipeline_job.on_event(event)
                     });
                 pipeline_job.on_complete(&outcome);
-                registry
-                    .jobs
-                    .lock()
-                    .expect("job table poisoned")
-                    .remove(&pipeline_job.id);
+                registry.retire(pipeline_job.id);
             })
             .expect("spawn job pipeline thread");
         let mut threads = self.threads.lock().expect("thread table poisoned");
@@ -343,10 +497,40 @@ impl JobRegistry {
 
         Ok(JobHandle {
             job,
+            client_id,
+            epoch: 0,
             sender: Some(tx),
             active,
             closed: false,
         })
+    }
+
+    /// Removes a finished job from the table — after the rejoin grace,
+    /// so a participant disconnected across finalization can still
+    /// rejoin and replay the results it missed. A zero grace removes
+    /// immediately (the pre-resume behavior).
+    fn retire(self: &Arc<Self>, job_id: u64) {
+        if self.rejoin_grace.is_zero() {
+            self.jobs
+                .lock()
+                .expect("job table poisoned")
+                .remove(&job_id);
+            return;
+        }
+        let registry = Arc::clone(self);
+        // Detached on purpose: the linger must not block the pipeline
+        // thread, and joining it at shutdown would serialize shutdowns
+        // on the grace. Holds only the registry Arc.
+        let _ = std::thread::Builder::new()
+            .name(format!("spechd-job-{job_id}-linger"))
+            .spawn(move || {
+                std::thread::sleep(registry.rejoin_grace);
+                registry
+                    .jobs
+                    .lock()
+                    .expect("job table poisoned")
+                    .remove(&job_id);
+            });
     }
 
     /// Joins every pipeline thread ever spawned. Call only after all
@@ -365,9 +549,28 @@ impl JobRegistry {
     }
 }
 
+impl ClientSlot {
+    fn fresh() -> Self {
+        Self {
+            attached: true,
+            closed: false,
+            next_seq: 0,
+            last_ack: None,
+            epoch: 0,
+        }
+    }
+}
+
 /// One connection's participation in one job.
 pub struct JobHandle {
     job: Arc<Job>,
+    client_id: u64,
+    /// The slot epoch this handle was issued under. A rejoin bumps the
+    /// slot's epoch (stealing it from a connection the server has not
+    /// yet reaped), after which this handle's close/detach are no-ops —
+    /// a zombie connection cannot close the slot out from under its
+    /// successor.
+    epoch: u64,
     sender: Option<SyncSender<IngestItem>>,
     active: Arc<AtomicBool>,
     closed: bool,
@@ -377,6 +580,11 @@ impl JobHandle {
     /// The job this handle participates in.
     pub fn job_id(&self) -> u64 {
         self.job.id
+    }
+
+    /// The participant (wire `client_id`) this handle carries.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
     }
 
     /// Whether the subscription is still live (job not finished).
@@ -399,7 +607,13 @@ impl JobHandle {
     /// len)` even with concurrent submitters — the job lock is held
     /// across the whole batch. Blocks (backpressure) when the ingest
     /// queue is full.
-    pub fn submit(&self, spectra: Vec<Spectrum>) -> Result<(u64, u32), JobError> {
+    ///
+    /// `seq` makes this idempotent across reconnects: a duplicate of
+    /// the slot's last acknowledged sequence number re-returns the
+    /// stored `(base, count)` without ingesting anything, and any other
+    /// out-of-order `seq` is a protocol error — each batch enters the
+    /// clustering input exactly once.
+    pub fn submit(&self, seq: u64, spectra: Vec<Spectrum>) -> Result<(u64, u32), JobError> {
         let Some(sender) = &self.sender else {
             return Err(JobError::new(
                 ErrorCode::ProtocolState,
@@ -408,6 +622,29 @@ impl JobHandle {
         };
         let count = spectra.len() as u32;
         let mut state = self.job.state.lock().expect("job state poisoned");
+        let slot = state
+            .clients
+            .get(&self.client_id)
+            .expect("submitting client has a slot");
+        if slot.epoch != self.epoch {
+            return Err(JobError::new(
+                ErrorCode::ProtocolState,
+                "this connection's job slot was resumed by a newer connection",
+            ));
+        }
+        if let Some((ack_seq, base, count)) = slot.last_ack {
+            if seq == ack_seq {
+                // A re-sent batch whose ack was lost: re-ack, don't
+                // re-ingest.
+                return Ok((base, count));
+            }
+        }
+        if seq != slot.next_seq {
+            return Err(JobError::new(
+                ErrorCode::ProtocolState,
+                format!("submit seq {seq} out of order (expected {})", slot.next_seq),
+            ));
+        }
         let base = state.next_index;
         for spectrum in spectra {
             if sender.send((spectrum, None)).is_err() {
@@ -419,6 +656,12 @@ impl JobHandle {
         }
         state.next_index += u64::from(count);
         state.submitted += u64::from(count);
+        let slot = state
+            .clients
+            .get_mut(&self.client_id)
+            .expect("submitting client has a slot");
+        slot.next_seq = seq + 1;
+        slot.last_ack = Some((seq, base, count));
         Ok((base, count))
     }
 
@@ -431,9 +674,10 @@ impl JobHandle {
         self.job.stats_locked(&state)
     }
 
-    /// Ends this participant's submissions. When the last participant
-    /// closes (or disconnects — [`Drop`] calls this), the job's stream
-    /// ends and the pipeline finalizes.
+    /// Ends this participant's submissions **permanently** (the wire
+    /// `CloseJob`). When the last slot closes, the job's stream ends
+    /// and the pipeline finalizes. Idempotent — a re-sent `CloseJob`
+    /// after a reconnect is a no-op.
     pub fn close(&mut self) {
         if self.closed {
             return;
@@ -441,18 +685,66 @@ impl JobHandle {
         self.closed = true;
         self.sender = None;
         let mut state = self.job.state.lock().expect("job state poisoned");
-        state.participants = state.participants.saturating_sub(1);
-        if state.participants == 0 {
-            // Drop the template: the last live sender. The channel
-            // closes, `ChannelStream` drains and ends, the pipeline
-            // finalizes and broadcasts the remaining result frames.
-            state.template = None;
+        if let Some(slot) = state.clients.get_mut(&self.client_id) {
+            if slot.epoch == self.epoch && !slot.closed {
+                slot.closed = true;
+                state.maybe_finalize();
+            }
         }
+    }
+
+    /// The connection died without a `CloseJob`: release the slot but
+    /// keep it resumable for the job's rejoin grace. If nobody rejoins
+    /// in time the slot closes as if `CloseJob` had arrived; with a
+    /// zero grace that happens immediately.
+    fn detach(&mut self) {
+        self.sender = None;
+        let mut state = self.job.state.lock().expect("job state poisoned");
+        let Some(slot) = state.clients.get_mut(&self.client_id) else {
+            return;
+        };
+        if slot.epoch != self.epoch {
+            // The slot was stolen by a newer connection; this zombie
+            // handle has nothing left to release.
+            return;
+        }
+        slot.attached = false;
+        if slot.closed {
+            return;
+        }
+        if self.job.rejoin_grace.is_zero() {
+            slot.closed = true;
+            state.maybe_finalize();
+            return;
+        }
+        let epoch = slot.epoch;
+        drop(state);
+        let job = Arc::clone(&self.job);
+        let client_id = self.client_id;
+        // Detached grace timer; superseded by a rejoin (epoch bump).
+        let _ = std::thread::Builder::new()
+            .name(format!("spechd-job-{}-grace", job.id))
+            .spawn(move || {
+                std::thread::sleep(job.rejoin_grace);
+                let mut state = job.state.lock().expect("job state poisoned");
+                if let Some(slot) = state.clients.get_mut(&client_id) {
+                    if !slot.attached && !slot.closed && slot.epoch == epoch {
+                        slot.closed = true;
+                        state.maybe_finalize();
+                    }
+                }
+            });
     }
 }
 
 impl Drop for JobHandle {
     fn drop(&mut self) {
-        self.close();
+        if self.closed {
+            return;
+        }
+        // An abrupt end (connection gone without CloseJob) detaches
+        // rather than closes, so the participant can reconnect and
+        // resume within the grace.
+        self.detach();
     }
 }

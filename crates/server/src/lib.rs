@@ -29,6 +29,12 @@
 //!   with per-batch stream-index receipts, and reassembly of streamed
 //!   shard results into a final clustering bit-identical to a local
 //!   batch [`run`](spechd_core::SpecHd::run) over the same spectra.
+//!   With a [`RetryPolicy`] set, clients survive connection loss:
+//!   participants are identified by a `client_id` that outlives the
+//!   TCP connection, submits are sequence-numbered so a re-sent batch
+//!   is re-acked rather than re-ingested, and the server replays
+//!   missed result frames on rejoin — a mid-stream disconnect leaves
+//!   the assembled outcome bit-identical to an undisturbed run.
 //! * [`search`] — the search job surface: shared
 //!   [`spechd_search::HvLibrary`] loading over `LoadLibrary` frames,
 //!   seal-on-first-query, and windowed packed scoring whose hits are
@@ -47,7 +53,9 @@ pub mod search;
 pub mod server;
 
 pub use assemble::{AssignmentAssembler, ServiceOutcome};
-pub use client::{ClientError, Connection, JobClient, QueryHits, SearchClient, SubmitReceipt};
+pub use client::{
+    ClientError, Connection, JobClient, QueryHits, RetryPolicy, SearchClient, SubmitReceipt,
+};
 pub use job::{JobError, JobHandle, JobRegistry};
 pub use protocol::{
     ErrorCode, Frame, FrameType, HitWire, JobConfig, JobStatsFrame, LibraryEntryWire, QueryWire,

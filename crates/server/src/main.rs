@@ -22,6 +22,11 @@ OPTIONS:
                             backpressure bound (default 1024)
     --max-frame-mb N        Reject frames with payloads above N MiB
                             (default 32)
+    --max-jobs N            Shed new jobs (retryable Busy) once N are
+                            live (default 1024)
+    --rejoin-grace-ms N     Keep a disconnected participant's job slot
+                            resumable for N ms; 0 makes a disconnect a
+                            close (default 2000)
     --help                  Show this help
 ";
 
@@ -58,6 +63,11 @@ fn main() {
             "--max-frame-mb" => {
                 let mb: u32 = parse_arg("--max-frame-mb", args.next());
                 config.max_frame_len = mb.saturating_mul(1024 * 1024);
+            }
+            "--max-jobs" => config.max_jobs = parse_arg("--max-jobs", args.next()),
+            "--rejoin-grace-ms" => {
+                config.rejoin_grace =
+                    Duration::from_millis(parse_arg("--rejoin-grace-ms", args.next()))
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

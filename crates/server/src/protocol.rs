@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"SPHD"
-//! 4       2     protocol version (little-endian u16, currently 1)
+//! 4       2     protocol version (little-endian u16, currently 2)
 //! 6       1     frame type (see [`FrameType`])
 //! 7       1     reserved (must be 0)
 //! 8       4     payload length in bytes (little-endian u32)
@@ -34,8 +34,10 @@ use std::io::{Read, Write};
 
 /// Frame magic: `b"SPHD"`.
 pub const MAGIC: [u8; 4] = *b"SPHD";
-/// Current protocol version.
-pub const VERSION: u16 = 1;
+/// Current protocol version. Version 2 added `client_id` to
+/// [`Frame::OpenJob`] and `seq` to [`Frame::Submit`]/[`Frame::SubmitAck`]
+/// — the identities that make reconnect-and-resume idempotent.
+pub const VERSION: u16 = 2;
 /// Header size in bytes (magic + version + type + reserved + length).
 pub const HEADER_LEN: usize = 12;
 /// Default cap on a frame's payload length: 32 MiB. At ~16 bytes per
@@ -129,40 +131,63 @@ impl FrameType {
     }
 }
 
-/// Error codes carried by [`Frame::Error`].
+/// Error codes carried by [`Frame::Error`], partitioned into two
+/// documented ranges:
+///
+/// * `0x01..=0x3F` — **fatal**: the request (and usually the
+///   connection) cannot succeed by being re-sent; the client must
+///   change something or give up.
+/// * `0x40..` — **retryable**: a transient server condition; the same
+///   request is expected to succeed after a bounded backoff
+///   (see `RetryPolicy` in this crate).
+///
+/// Both clients reject error codes outside the known set at decode time
+/// (`ErrorCode::from_wire` is total over known codes only), so an
+/// unknown code from a newer peer is a [`WireError::Malformed`], never a
+/// silently misclassified retry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum ErrorCode {
     /// The frame could not be parsed; the connection will be closed.
-    Malformed = 1,
+    Malformed = 0x01,
     /// A frame arrived in a state that does not allow it (e.g. `Submit`
     /// before `OpenJob`). The connection stays open.
-    ProtocolState = 2,
+    ProtocolState = 0x02,
     /// `OpenJob` named a job that is finalizing and cannot accept new
     /// participants.
-    JobClosed = 3,
+    JobClosed = 0x03,
     /// `OpenJob` tried to join an existing job with a different config.
-    ConfigMismatch = 4,
+    ConfigMismatch = 0x04,
     /// The connection sat idle (no open job, no frames) too long.
-    IdleTimeout = 5,
+    IdleTimeout = 0x05,
     /// A length prefix exceeded the server's frame cap.
-    Oversized = 6,
+    Oversized = 0x06,
     /// The server is shutting down.
-    ServerShutdown = 7,
+    ServerShutdown = 0x07,
+    /// The server is saturated (job registry full) and sheds this
+    /// request; the client should back off and retry.
+    Busy = 0x40,
 }
 
 impl ErrorCode {
     fn from_wire(byte: u8) -> Option<Self> {
         Some(match byte {
-            1 => Self::Malformed,
-            2 => Self::ProtocolState,
-            3 => Self::JobClosed,
-            4 => Self::ConfigMismatch,
-            5 => Self::IdleTimeout,
-            6 => Self::Oversized,
-            7 => Self::ServerShutdown,
+            0x01 => Self::Malformed,
+            0x02 => Self::ProtocolState,
+            0x03 => Self::JobClosed,
+            0x04 => Self::ConfigMismatch,
+            0x05 => Self::IdleTimeout,
+            0x06 => Self::Oversized,
+            0x07 => Self::ServerShutdown,
+            0x40 => Self::Busy,
             _ => return None,
         })
+    }
+
+    /// Whether this code falls in the retryable range (`>= 0x40`): the
+    /// same request may succeed after a bounded backoff.
+    pub fn is_retryable(self) -> bool {
+        (self as u8) >= 0x40
     }
 }
 
@@ -359,9 +384,18 @@ pub struct SearchStatsFrame {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Open a new job or join an existing one (configs must match).
+    ///
+    /// `client_id` names the *participant*, independent of the TCP
+    /// connection: a client that reconnects after a network failure
+    /// re-sends `OpenJob` with its original `client_id` and resumes its
+    /// slot — the server replays any result frames it missed and
+    /// deduplicates re-sent submits by `seq`.
     OpenJob {
         /// Caller-chosen job identity; all participants use the same id.
         job_id: u64,
+        /// Caller-chosen participant identity within the job, stable
+        /// across reconnects. Two live connections must not share one.
+        client_id: u64,
         /// The job's pipeline configuration.
         config: JobConfig,
     },
@@ -369,6 +403,12 @@ pub enum Frame {
     Submit {
         /// Must match the connection's open job.
         job_id: u64,
+        /// Per-participant submit sequence number, starting at 0 and
+        /// incremented per batch. A re-sent batch (after a lost ack)
+        /// carries the same `seq`; the server ingests each `seq` once
+        /// and re-acks duplicates — that is what makes reconnect-resume
+        /// idempotent.
+        seq: u64,
         /// The spectra, appended to the job's stream in batch order.
         spectra: Vec<Spectrum>,
     },
@@ -421,6 +461,9 @@ pub enum Frame {
     SubmitAck {
         /// The acknowledged job.
         job_id: u64,
+        /// The acknowledged batch's sequence number, echoing
+        /// [`Frame::Submit::seq`] (also on re-acks of duplicates).
+        seq: u64,
         /// First stream index assigned to the batch.
         base: u64,
         /// Number of spectra in the batch.
@@ -523,9 +566,15 @@ pub enum WireError {
         /// The reader's cap.
         max: u32,
     },
-    /// The payload (or header) did not decode: truncated, trailing
-    /// bytes, invalid values, or an unknown frame type.
+    /// The payload (or header) did not decode: trailing bytes, invalid
+    /// values, or an unknown frame type. The bytes arrived but mean
+    /// nothing — a protocol bug or corruption, never worth a retry.
     Malformed(String),
+    /// The stream ended (or stalled) in the middle of a frame: the
+    /// bytes that *did* arrive were fine, delivery failed. For a client
+    /// this is a transport fault like [`WireError::Io`] — retryable —
+    /// even though the partial frame itself is unusable.
+    Truncated(String),
 }
 
 impl WireError {
@@ -553,6 +602,7 @@ impl std::fmt::Display for WireError {
                 write!(f, "frame length {len} exceeds cap {max}")
             }
             WireError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            WireError::Truncated(msg) => write!(f, "truncated frame: {msg}"),
         }
     }
 }
@@ -636,7 +686,11 @@ impl Enc {
 pub fn encode_payload(frame: &Frame) -> Vec<u8> {
     let mut e = Enc::new();
     match frame {
-        Frame::OpenJob { job_id, config } => {
+        Frame::OpenJob {
+            job_id,
+            client_id,
+            config,
+        } => {
             e.u64(*job_id);
             e.u32(config.dim);
             e.f64(config.resolution);
@@ -644,9 +698,17 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             e.u8(linkage_to_wire(config.linkage));
             e.u32(config.watermark);
             e.u32(config.workers);
+            // v2 addition, kept at the tail so the config field offsets
+            // match v1 (and the offset-based decode tests).
+            e.u64(*client_id);
         }
-        Frame::Submit { job_id, spectra } => {
+        Frame::Submit {
+            job_id,
+            seq,
+            spectra,
+        } => {
             e.u64(*job_id);
+            e.u64(*seq);
             e.u32(spectra.len() as u32);
             for s in spectra {
                 e.spectrum(s);
@@ -690,10 +752,12 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
         }
         Frame::SubmitAck {
             job_id,
+            seq,
             base,
             count,
         } => {
             e.u64(*job_id);
+            e.u64(*seq);
             e.u64(*base);
             e.u32(*count);
         }
@@ -992,16 +1056,26 @@ pub fn decode_payload(frame_type: FrameType, payload: &[u8]) -> Result<Frame, Wi
                     config.watermark
                 )));
             }
-            Frame::OpenJob { job_id, config }
+            let client_id = d.u64()?;
+            Frame::OpenJob {
+                job_id,
+                client_id,
+                config,
+            }
         }
         FrameType::Submit => {
             let job_id = d.u64()?;
+            let seq = d.u64()?;
             let n = d.len_prefix(18)?; // min spectrum: empty title + fixed fields
             let mut spectra = Vec::with_capacity(n);
             for _ in 0..n {
                 spectra.push(d.spectrum()?);
             }
-            Frame::Submit { job_id, spectra }
+            Frame::Submit {
+                job_id,
+                seq,
+                spectra,
+            }
         }
         FrameType::Flush => Frame::Flush { job_id: d.u64()? },
         FrameType::CloseJob => Frame::CloseJob { job_id: d.u64()? },
@@ -1063,6 +1137,7 @@ pub fn decode_payload(frame_type: FrameType, payload: &[u8]) -> Result<Frame, Wi
         }
         FrameType::SubmitAck => Frame::SubmitAck {
             job_id: d.u64()?,
+            seq: d.u64()?,
             base: d.u64()?,
             count: d.u32()?,
         },
@@ -1176,7 +1251,7 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
 
 /// Reads one frame from a blocking reader. Returns [`WireError::Closed`]
 /// on a clean EOF at a frame boundary; an EOF mid-frame is
-/// [`WireError::Malformed`].
+/// [`WireError::Truncated`].
 pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Frame, WireError> {
     let mut header = [0u8; HEADER_LEN];
     // First byte separately: EOF here is a clean close, EOF later is a
@@ -1197,7 +1272,7 @@ pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Frame, WireError> {
 
 fn truncated(e: std::io::Error, what: &str) -> WireError {
     if e.kind() == std::io::ErrorKind::UnexpectedEof {
-        WireError::malformed(format!("truncated frame: EOF inside {what}"))
+        WireError::Truncated(format!("EOF inside {what}"))
     } else {
         WireError::Io(e)
     }
@@ -1221,10 +1296,12 @@ mod tests {
         vec![
             Frame::OpenJob {
                 job_id: 0xDEAD_BEEF_0001,
+                client_id: 0xC11E_0001,
                 config: JobConfig::default(),
             },
             Frame::Submit {
                 job_id: 7,
+                seq: 0,
                 spectra: vec![
                     spectrum("scan=1", 500.5, 2, None),
                     spectrum("scan=2", 611.25, 3, Some(12.5)),
@@ -1232,6 +1309,7 @@ mod tests {
             },
             Frame::Submit {
                 job_id: 7,
+                seq: u64::MAX,
                 spectra: Vec::new(),
             },
             Frame::Flush { job_id: 7 },
@@ -1273,6 +1351,7 @@ mod tests {
             },
             Frame::SubmitAck {
                 job_id: 7,
+                seq: 3,
                 base: 1 << 40,
                 count: 1024,
             },
@@ -1341,6 +1420,10 @@ mod tests {
                 code: ErrorCode::ConfigMismatch,
                 message: "job 7 exists with a different config".into(),
             },
+            Frame::Error {
+                code: ErrorCode::Busy,
+                message: "job registry is full; retry after backoff".into(),
+            },
         ]
     }
 
@@ -1376,7 +1459,7 @@ mod tests {
             let bytes = encode_frame(&frame);
             for cut in 1..bytes.len() {
                 match decode_frame(&bytes[..cut]) {
-                    Err(WireError::Malformed(_)) => {}
+                    Err(WireError::Malformed(_) | WireError::Truncated(_)) => {}
                     Err(other) => panic!("cut={cut} of {frame:?}: unexpected {other}"),
                     Ok(f) => panic!("cut={cut} of {frame:?} decoded as {f:?}"),
                 }
@@ -1423,12 +1506,44 @@ mod tests {
 
     #[test]
     fn wrong_version_is_rejected() {
-        let mut bytes = encode_frame(&Frame::Flush { job_id: 1 });
-        bytes[4..6].copy_from_slice(&2u16.to_le_bytes());
-        assert!(matches!(
-            decode_frame(&bytes),
-            Err(WireError::BadVersion(2))
-        ));
+        for version in [VERSION - 1, VERSION + 1] {
+            let mut bytes = encode_frame(&Frame::Flush { job_id: 1 });
+            bytes[4..6].copy_from_slice(&version.to_le_bytes());
+            assert!(matches!(
+                decode_frame(&bytes),
+                Err(WireError::BadVersion(v)) if v == version
+            ));
+        }
+    }
+
+    #[test]
+    fn error_code_ranges_classify_retryability() {
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::ProtocolState,
+            ErrorCode::JobClosed,
+            ErrorCode::ConfigMismatch,
+            ErrorCode::IdleTimeout,
+            ErrorCode::Oversized,
+            ErrorCode::ServerShutdown,
+        ] {
+            assert!(!code.is_retryable(), "{code:?} is in the fatal range");
+        }
+        assert!(ErrorCode::Busy.is_retryable());
+        // Unknown codes — even ones inside the retryable range — are
+        // rejected at decode, never misclassified or silently retried.
+        for byte in [0u8, 8, 0x3F, 0x41, 0xFF] {
+            let mut e = Enc::new();
+            e.u8(byte);
+            e.str("mystery");
+            assert!(
+                matches!(
+                    decode_payload(FrameType::Error, &e.buf),
+                    Err(WireError::Malformed(_))
+                ),
+                "unknown error code {byte} must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -1460,6 +1575,7 @@ mod tests {
     fn absurd_interior_counts_are_rejected() {
         let mut payload = Vec::new();
         payload.extend_from_slice(&7u64.to_le_bytes()); // job id
+        payload.extend_from_slice(&0u64.to_le_bytes()); // seq
         payload.extend_from_slice(&u32::MAX.to_le_bytes()); // spectrum count
         assert!(matches!(
             decode_payload(FrameType::Submit, &payload),
@@ -1472,6 +1588,7 @@ mod tests {
         // A spectrum whose precursor m/z is NaN fails Precursor::new.
         let mut e = Enc::new();
         e.u64(7); // job id
+        e.u64(0); // seq
         e.u32(1); // one spectrum
         e.str("bad");
         e.f64(f64::NAN);
@@ -1498,6 +1615,7 @@ mod tests {
     fn invalid_job_configs_are_rejected() {
         let mut bad_dim = encode_payload(&Frame::OpenJob {
             job_id: 1,
+            client_id: 7,
             config: JobConfig::default(),
         });
         bad_dim[8..12].copy_from_slice(&0u32.to_le_bytes());
@@ -1508,6 +1626,7 @@ mod tests {
 
         let mut bad_linkage = encode_payload(&Frame::OpenJob {
             job_id: 1,
+            client_id: 7,
             config: JobConfig::default(),
         });
         // linkage byte sits after job id (8) + dim (4) + two f64s (16).
@@ -1523,7 +1642,13 @@ mod tests {
     /// allocated or spawned — and accept the documented boundaries.
     #[test]
     fn hostile_stream_knobs_are_rejected_at_decode() {
-        let open = |config: JobConfig| encode_payload(&Frame::OpenJob { job_id: 1, config });
+        let open = |config: JobConfig| {
+            encode_payload(&Frame::OpenJob {
+                job_id: 1,
+                client_id: 7,
+                config,
+            })
+        };
         let rejected = [
             JobConfig {
                 workers: u32::MAX, // ~4B requested pipeline threads

@@ -51,6 +51,9 @@ struct SearchState {
     queries: u64,
     hits: u64,
     next_query_index: u64,
+    /// Bumped on every join; lets a pending linger-removal recognize it
+    /// has been superseded by a rejoin.
+    generation: u64,
 }
 
 /// One search job: a shared library and its usage counters.
@@ -78,6 +81,7 @@ impl SearchJob {
 /// The server's table of live search jobs.
 pub struct SearchRegistry {
     jobs: Mutex<HashMap<u64, Arc<SearchJob>>>,
+    linger: std::time::Duration,
 }
 
 impl Default for SearchRegistry {
@@ -87,10 +91,22 @@ impl Default for SearchRegistry {
 }
 
 impl SearchRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry that removes a job the instant its
+    /// last participant leaves. Servers that want reconnecting clients
+    /// to find their library still loaded use
+    /// [`SearchRegistry::with_linger`].
     pub fn new() -> Self {
+        Self::with_linger(std::time::Duration::ZERO)
+    }
+
+    /// Creates an empty registry whose jobs survive `linger` after the
+    /// last participant leaves, so a client whose connection dropped
+    /// mid-session can reconnect and rejoin the job (library and all)
+    /// instead of starting over.
+    pub fn with_linger(linger: std::time::Duration) -> Self {
         Self {
             jobs: Mutex::new(HashMap::new()),
+            linger,
         }
     }
 
@@ -120,6 +136,7 @@ impl SearchRegistry {
             }
             let mut state = job.state.lock().expect("search state poisoned");
             state.participants += 1;
+            state.generation += 1;
             drop(state);
             job
         } else {
@@ -135,6 +152,7 @@ impl SearchRegistry {
                     queries: 0,
                     hits: 0,
                     next_query_index: 0,
+                    generation: 0,
                 }),
             });
             jobs.insert(job_id, Arc::clone(&job));
@@ -275,9 +293,35 @@ impl Drop for SearchHandle {
         let mut jobs = self.registry.jobs.lock().expect("search table poisoned");
         let mut state = self.job.state.lock().expect("search state poisoned");
         state.participants = state.participants.saturating_sub(1);
-        if state.participants == 0 {
-            jobs.remove(&self.job.id);
+        if state.participants > 0 {
+            return;
         }
+        if self.registry.linger.is_zero() {
+            jobs.remove(&self.job.id);
+            return;
+        }
+        let generation = state.generation;
+        drop(state);
+        drop(jobs);
+        // Keep the empty job around for the linger so a reconnecting
+        // participant finds its library intact; a rejoin in the
+        // meantime (participants > 0 again) cancels the removal.
+        let registry = Arc::clone(&self.registry);
+        let job_id = self.job.id;
+        let _ = std::thread::Builder::new()
+            .name(format!("spechd-search-{job_id}-linger"))
+            .spawn(move || {
+                std::thread::sleep(registry.linger);
+                let mut jobs = registry.jobs.lock().expect("search table poisoned");
+                if let Some(job) = jobs.get(&job_id) {
+                    let state = job.state.lock().expect("search state poisoned");
+                    let expired = state.participants == 0 && state.generation == generation;
+                    drop(state);
+                    if expired {
+                        jobs.remove(&job_id);
+                    }
+                }
+            });
     }
 }
 

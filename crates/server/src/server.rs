@@ -65,6 +65,18 @@ pub struct ServerConfig {
     /// Also the writer's per-write deadline: a peer whose socket stops
     /// accepting bytes this long is disconnected.
     pub frame_deadline: Duration,
+    /// Load-shedding bound: at most this many clustering jobs may be
+    /// live at once. An `OpenJob` that would create one more is refused
+    /// with the **retryable** [`ErrorCode::Busy`] — clients back off and
+    /// retry instead of the server over-committing memory and threads.
+    pub max_jobs: usize,
+    /// How long a disconnected participant's job slot stays resumable:
+    /// a connection that dies without `CloseJob` can reconnect within
+    /// this window, re-open the job with the same `client_id`, and
+    /// resume (missed result frames are replayed, submit sequencing
+    /// continues). Zero restores disconnect-is-close. Also the linger a
+    /// finished job (and an emptied search job) stays joinable for.
+    pub rejoin_grace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +88,8 @@ impl Default for ServerConfig {
             outbound_queue_depth: 4096,
             poll_interval: Duration::from_millis(50),
             frame_deadline: Duration::from_secs(10),
+            max_jobs: 1024,
+            rejoin_grace: Duration::from_secs(2),
         }
     }
 }
@@ -93,12 +107,17 @@ impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port).
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        let registry = Arc::new(JobRegistry::new(config.queue_depth));
+        let registry = Arc::new(JobRegistry::with_policy(
+            config.queue_depth,
+            config.max_jobs,
+            config.rejoin_grace,
+        ));
+        let search_registry = Arc::new(SearchRegistry::with_linger(config.rejoin_grace));
         Ok(Self {
             listener,
             config,
             registry,
-            search_registry: Arc::new(SearchRegistry::new()),
+            search_registry,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -364,9 +383,7 @@ fn truncation(e: std::io::Error, what: &str) -> WireError {
     match e.kind() {
         std::io::ErrorKind::UnexpectedEof
         | std::io::ErrorKind::WouldBlock
-        | std::io::ErrorKind::TimedOut => {
-            WireError::Malformed(format!("truncated frame: stalled inside {what}"))
-        }
+        | std::io::ErrorKind::TimedOut => WireError::Truncated(format!("stalled inside {what}")),
         _ => WireError::Io(e),
     }
 }
@@ -427,7 +444,11 @@ fn dispatch(
         });
     };
     match frame {
-        Frame::OpenJob { job_id, config } => {
+        Frame::OpenJob {
+            job_id,
+            client_id,
+            config,
+        } => {
             // A settled handle (closed, job finished) no longer
             // occupies the connection: vacate it so jobs can run
             // sequentially on one socket.
@@ -438,7 +459,7 @@ fn dispatch(
                 state_error("connection already has an open job".into());
                 return;
             }
-            match registry.open_or_join(job_id, config, out_tx.clone()) {
+            match registry.open_or_join(job_id, client_id, config, out_tx.clone()) {
                 Ok(h) => {
                     reply(Frame::JobStats(h.stats()));
                     *handle = Some(h);
@@ -449,10 +470,15 @@ fn dispatch(
                 }),
             }
         }
-        Frame::Submit { job_id, spectra } => match handle {
-            Some(h) if h.job_id() == job_id => match h.submit(spectra) {
+        Frame::Submit {
+            job_id,
+            seq,
+            spectra,
+        } => match handle {
+            Some(h) if h.job_id() == job_id => match h.submit(seq, spectra) {
                 Ok((base, count)) => reply(Frame::SubmitAck {
                     job_id,
+                    seq,
                     base,
                     count,
                 }),

@@ -11,8 +11,14 @@ use spechd_hdc::PackError;
 /// is no partial state to observe on error.
 #[derive(Debug)]
 pub enum StoreError {
-    /// Reading or writing the backing file failed.
-    Io(std::io::Error),
+    /// Reading or writing a backing file failed; `path` names the file
+    /// involved.
+    Io {
+        /// The file being read, written, renamed or synced.
+        path: std::path::PathBuf,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
     /// The file does not start with the `SHPK` magic.
     BadMagic {
         /// The four bytes found where the magic was expected.
@@ -100,7 +106,9 @@ pub enum StoreError {
 impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Io { path, source } => {
+                write!(f, "store i/o error at {}: {source}", path.display())
+            }
             StoreError::BadMagic { found } => {
                 write!(f, "bad magic {found:02x?} (expected \"SHPK\")")
             }
@@ -154,16 +162,20 @@ impl std::fmt::Display for StoreError {
 impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            StoreError::Io(e) => Some(e),
+            StoreError::Io { source, .. } => Some(source),
             StoreError::Pack(e) => Some(e),
             _ => None,
         }
     }
 }
 
-impl From<std::io::Error> for StoreError {
-    fn from(e: std::io::Error) -> Self {
-        StoreError::Io(e)
+impl StoreError {
+    /// Wraps an I/O failure with the path it happened on.
+    pub fn io(path: impl Into<std::path::PathBuf>, source: std::io::Error) -> Self {
+        StoreError::Io {
+            path: path.into(),
+            source,
+        }
     }
 }
 

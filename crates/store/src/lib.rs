@@ -22,6 +22,15 @@
 //!   as typed variants: truncation, bad magic, version skew, dim/stride
 //!   mismatch, checksum mismatch, internal inconsistency. Loading never
 //!   panics and never yields partial state.
+//! * [`io`] — the crash-safety layer: [`ClusterStore::save`] routes all
+//!   file I/O through the pluggable [`StoreIo`] trait and commits via
+//!   temp-file write + fsync + atomic rename + directory fsync, keeping
+//!   the previous generation as `.bak`; [`ClusterStore::load_or_recover`]
+//!   falls back to the newest generation that passes the SHPK checksum
+//!   and reports what it recovered. [`FaultIo`] injects ENOSPC, short
+//!   writes, and crash-after-byte-*k* so the durability matrix in
+//!   `tests/tests/store_durability.rs` can prove "any interrupted save
+//!   leaves a loadable store" without crashing a real process.
 //!
 //! ## On-disk format (`SHPK`, version 1, little-endian)
 //!
@@ -58,9 +67,13 @@
 
 mod error;
 mod format;
+pub mod io;
 mod store;
 
 pub use error::StoreError;
+pub use io::{
+    DiskIo, FaultIo, FaultKind, FaultPlan, MemIo, RecoveryReport, RecoverySource, StoreIo,
+};
 pub use store::{ClusterStore, StoredBucket, StoredCluster, StoredMember};
 
 pub use spechd_hdc::HvPack;

@@ -1,6 +1,7 @@
 //! The in-memory cluster store model.
 
 use crate::format;
+use crate::io::{DiskIo, RecoveryReport, RecoverySource, StoreIo};
 use crate::StoreError;
 use spechd_cluster::{ClusterAssignment, HacStats, ShardLabelMerger};
 use spechd_hdc::HvPack;
@@ -288,18 +289,113 @@ impl ClusterStore {
         format::from_bytes(bytes)
     }
 
-    /// Writes the store to `path` ([`ClusterStore::to_bytes`] + one
-    /// `fs::write`).
+    /// Durably writes the store to `path` via [`DiskIo`]:
+    /// [`ClusterStore::to_bytes`] goes to `<path>.tmp`, is fsynced,
+    /// the previous generation (if any) is rotated to `<path>.bak`, the
+    /// temp file is atomically renamed into place, and the parent
+    /// directory is fsynced. A crash or I/O failure at any point leaves
+    /// at least one checksum-valid generation recoverable through
+    /// [`ClusterStore::load_or_recover`]; on `Ok` the new generation is
+    /// committed at `path` and the previous one survives as `.bak`.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
-        std::fs::write(path, self.to_bytes())?;
+        self.save_with(&DiskIo, path)
+    }
+
+    /// [`ClusterStore::save`] over an explicit [`StoreIo`] backend — the
+    /// injectable seam the fault-injection suites drive.
+    pub fn save_with<I: StoreIo + ?Sized>(
+        &self,
+        io: &I,
+        path: impl AsRef<Path>,
+    ) -> Result<(), StoreError> {
+        let path = path.as_ref();
+        let bytes = self.to_bytes();
+        let tmp = crate::io::pending_path(path);
+        io.write(&tmp, &bytes)
+            .map_err(|e| StoreError::io(&tmp, e))?;
+        io.sync_file(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+        if io.exists(path) {
+            let bak = crate::io::backup_path(path);
+            io.rename(path, &bak).map_err(|e| StoreError::io(path, e))?;
+        }
+        io.rename(&tmp, path).map_err(|e| StoreError::io(&tmp, e))?;
+        io.sync_parent_dir(path)
+            .map_err(|e| StoreError::io(path, e))?;
         Ok(())
     }
 
     /// Reads a store back from `path`; the round trip is bit-identical
     /// (`load(save(s)) == s` and re-saving reproduces the same bytes).
+    /// Fails if the primary file is missing or damaged — use
+    /// [`ClusterStore::load_or_recover`] to fall back to surviving
+    /// generations after a crash.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, StoreError> {
-        let bytes = std::fs::read(path)?;
+        Self::load_with(&DiskIo, path)
+    }
+
+    /// [`ClusterStore::load`] over an explicit [`StoreIo`] backend.
+    pub fn load_with<I: StoreIo + ?Sized>(
+        io: &I,
+        path: impl AsRef<Path>,
+    ) -> Result<Self, StoreError> {
+        let path = path.as_ref();
+        let bytes = io.read(path).map_err(|e| StoreError::io(path, e))?;
         Self::from_bytes(&bytes)
+    }
+
+    /// Loads `path`, falling back to the newest surviving generation
+    /// when the primary is missing or fails SHPK validation: first the
+    /// pending `<path>.tmp` (a fully-synced *newer* generation whose
+    /// commit rename was interrupted), then the previous `<path>.bak`.
+    ///
+    /// On success the [`RecoveryReport`] says which generation was used
+    /// and, when it was not the primary, why the primary was rejected.
+    /// Fails with the primary's error only when no candidate passes the
+    /// checksum — recovery never yields a partially-written store.
+    pub fn load_or_recover(path: impl AsRef<Path>) -> Result<(Self, RecoveryReport), StoreError> {
+        Self::load_or_recover_with(&DiskIo, path)
+    }
+
+    /// [`ClusterStore::load_or_recover`] over an explicit [`StoreIo`]
+    /// backend.
+    pub fn load_or_recover_with<I: StoreIo + ?Sized>(
+        io: &I,
+        path: impl AsRef<Path>,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        let path = path.as_ref();
+        let primary_error = match Self::load_with(io, path) {
+            Ok(store) => {
+                return Ok((
+                    store,
+                    RecoveryReport {
+                        source: RecoverySource::Primary,
+                        loaded_from: path.to_path_buf(),
+                        primary_error: None,
+                    },
+                ))
+            }
+            Err(e) => e,
+        };
+        let candidates = [
+            (RecoverySource::Pending, crate::io::pending_path(path)),
+            (RecoverySource::Backup, crate::io::backup_path(path)),
+        ];
+        for (source, candidate) in candidates {
+            let Ok(bytes) = io.read(&candidate) else {
+                continue;
+            };
+            if let Ok(store) = Self::from_bytes(&bytes) {
+                return Ok((
+                    store,
+                    RecoveryReport {
+                        source,
+                        loaded_from: candidate,
+                        primary_error: Some(Box::new(primary_error)),
+                    },
+                ));
+            }
+        }
+        Err(primary_error)
     }
 
     pub(crate) fn buckets(&self) -> &BTreeMap<i64, StoredBucket> {

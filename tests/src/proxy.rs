@@ -1,0 +1,233 @@
+//! A TCP fault proxy for chaos-testing the service path.
+//!
+//! [`FaultProxy`] sits between a client and a `spechd-server`, forwarding
+//! bytes in both directions while injecting transport faults the real
+//! network can produce:
+//!
+//! * **kill after N bytes** in either direction — the connection dies
+//!   mid-frame, exactly where the byte budget lands (both sockets are
+//!   shut down, so each side observes an abrupt disconnect);
+//! * **chunking** — forwarded bytes are split into `chunk`-sized TCP
+//!   writes, so protocol frames arrive fragmented at arbitrary
+//!   boundaries;
+//! * **delay** — a fixed pause between forwarded chunks, stretching
+//!   frames out in time.
+//!
+//! Faults are scheduled per **connection**: each accepted connection pops
+//! the next [`ProxyPlan`] from the queue ([`FaultProxy::push_plan`]), and
+//! connections beyond the queue pass bytes through unmodified — which is
+//! what lets a reconnecting client resume over the same proxy address
+//! after its first connection was killed.
+//!
+//! Everything is deterministic in terms of *byte counts*; no randomness
+//! is involved, so a failing chaos test replays exactly.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Fault schedule for one proxied connection. The default plan is a
+/// transparent pass-through.
+#[derive(Debug, Clone, Default)]
+pub struct ProxyPlan {
+    /// Kill the connection once this many client→server bytes have been
+    /// forwarded (the budget'th byte is the first one lost).
+    pub kill_after_client_bytes: Option<u64>,
+    /// Kill the connection once this many server→client bytes have been
+    /// forwarded.
+    pub kill_after_server_bytes: Option<u64>,
+    /// Forward in writes of at most this many bytes, splitting frames at
+    /// arbitrary boundaries (Nagle is disabled, so chunks tend to travel
+    /// as separate segments).
+    pub chunk: Option<usize>,
+    /// Sleep this long between forwarded chunks.
+    pub delay: Option<Duration>,
+}
+
+impl ProxyPlan {
+    /// A plan that kills the connection after `n` client→server bytes.
+    pub fn kill_client_to_server_after(n: u64) -> Self {
+        Self {
+            kill_after_client_bytes: Some(n),
+            ..Self::default()
+        }
+    }
+
+    /// A plan that kills the connection after `n` server→client bytes.
+    pub fn kill_server_to_client_after(n: u64) -> Self {
+        Self {
+            kill_after_server_bytes: Some(n),
+            ..Self::default()
+        }
+    }
+
+    /// A plan that fragments both directions into `chunk`-byte writes
+    /// with `delay` between them.
+    pub fn fragmented(chunk: usize, delay: Duration) -> Self {
+        Self {
+            chunk: Some(chunk.max(1)),
+            delay: Some(delay),
+            ..Self::default()
+        }
+    }
+}
+
+/// A running TCP fault proxy in front of one upstream address.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    plans: Arc<Mutex<VecDeque<ProxyPlan>>>,
+}
+
+impl FaultProxy {
+    /// Starts a proxy on an ephemeral local port forwarding to
+    /// `upstream`. Connections consume queued plans in FIFO order;
+    /// without a queued plan they pass through unmodified.
+    pub fn start(upstream: SocketAddr) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let plans: Arc<Mutex<VecDeque<ProxyPlan>>> = Arc::default();
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_plans = Arc::clone(&plans);
+        let accept_thread = std::thread::Builder::new()
+            .name("fault-proxy-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(client) = stream else { continue };
+                    let plan = accept_plans.lock().unwrap().pop_front().unwrap_or_default();
+                    let Ok(server) = TcpStream::connect(upstream) else {
+                        let _ = client.shutdown(Shutdown::Both);
+                        continue;
+                    };
+                    let _ = client.set_nodelay(true);
+                    let _ = server.set_nodelay(true);
+                    spawn_pumps(client, server, plan);
+                }
+            })
+            .expect("spawn proxy accept thread");
+        Ok(Self {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            plans,
+        })
+    }
+
+    /// The proxy's listening address — point clients here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Queues the fault plan for the next not-yet-accepted connection.
+    pub fn push_plan(&self, plan: ProxyPlan) {
+        self.plans.lock().unwrap().push_back(plan);
+    }
+
+    /// Stops accepting. Existing pump threads die with their sockets.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(thread) = self.accept_thread.take() else {
+            return;
+        };
+        self.shutdown.store(true, Ordering::Release);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let _ = thread.join();
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One direction's fault knobs, extracted from the connection plan.
+struct PumpPlan {
+    kill_after: Option<u64>,
+    chunk: Option<usize>,
+    delay: Option<Duration>,
+}
+
+fn spawn_pumps(client: TcpStream, server: TcpStream, plan: ProxyPlan) {
+    // Each pump holds a clone of BOTH sockets so a budget exhausted in
+    // one direction tears the whole connection down, like a pulled plug.
+    let (Ok(client2), Ok(server2)) = (client.try_clone(), server.try_clone()) else {
+        let _ = client.shutdown(Shutdown::Both);
+        let _ = server.shutdown(Shutdown::Both);
+        return;
+    };
+    let c2s = PumpPlan {
+        kill_after: plan.kill_after_client_bytes,
+        chunk: plan.chunk,
+        delay: plan.delay,
+    };
+    let s2c = PumpPlan {
+        kill_after: plan.kill_after_server_bytes,
+        chunk: plan.chunk,
+        delay: plan.delay,
+    };
+    // Pumps exit when either socket dies; threads are detached — they
+    // hold nothing but the sockets.
+    let _ = std::thread::Builder::new()
+        .name("fault-proxy-c2s".into())
+        .spawn(move || pump(client, server, c2s));
+    let _ = std::thread::Builder::new()
+        .name("fault-proxy-s2c".into())
+        .spawn(move || pump(server2, client2, s2c));
+}
+
+/// Copies `from` → `to` honoring the plan, then shuts both down.
+fn pump(mut from: TcpStream, mut to: TcpStream, plan: PumpPlan) {
+    let mut remaining = plan.kill_after;
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let mut bytes = &buf[..n];
+        if let Some(budget) = &mut remaining {
+            let allowed = usize::try_from(*budget)
+                .unwrap_or(usize::MAX)
+                .min(bytes.len());
+            *budget -= allowed as u64;
+            let doomed = allowed < bytes.len();
+            bytes = &bytes[..allowed];
+            if forward(&mut to, bytes, &plan).is_err() || doomed {
+                break;
+            }
+        } else if forward(&mut to, bytes, &plan).is_err() {
+            break;
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+fn forward(to: &mut TcpStream, bytes: &[u8], plan: &PumpPlan) -> std::io::Result<()> {
+    let chunk = plan.chunk.unwrap_or(usize::MAX).max(1);
+    let mut first = true;
+    for piece in bytes.chunks(chunk) {
+        if !first {
+            if let Some(delay) = plan.delay {
+                std::thread::sleep(delay);
+            }
+        }
+        first = false;
+        to.write_all(piece)?;
+        to.flush()?;
+    }
+    Ok(())
+}

@@ -233,6 +233,7 @@ fn state_errors_do_not_kill_the_connection() {
     stream
         .write_all(&encode_frame(&Frame::Submit {
             job_id: 9,
+            seq: 0,
             spectra: Vec::new(),
         }))
         .expect("write premature submit");
@@ -245,6 +246,7 @@ fn state_errors_do_not_kill_the_connection() {
     stream
         .write_all(&encode_frame(&Frame::OpenJob {
             job_id: 9,
+            client_id: 1,
             config: JobConfig::default(),
         }))
         .expect("write open");
@@ -284,6 +286,7 @@ fn connection_can_run_sequential_jobs() {
         stream
             .write_all(&encode_frame(&Frame::OpenJob {
                 job_id: job,
+                client_id: 1,
                 config: JobConfig::default(),
             }))
             .expect("write open");
@@ -319,10 +322,12 @@ fn stalled_subscriber_is_dropped_not_buffered() {
     let registry = Arc::new(JobRegistry::new(8192));
     let (tx, rx) = mpsc::sync_channel(FANOUT_BOUND);
     let mut handle = registry
-        .open_or_join(1, JobConfig::default(), tx)
+        .open_or_join(1, 1, JobConfig::default(), tx)
         .expect("open job");
     let dataset = synthetic_dataset(240, 0x57A1);
-    handle.submit(dataset.spectra().to_vec()).expect("submit");
+    handle
+        .submit(0, dataset.spectra().to_vec())
+        .expect("submit");
     handle.close();
 
     // Joins the pipeline: hangs here if the stalled subscriber blocked it.

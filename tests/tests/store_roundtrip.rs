@@ -65,9 +65,15 @@ fn reloaded_store_continues_clustering_identically() {
 }
 
 #[test]
-fn missing_file_is_io_error() {
-    let err = ClusterStore::load(temp_path("never-written")).unwrap_err();
-    assert!(matches!(err, StoreError::Io(_)), "{err}");
+fn missing_file_is_io_error_naming_the_path() {
+    let path = temp_path("never-written");
+    let err = ClusterStore::load(&path).unwrap_err();
+    assert!(matches!(err, StoreError::Io { .. }), "{err}");
+    let msg = err.to_string();
+    assert!(
+        msg.contains(path.to_string_lossy().as_ref()),
+        "i/o error must name the file involved: {msg}"
+    );
 }
 
 #[test]
