@@ -1,0 +1,289 @@
+//! Emits machine-readable incremental-service benchmarks as
+//! `BENCH_pr10.json`: the update-latency-vs-archive-size curve — one
+//! fixed-size installment folded into persistent stores grown to a
+//! ladder of archive sizes — plus the medoid refresh / compaction pass
+//! at the largest archive and the served update round trip (connect,
+//! `OpenStore`, `SubmitIncremental`, ack) over loopback against its
+//! library twin.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_pr10 [--smoke] [--out PATH]
+//! ```
+//!
+//! The full run grows the archive past 10^5 spectra; `--smoke` shrinks
+//! the ladder for the CI regression gate (`--out` defaults to
+//! `BENCH_pr10.json`). Output is a JSON array of
+//! `{kernel, n, dim, threads, ns_per_op}` records where `n` is the
+//! pre-update **archive size** for the curve kernels; `bench_gate`
+//! compares two such files with `batch_pipeline` as the
+//! machine-normalizing reference.
+//!
+//! Before any timing, the served path is checked against the library:
+//! every `SubmitIncremental` ack streamed back by a real `spechd-server`
+//! must be **bit-identical** (base id, kept set, labels) to the same
+//! installment folded locally with [`SpecHd::run_incremental`], and the
+//! grown store must round-trip bit-identically through SHPK bytes — a
+//! faster-but-different service path must fail the bench.
+
+use spechd_bench::kernel_bench::{measure_interleaved, write_records, Kernel, KernelRecord};
+use spechd_core::{ClusterStore, SpecHd};
+use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+use spechd_ms::{Spectrum, SpectrumDataset};
+use spechd_server::{JobConfig, Server, ServerConfig, StoreClient};
+use std::hint::black_box;
+use std::time::Duration;
+
+const DIM: usize = 2048;
+
+fn main() {
+    // Archive-size ladder, one curve point per rung; the last rung of
+    // the full run crosses 10^5 spectra in the store.
+    let mut ladder: Vec<usize> = vec![10_000, 25_000, 50_000, 100_000];
+    let mut update = 1_000usize;
+    let mut samples = 5usize;
+    let mut out_path = String::from("BENCH_pr10.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                ladder = vec![150, 300, 600, 1200];
+                update = 100;
+                samples = 3;
+            }
+            "--out" => {
+                out_path = args.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_pr10 [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let archive_max = *ladder.last().expect("non-empty ladder");
+    let total = archive_max + update;
+    let union = SyntheticGenerator::new(SyntheticConfig {
+        num_spectra: total,
+        num_peptides: (total / 5).max(10),
+        seed: 0x5BEC10,
+        ..SyntheticConfig::default()
+    })
+    .generate();
+    let spectra: Vec<Spectrum> = union.spectra().to_vec();
+    let (archive_spectra, update_spectra) = spectra.split_at(archive_max);
+    let update_part = SpectrumDataset::from_spectra(update_spectra.to_vec());
+
+    let job_config = JobConfig::default();
+    let engine = SpecHd::new(job_config.pipeline_config());
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "[bench_pr10] ladder={ladder:?} update={update} dim={DIM} samples={samples} workers={workers}"
+    );
+
+    // ── Served/library bit-identity gate before timing anything. ──
+    // A real server over loopback, memory-only stores; the smallest rung
+    // replayed in thirds through a StoreClient session must ack exactly
+    // what the library computes.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            rejoin_grace: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server")
+    .spawn()
+    .expect("spawn server");
+    {
+        let gate_n = ladder[0].min(600);
+        let chunk = gate_n.div_ceil(3);
+        let mut client = StoreClient::connect(server.addr(), "gate", job_config.clone())
+            .expect("open gate store");
+        let mut lib_store = engine.new_store_keeping_rows().expect("fresh store");
+        for (i, part) in spectra[..gate_n].chunks(chunk).enumerate() {
+            let ack = client
+                .submit_incremental(part.to_vec())
+                .expect("served installment");
+            let out = engine
+                .run_incremental(
+                    &mut lib_store,
+                    &SpectrumDataset::from_spectra(part.to_vec()),
+                )
+                .expect("library installment");
+            assert_eq!(ack.base_id, out.base_id(), "installment {i}: base id");
+            assert_eq!(
+                ack.kept,
+                out.kept().iter().map(|&k| k as u32).collect::<Vec<_>>(),
+                "installment {i}: kept set diverged between served and library"
+            );
+            assert_eq!(
+                ack.labels,
+                out.installment_labels()
+                    .iter()
+                    .map(|&l| l as u64)
+                    .collect::<Vec<_>>(),
+                "installment {i}: labels diverged between served and library"
+            );
+        }
+        let bytes = lib_store.to_bytes();
+        let reloaded = ClusterStore::from_bytes(&bytes).expect("round-trip reload");
+        assert_eq!(
+            reloaded.to_bytes(),
+            bytes,
+            "store re-serialization is not bit-identical"
+        );
+        println!(
+            "[bench_pr10] equivalence gates passed: {gate_n}-spectrum served session \
+             bit-identical to library, store round trip bit-identical"
+        );
+    }
+
+    // ── Grow the archive once, snapshotting a store clone per rung. ──
+    // Member rows are kept, mirroring what server-side stores do.
+    let mut snapshots: Vec<ClusterStore> = Vec::with_capacity(ladder.len());
+    {
+        let mut store = engine.new_store_keeping_rows().expect("fresh store");
+        let mut grown = 0usize;
+        for &size in &ladder {
+            let step = (size - grown).div_ceil(8).max(1);
+            for part in archive_spectra[grown..size].chunks(step) {
+                engine
+                    .run_incremental(&mut store, &SpectrumDataset::from_spectra(part.to_vec()))
+                    .expect("archive installment");
+            }
+            grown = size;
+            println!(
+                "[bench_pr10] archive rung: {} spectra in {} clusters",
+                store.next_spectrum_id(),
+                store.num_clusters(),
+            );
+            snapshots.push(store.clone());
+        }
+    }
+
+    // Curve kernel names are static; `n` records each rung's archive
+    // size, which is what `bench_gate` matches on.
+    const RUNG_NAMES: [&str; 4] = [
+        "incremental_update_rung1",
+        "incremental_update_rung2",
+        "incremental_update_rung3",
+        "incremental_update_rung4",
+    ];
+    assert_eq!(ladder.len(), RUNG_NAMES.len(), "one kernel name per rung");
+
+    let batch_part = SpectrumDataset::from_spectra(spectra[..ladder[0]].to_vec());
+    let mut served_serial = 0u64;
+    let server_addr = server.addr();
+    let largest = snapshots.last().expect("non-empty ladder").clone();
+
+    let mut kernels: Vec<Kernel<'_>> = vec![(
+        "batch_pipeline",
+        workers,
+        Box::new(|| {
+            black_box(engine.run(black_box(&batch_part)));
+        }),
+    )];
+    for (rung, snapshot) in snapshots.iter().enumerate() {
+        let engine = &engine;
+        let update_part = &update_part;
+        kernels.push((
+            RUNG_NAMES[rung],
+            workers,
+            Box::new(move || {
+                let mut store = snapshot.clone();
+                black_box(
+                    engine
+                        .run_incremental(&mut store, black_box(update_part))
+                        .expect("update installment"),
+                );
+            }),
+        ));
+    }
+    kernels.push((
+        "refresh_largest",
+        workers,
+        Box::new(|| {
+            let mut store = largest.clone();
+            black_box(engine.refresh_store(&mut store).expect("refresh pass"));
+        }),
+    ));
+    // The library twin of the served round trip below: fold the update
+    // installment into a fresh store. The served kernel's extra cost
+    // over this one is the wire + session overhead.
+    kernels.push((
+        "incremental_update_cold",
+        workers,
+        Box::new(|| {
+            let mut store = engine.new_store_keeping_rows().expect("fresh store");
+            black_box(
+                engine
+                    .run_incremental(&mut store, black_box(&update_part))
+                    .expect("cold update"),
+            );
+        }),
+    ));
+    kernels.push((
+        "served_update_cold",
+        workers,
+        Box::new(|| {
+            // A fresh store name per invocation keeps the measured
+            // archive size constant (server-side stores are mutable).
+            served_serial += 1;
+            let name = format!("bench{served_serial}");
+            let mut client = StoreClient::connect(server_addr, &name, job_config.clone())
+                .expect("open bench store");
+            black_box(
+                client
+                    .submit_incremental(update_spectra.to_vec())
+                    .expect("served update"),
+            );
+        }),
+    ));
+
+    let medians = measure_interleaved(samples, &mut kernels);
+    let mut records: Vec<KernelRecord> = Vec::new();
+    for ((kernel, threads, _), ns) in kernels.iter().zip(&medians) {
+        let n = match RUNG_NAMES.iter().position(|r| r == kernel) {
+            Some(rung) => ladder[rung],
+            None if *kernel == "batch_pipeline" => ladder[0],
+            None if *kernel == "refresh_largest" => archive_max,
+            None => update,
+        };
+        println!("  {kernel:<26} n={n:<7} threads={threads:<2} {ns:>12} ns/op");
+        records.push(KernelRecord {
+            kernel: kernel.to_string(),
+            n,
+            dim: DIM,
+            threads: *threads,
+            ns_per_op: *ns,
+        });
+    }
+    drop(kernels);
+    server.shutdown();
+
+    // The curve in one line: update latency per rung, normalized to the
+    // first rung — how the cost of "+1 installment" scales with archive.
+    let rung_ns: Vec<u128> = records
+        .iter()
+        .filter(|r| r.kernel.starts_with("incremental_update_rung"))
+        .map(|r| r.ns_per_op)
+        .collect();
+    let base = rung_ns[0].max(1) as f64;
+    let curve: Vec<String> = ladder
+        .iter()
+        .zip(&rung_ns)
+        .map(|(size, ns)| format!("{size}:{:.2}x", *ns as f64 / base))
+        .collect();
+    println!(
+        "[bench_pr10] update-latency curve (vs rung1): {}",
+        curve.join(" ")
+    );
+
+    write_records(&out_path, &records);
+    println!("[bench_pr10] wrote {out_path}");
+}

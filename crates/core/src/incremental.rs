@@ -30,7 +30,7 @@ use crate::{SpecHd, SpecHdError};
 use spechd_cluster::ClusterAssignment;
 use spechd_hdc::distance::PackedDistanceEngine;
 use spechd_ms::SpectrumDataset;
-use spechd_store::ClusterStore;
+use spechd_store::{ClusterStore, RefreshReport};
 
 /// Work counters of one incremental installment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -111,6 +111,34 @@ impl SpecHd {
         )?)
     }
 
+    /// Like [`SpecHd::new_store`], but the store keeps every member's
+    /// hypervector row ([`ClusterStore::new_keeping_rows`]) so
+    /// [`SpecHd::refresh_store`] can re-medoid it later without the
+    /// original spectra — the mode a long-lived clustering service
+    /// wants. [`SpecHd::run_incremental`] produces the same labels in
+    /// either mode; only the rows-on-disk cost differs.
+    pub fn new_store_keeping_rows(&self) -> Result<ClusterStore, SpecHdError> {
+        Ok(ClusterStore::new_keeping_rows(
+            self.encoder.dim(),
+            self.config.fingerprint(),
+        )?)
+    }
+
+    /// Runs the medoid refresh / compaction pass
+    /// ([`ClusterStore::refresh`]) under this engine's dendrogram cut
+    /// threshold: clusters are re-medoided over their kept member rows,
+    /// and clusters whose refreshed medoids fall within the threshold
+    /// merge. **Outside the stable-label contract** — see the store-side
+    /// documentation. Requires a row-keeping store built by
+    /// [`SpecHd::new_store_keeping_rows`].
+    pub fn refresh_store(&self, store: &mut ClusterStore) -> Result<RefreshReport, SpecHdError> {
+        store.ensure_compatible(self.encoder.dim(), self.config.fingerprint())?;
+        // The integer floor of the cut threshold accepts exactly the
+        // distances `run_incremental`'s `d <= threshold` accepts.
+        let threshold_bits = self.config.distance_threshold_bits().floor() as u32;
+        Ok(store.refresh(threshold_bits)?)
+    }
+
     /// Clusters one new installment of spectra *into* a persistent store
     /// (see the [module docs](self) for the algorithm), returning the
     /// updated global assignment.
@@ -187,7 +215,11 @@ impl SpecHd {
             stats.absorbed += absorbed.len();
             for (cluster, row) in absorbed {
                 let cluster = u32::try_from(cluster).expect("cluster index fits u32");
-                store.absorb(bucket.key, cluster, gid(row))?;
+                if store.keeps_member_rows() {
+                    store.absorb_with_row(bucket.key, cluster, gid(row), sub.row(row))?;
+                } else {
+                    store.absorb(bucket.key, cluster, gid(row))?;
+                }
             }
 
             if residual_rows.is_empty() {
@@ -208,7 +240,16 @@ impl SpecHd {
                 appended.push(store.add_cluster(bucket.key, rsub.row(medoid_row), id)?);
             }
             for (j, &label) in clustering.labels.iter().enumerate() {
-                store.absorb(bucket.key, appended[label], gid(residual_rows[j]))?;
+                if store.keeps_member_rows() {
+                    store.absorb_with_row(
+                        bucket.key,
+                        appended[label],
+                        gid(residual_rows[j]),
+                        rsub.row(j),
+                    )?;
+                } else {
+                    store.absorb(bucket.key, appended[label], gid(residual_rows[j]))?;
+                }
             }
         }
 
@@ -297,6 +338,32 @@ mod tests {
             SpecHdError::Store(StoreError::ConfigMismatch { .. })
         ));
         assert_eq!(store.next_spectrum_id(), 0, "store must be untouched");
+    }
+
+    #[test]
+    fn row_keeping_store_matches_rowless_labels_and_refreshes() {
+        let engine = SpecHd::new(SpecHdConfig::default());
+        let mut rowless = engine.new_store().unwrap();
+        let mut rowed = engine.new_store_keeping_rows().unwrap();
+        for seed in [21, 22] {
+            let ds = dataset(150, seed);
+            let a = engine.run_incremental(&mut rowless, &ds).unwrap();
+            let b = engine.run_incremental(&mut rowed, &ds).unwrap();
+            assert_eq!(a.assignment(), b.assignment(), "row mode must not matter");
+            assert_eq!(a.consensus(), b.consensus());
+        }
+        // Engine-level refresh is deterministic and row-gated.
+        let mut twin = rowed.clone();
+        let r1 = engine.refresh_store(&mut rowed).unwrap();
+        let r2 = engine.refresh_store(&mut twin).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(rowed, twin);
+        assert!(matches!(
+            engine.refresh_store(&mut rowless),
+            Err(SpecHdError::Store(StoreError::MemberRowMode {
+                keeps_rows: false
+            }))
+        ));
     }
 
     #[test]

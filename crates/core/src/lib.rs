@@ -72,4 +72,4 @@ pub use spechd_cluster::{ClusterAssignment, Linkage};
 pub use spechd_hdc::{BinaryHypervector, EncoderConfig};
 pub use spechd_metrics::ClusteringEval;
 pub use spechd_preprocess::PreprocessConfig;
-pub use spechd_store::{ClusterStore, StoreError};
+pub use spechd_store::{ClusterStore, RefreshReport, StoreError};

@@ -1,9 +1,11 @@
 //! A blocking client for the `spechd` protocol.
 //!
 //! [`Connection`] is the shared transport: it owns the TCP socket pair
-//! (buffered writer + cloned reader), the frame codec, and the
-//! error-frame-to-[`ClientError`] translation every client needs. The two
-//! job-flavored clients are thin state machines over it:
+//! (buffered writer + cloned reader), the frame codec under the shared
+//! [`Limits`] table, and the error-frame-to-[`ClientError`] translation
+//! every client needs. The three job-flavored clients are thin state
+//! machines over it, sharing one connect-with-[`RetryPolicy`] entry
+//! point and one error surface:
 //!
 //! * [`JobClient`] wraps one connection participating in one clustering
 //!   job. Submission is acknowledged per batch (the ack carries the
@@ -17,6 +19,11 @@
 //!   [`SearchClient::search`] call sends the queries (chunked under the
 //!   wire cap), collects the per-query [`Frame::SearchHit`]s, and returns
 //!   once the batch's closing [`Frame::SearchStats`] lands.
+//! * [`StoreClient`] holds the exclusive write session on a named
+//!   server-side cluster store: sequence-numbered incremental
+//!   installments ([`StoreClient::submit_incremental`]), plus the
+//!   `persist` / `stats` / `refresh` admin round trips, each
+//!   acknowledged by a [`StoreAckFrame`] snapshot.
 //!
 //! ## Failure handling
 //!
@@ -41,12 +48,18 @@
 //!   batches (scoring is read-only, hence idempotent); library loads are
 //!   **not** retried, because a load whose ack was lost may or may not
 //!   have been applied and re-sending it could double-load entries.
+//! * A [`StoreClient`] reconnects by re-sending `OpenStore` with the
+//!   same `client_id` — resuming its exclusive session — and re-sends
+//!   the unacknowledged installment under its original sequence number,
+//!   which the server re-acks without re-ingesting. The admin round
+//!   trips are idempotent and freely retried.
 
 use crate::assemble::{AssignmentAssembler, ServiceOutcome};
+use crate::limits::Limits;
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Frame, HitWire, JobConfig, JobStatsFrame, LibraryEntryWire,
-    QueryWire, SearchStatsFrame, WireError, DEFAULT_MAX_FRAME_LEN, MAX_LIBRARY_BATCH,
-    MAX_QUERY_BATCH,
+    check_store_name, read_frame, write_frame, ErrorCode, Frame, HitWire, IncrementalAckFrame,
+    JobConfig, JobStatsFrame, LibraryEntryWire, QueryWire, SearchStatsFrame, StoreAckFrame,
+    WireError, MAX_INCREMENTAL_BATCH, MAX_LIBRARY_BATCH, MAX_QUERY_BATCH,
 };
 use spechd_ms::Spectrum;
 use std::io::BufWriter;
@@ -158,6 +171,20 @@ impl RetryPolicy {
             .saturating_mul(1u32 << exp)
             .min(self.max_delay)
     }
+
+    /// One step of the shared retry loop every client runs: if `err` is
+    /// retryable and the attempt budget is not exhausted, consumes one
+    /// attempt, sleeps its backoff, and returns `true` (caller retries);
+    /// otherwise returns `false` (caller surfaces the error).
+    pub fn backoff(&self, err: &ClientError, attempt: &mut u32) -> bool {
+        if err.is_retryable() && *attempt < self.max_retries {
+            *attempt += 1;
+            std::thread::sleep(self.delay_for(*attempt));
+            true
+        } else {
+            false
+        }
+    }
 }
 
 impl Default for RetryPolicy {
@@ -206,6 +233,25 @@ fn resolve(addr: impl ToSocketAddrs) -> Result<Vec<SocketAddr>, ClientError> {
     Ok(addrs)
 }
 
+/// The one connect loop every client goes through: open a
+/// [`Connection`], run the client-specific `handshake` on it, and on a
+/// retryable failure back off under `retry` and start over with a fresh
+/// connection.
+fn connect_retry<T>(
+    addrs: &[SocketAddr],
+    retry: RetryPolicy,
+    mut handshake: impl FnMut(Connection) -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    let mut attempt = 0u32;
+    loop {
+        match Connection::open(addrs).and_then(&mut handshake) {
+            Ok(client) => return Ok(client),
+            Err(e) if retry.backoff(&e, &mut attempt) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// One established client connection: socket pair, frame codec, and the
 /// server-error translation shared by every protocol client.
 ///
@@ -215,21 +261,28 @@ fn resolve(addr: impl ToSocketAddrs) -> Result<Vec<SocketAddr>, ClientError> {
 pub struct Connection {
     reader: TcpStream,
     writer: BufWriter<TcpStream>,
-    max_frame_len: u32,
+    limits: Limits,
 }
 
 impl Connection {
-    /// Opens a TCP connection to `addr` (Nagle disabled, frames capped at
-    /// [`DEFAULT_MAX_FRAME_LEN`]). No protocol traffic is exchanged —
-    /// job handshakes belong to the clients layered on top.
+    /// Opens a TCP connection to `addr` (Nagle disabled, inbound frames
+    /// decoded under [`Limits::default`]). No protocol traffic is
+    /// exchanged — job handshakes belong to the clients layered on top.
     pub fn open(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::open_with(addr, Limits::default())
+    }
+
+    /// [`Connection::open`] with an explicit decode-cap table, for
+    /// clients talking to a server configured with non-default
+    /// [`Limits`].
+    pub fn open_with(addr: impl ToSocketAddrs, limits: Limits) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let reader = stream.try_clone()?;
         Ok(Self {
             reader,
             writer: BufWriter::new(stream),
-            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            limits,
         })
     }
 
@@ -244,7 +297,7 @@ impl Connection {
     /// Reads one frame, turning server `Error` frames into
     /// [`ClientError::Server`].
     pub fn recv(&mut self) -> Result<Frame, ClientError> {
-        match read_frame(&mut self.reader, self.max_frame_len)? {
+        match read_frame(&mut self.reader, &self.limits)? {
             Frame::Error { code, message } => Err(ClientError::Server { code, message }),
             frame => Ok(frame),
         }
@@ -318,38 +371,27 @@ impl JobClient {
         retry: RetryPolicy,
     ) -> Result<Self, ClientError> {
         let addrs = resolve(addr)?;
-        let mut attempt = 0u32;
-        loop {
-            let result = Connection::open(&addrs[..]).and_then(|conn| {
-                let mut client = Self {
-                    conn,
-                    addrs: addrs.clone(),
-                    job_id,
-                    client_id,
-                    config: config.clone(),
-                    retry,
-                    next_seq: 0,
-                    close_sent: false,
-                    reconnects: 0,
-                    assembler: AssignmentAssembler::new(),
-                };
-                client.conn.send(&Frame::OpenJob {
-                    job_id,
-                    client_id,
-                    config: config.clone(),
-                })?;
-                client.wait_stats()?;
-                Ok(client)
-            });
-            match result {
-                Ok(client) => return Ok(client),
-                Err(e) if e.is_retryable() && attempt < retry.max_retries => {
-                    attempt += 1;
-                    std::thread::sleep(retry.delay_for(attempt));
-                }
-                Err(e) => return Err(e),
-            }
-        }
+        connect_retry(&addrs, retry, |conn| {
+            let mut client = Self {
+                conn,
+                addrs: addrs.clone(),
+                job_id,
+                client_id,
+                config: config.clone(),
+                retry,
+                next_seq: 0,
+                close_sent: false,
+                reconnects: 0,
+                assembler: AssignmentAssembler::new(),
+            };
+            client.conn.send(&Frame::OpenJob {
+                job_id,
+                client_id,
+                config: config.clone(),
+            })?;
+            client.wait_stats()?;
+            Ok(client)
+        })
     }
 
     /// The job this connection participates in.
@@ -401,9 +443,7 @@ impl JobClient {
                     self.next_seq += 1;
                     return Ok(receipt);
                 }
-                Err(e) if e.is_retryable() && attempt < self.retry.max_retries => {
-                    attempt += 1;
-                    std::thread::sleep(self.retry.delay_for(attempt));
+                Err(e) if self.retry.backoff(&e, &mut attempt) => {
                     // If recovery fails, the stale connection makes the
                     // next attempt fail fast and consume another retry.
                     let _ = self.recover();
@@ -427,9 +467,7 @@ impl JobClient {
                 .and_then(|()| self.wait_stats());
             match outcome {
                 Ok(stats) => return Ok(stats),
-                Err(e) if e.is_retryable() && attempt < self.retry.max_retries => {
-                    attempt += 1;
-                    std::thread::sleep(self.retry.delay_for(attempt));
+                Err(e) if self.retry.backoff(&e, &mut attempt) => {
                     let _ = self.recover();
                 }
                 Err(e) => return Err(e),
@@ -453,13 +491,7 @@ impl JobClient {
         loop {
             match result {
                 Ok(()) => {}
-                Err(e)
-                    if self.retry.enabled()
-                        && e.is_retryable()
-                        && attempt < self.retry.max_retries =>
-                {
-                    attempt += 1;
-                    std::thread::sleep(self.retry.delay_for(attempt));
+                Err(e) if self.retry.backoff(&e, &mut attempt) => {
                     // recover() re-sends CloseJob; if it fails, the next
                     // recv fails fast and consumes another retry.
                     let _ = self.recover();
@@ -591,34 +623,23 @@ impl SearchClient {
         retry: RetryPolicy,
     ) -> Result<Self, ClientError> {
         let addrs = resolve(addr)?;
-        let mut attempt = 0u32;
-        loop {
-            let result = Connection::open(&addrs[..]).and_then(|conn| {
-                let mut client = Self {
-                    conn,
-                    addrs: addrs.clone(),
-                    job_id,
-                    dim,
-                    retry,
-                    reconnects: 0,
-                };
-                client.conn.send(&Frame::LoadLibrary {
-                    job_id,
-                    dim,
-                    entries: Vec::new(),
-                })?;
-                client.wait_stats()?;
-                Ok(client)
-            });
-            match result {
-                Ok(client) => return Ok(client),
-                Err(e) if e.is_retryable() && attempt < retry.max_retries => {
-                    attempt += 1;
-                    std::thread::sleep(retry.delay_for(attempt));
-                }
-                Err(e) => return Err(e),
-            }
-        }
+        connect_retry(&addrs, retry, |conn| {
+            let mut client = Self {
+                conn,
+                addrs: addrs.clone(),
+                job_id,
+                dim,
+                retry,
+                reconnects: 0,
+            };
+            client.conn.send(&Frame::LoadLibrary {
+                job_id,
+                dim,
+                entries: Vec::new(),
+            })?;
+            client.wait_stats()?;
+            Ok(client)
+        })
     }
 
     /// The search job this connection participates in.
@@ -717,13 +738,7 @@ impl SearchClient {
         loop {
             match self.search_chunk_once(chunk, window_da, top_k) {
                 Ok(ok) => return Ok(ok),
-                Err(e)
-                    if self.retry.enabled()
-                        && e.is_retryable()
-                        && attempt < self.retry.max_retries =>
-                {
-                    attempt += 1;
-                    std::thread::sleep(self.retry.delay_for(attempt));
+                Err(e) if self.retry.backoff(&e, &mut attempt) => {
                     if let Ok(conn) = Connection::open(&self.addrs[..]) {
                         self.conn = conn;
                         self.reconnects += 1;
@@ -777,5 +792,278 @@ impl SearchClient {
                 "unexpected frame while awaiting search stats: {other:?}"
             )))),
         }
+    }
+}
+
+/// One connection holding the exclusive write session on a named
+/// server-side cluster store.
+///
+/// The session is identified by `(store name, client_id)`, not the TCP
+/// connection: with a [`RetryPolicy`] set (see
+/// [`StoreClient::connect_with`]) a dead connection is transparently
+/// re-opened and `OpenStore` re-sent with the same `client_id`, which
+/// resumes the session server-side — sequence numbering continues, and
+/// an installment whose ack was lost is re-sent under its original
+/// sequence number and re-acked without re-ingesting. The served
+/// installment stream is therefore bit-identical to a library
+/// [`run_incremental`](spechd_core::SpecHd::run_incremental) loop over
+/// the same installments, disconnects or not.
+///
+/// A store already held by a *different* client surfaces as the
+/// retryable [`ErrorCode::StoreBusy`]; connecting with a policy waits
+/// out short sessions via the normal backoff schedule.
+pub struct StoreClient {
+    conn: Connection,
+    addrs: Vec<SocketAddr>,
+    name: String,
+    client_id: u64,
+    config: JobConfig,
+    retry: RetryPolicy,
+    next_seq: u64,
+    reconnects: u64,
+    opened: StoreAckFrame,
+}
+
+impl std::fmt::Debug for StoreClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreClient")
+            .field("name", &self.name)
+            .field("client_id", &self.client_id)
+            .field("next_seq", &self.next_seq)
+            .field("reconnects", &self.reconnects)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StoreClient {
+    /// Connects to `addr` and opens store `name` with `config`,
+    /// returning once the server acknowledges with the store's
+    /// snapshot. No retries; see [`StoreClient::connect_with`].
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        name: &str,
+        config: JobConfig,
+    ) -> Result<Self, ClientError> {
+        Self::connect_with(addr, name, config, default_client_id(), RetryPolicy::none())
+    }
+
+    /// Connects with an explicit session identity and retry policy.
+    ///
+    /// `client_id` names this writer's session across connections — a
+    /// reconnect presenting the same id resumes it (within the server's
+    /// rejoin grace once disconnected, or immediately by stealing its
+    /// own half-dead slot). Use the same id across process restarts to
+    /// deterministically resume a store's installment stream.
+    ///
+    /// The store name is validated locally first
+    /// ([`check_store_name`]), so a hostile or over-long name fails
+    /// fast without a round trip.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        name: &str,
+        config: JobConfig,
+        client_id: u64,
+        retry: RetryPolicy,
+    ) -> Result<Self, ClientError> {
+        check_store_name(name, &Limits::default()).map_err(ClientError::Wire)?;
+        let addrs = resolve(addr)?;
+        connect_retry(&addrs, retry, |mut conn| {
+            conn.send(&Frame::OpenStore {
+                name: name.to_string(),
+                client_id,
+                config: config.clone(),
+            })?;
+            let opened = expect_store_ack(&mut conn, name)?;
+            Ok(Self {
+                conn,
+                addrs: addrs.clone(),
+                name: name.to_string(),
+                client_id,
+                config: config.clone(),
+                retry,
+                next_seq: 0,
+                reconnects: 0,
+                opened,
+            })
+        })
+    }
+
+    /// The store this session writes to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The session identity this client presents to the server.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// How many times this client has reconnected and resumed.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// The store snapshot the server sent when this session opened:
+    /// total spectra, clusters, and whether a backing file was loaded
+    /// — what a resuming client inspects to know where it left off.
+    pub fn opened(&self) -> &StoreAckFrame {
+        &self.opened
+    }
+
+    /// Submits one incremental installment and blocks for its ack: the
+    /// kept spectrum indices, their stable labels, and the absorb
+    /// statistics of exactly one server-side
+    /// [`run_incremental`](spechd_core::SpecHd::run_incremental) call.
+    ///
+    /// One call is one installment — the wire caps an installment at
+    /// [`MAX_INCREMENTAL_BATCH`] spectra, and an over-cap batch fails
+    /// fast locally (installment boundaries affect clustering, so the
+    /// client never splits one silently). With a retry policy set, a
+    /// connection failure reconnects, resumes the session, and re-sends
+    /// the installment under the same sequence number — a duplicate is
+    /// re-acked server-side, never re-ingested.
+    pub fn submit_incremental(
+        &mut self,
+        spectra: Vec<Spectrum>,
+    ) -> Result<IncrementalAckFrame, ClientError> {
+        if spectra.len() > MAX_INCREMENTAL_BATCH as usize {
+            return Err(ClientError::Wire(WireError::Malformed(format!(
+                "installment of {} spectra exceeds the wire cap {MAX_INCREMENTAL_BATCH}; \
+                 submit smaller installments",
+                spectra.len()
+            ))));
+        }
+        let seq = self.next_seq;
+        if !self.retry.enabled() {
+            self.conn.send(&Frame::SubmitIncremental {
+                name: self.name.clone(),
+                seq,
+                spectra,
+            })?;
+            let ack = self.await_incremental_ack(seq)?;
+            self.next_seq += 1;
+            return Ok(ack);
+        }
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self
+                .conn
+                .send(&Frame::SubmitIncremental {
+                    name: self.name.clone(),
+                    seq,
+                    spectra: spectra.clone(),
+                })
+                .and_then(|()| self.await_incremental_ack(seq));
+            match outcome {
+                Ok(ack) => {
+                    self.next_seq += 1;
+                    return Ok(ack);
+                }
+                Err(e) if self.retry.backoff(&e, &mut attempt) => {
+                    // If recovery fails, the stale connection makes the
+                    // next attempt fail fast and consume another retry.
+                    let _ = self.recover();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Saves the store to its server-side backing file (the atomic
+    /// crash-safe path) and returns the post-save snapshot
+    /// (`persisted = 1`, `dirty = 0`). Idempotent, so freely retried; a
+    /// server without a store directory refuses with a fatal error.
+    pub fn persist(&mut self) -> Result<StoreAckFrame, ClientError> {
+        self.admin(Frame::PersistStore {
+            name: self.name.clone(),
+        })
+    }
+
+    /// Returns a point-in-time snapshot of the store. Idempotent.
+    pub fn stats(&mut self) -> Result<StoreAckFrame, ClientError> {
+        self.admin(Frame::StoreStats {
+            name: self.name.clone(),
+        })
+    }
+
+    /// Runs the server-side medoid refresh / compaction pass and
+    /// returns its snapshot (`refreshed` / `merged` counters). This
+    /// sits **outside** the stable-label contract: clusters the pass
+    /// finds within the cut threshold are merged, relabeling their
+    /// members. The pass is a fixed point (refreshing twice equals
+    /// refreshing once), so it is freely retried — though an ack lost
+    /// to a reconnect re-runs the pass, and the re-run reports zero
+    /// counters.
+    pub fn refresh(&mut self) -> Result<StoreAckFrame, ClientError> {
+        self.admin(Frame::RefreshStore {
+            name: self.name.clone(),
+        })
+    }
+
+    /// One idempotent admin round trip (persist / stats / refresh),
+    /// under the shared retry-and-resume loop.
+    fn admin(&mut self, frame: Frame) -> Result<StoreAckFrame, ClientError> {
+        if !self.retry.enabled() {
+            self.conn.send(&frame)?;
+            return expect_store_ack(&mut self.conn, &self.name);
+        }
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self
+                .conn
+                .send(&frame)
+                .and_then(|()| expect_store_ack(&mut self.conn, &self.name));
+            match outcome {
+                Ok(ack) => return Ok(ack),
+                Err(e) if self.retry.backoff(&e, &mut attempt) => {
+                    let _ = self.recover();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Re-opens the connection and resumes this session: re-sends
+    /// `OpenStore` with the same `client_id` and refreshes the opened
+    /// snapshot.
+    fn recover(&mut self) -> Result<(), ClientError> {
+        let mut conn = Connection::open(&self.addrs[..])?;
+        conn.send(&Frame::OpenStore {
+            name: self.name.clone(),
+            client_id: self.client_id,
+            config: self.config.clone(),
+        })?;
+        let opened = expect_store_ack(&mut conn, &self.name)?;
+        self.conn = conn;
+        self.opened = opened;
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// Reads until this store's `IncrementalAck` for `seq`. Store
+    /// sessions never push unsolicited frames, so the ack is the next
+    /// frame; anything else is a protocol violation.
+    fn await_incremental_ack(&mut self, seq: u64) -> Result<IncrementalAckFrame, ClientError> {
+        match self.conn.recv()? {
+            Frame::IncrementalAck(ack) if ack.name == self.name && ack.seq == seq => Ok(ack),
+            Frame::IncrementalAck(ack) => Err(ClientError::Wire(WireError::Malformed(format!(
+                "incremental ack for {}#{}, expected {}#{seq}",
+                ack.name, ack.seq, self.name
+            )))),
+            other => Err(ClientError::Wire(WireError::Malformed(format!(
+                "unexpected frame while awaiting incremental ack: {other:?}"
+            )))),
+        }
+    }
+}
+
+/// Reads the `StoreAck` frame acknowledging an open or admin frame for
+/// store `name`.
+fn expect_store_ack(conn: &mut Connection, name: &str) -> Result<StoreAckFrame, ClientError> {
+    match conn.recv()? {
+        Frame::StoreAck(ack) if ack.name == name => Ok(ack),
+        other => Err(ClientError::Wire(WireError::Malformed(format!(
+            "unexpected frame while awaiting store ack: {other:?}"
+        )))),
     }
 }

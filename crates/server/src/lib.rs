@@ -15,7 +15,9 @@
 //! Design pillars, each carried by one module:
 //!
 //! * [`protocol`] — the wire format: 12-byte header, capped length
-//!   prefixes, byte-exact round-trippable frames.
+//!   prefixes, byte-exact round-trippable frames. Every decode-time
+//!   cap it enforces lives in the [`limits`] table, configurable per
+//!   server through [`ServerConfig::limits`].
 //! * [`job`] — job lifecycle and backpressure: the last participant's
 //!   close (or disconnect) ends the stream; a full ingest queue blocks
 //!   the submitter at the socket, and result fan-out goes through
@@ -41,6 +43,15 @@
 //!   bit-identical to a local [`spechd_search::PackedSearchEngine`]
 //!   run over the same entries (pinned by the served-path equivalence
 //!   tests).
+//! * [`store`] — incremental clustering as a service: `OpenStore`
+//!   binds a connection to the **exclusive** write session of a named
+//!   persistent [`spechd_core::ClusterStore`] (a second writer is shed
+//!   with the retryable [`ErrorCode::StoreBusy`]), sequence-numbered
+//!   `SubmitIncremental` installments run the library's
+//!   [`run_incremental`](spechd_core::SpecHd::run_incremental) —
+//!   bit-identically, sessions and reconnects notwithstanding — and
+//!   `PersistStore` / `RefreshStore` expose the crash-safe save and
+//!   the medoid refresh / compaction pass over the wire.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,18 +59,23 @@
 pub mod assemble;
 pub mod client;
 pub mod job;
+pub mod limits;
 pub mod protocol;
 pub mod search;
 pub mod server;
+pub mod store;
 
 pub use assemble::{AssignmentAssembler, ServiceOutcome};
 pub use client::{
-    ClientError, Connection, JobClient, QueryHits, RetryPolicy, SearchClient, SubmitReceipt,
+    ClientError, Connection, JobClient, QueryHits, RetryPolicy, SearchClient, StoreClient,
+    SubmitReceipt,
 };
 pub use job::{JobError, JobHandle, JobRegistry};
+pub use limits::Limits;
 pub use protocol::{
-    ErrorCode, Frame, FrameType, HitWire, JobConfig, JobStatsFrame, LibraryEntryWire, QueryWire,
-    SearchStatsFrame, WireError,
+    check_store_name, ErrorCode, Frame, FrameType, HitWire, IncrementalAckFrame, JobConfig,
+    JobStatsFrame, LibraryEntryWire, QueryWire, SearchStatsFrame, StoreAckFrame, WireError,
 };
 pub use search::{SearchHandle, SearchJob, SearchRegistry};
 pub use server::{RunningServer, Server, ServerConfig};
+pub use store::{StoreRegistry, StoreSessionHandle};

@@ -25,8 +25,12 @@ OPTIONS:
     --max-jobs N            Shed new jobs (retryable Busy) once N are
                             live (default 1024)
     --rejoin-grace-ms N     Keep a disconnected participant's job slot
-                            resumable for N ms; 0 makes a disconnect a
-                            close (default 2000)
+                            (and store session) resumable for N ms; 0
+                            makes a disconnect a close (default 2000)
+    --store-dir PATH        Directory of <name>.shpk cluster-store
+                            backing files for OpenStore/PersistStore
+                            sessions (default: stores are memory-only
+                            and PersistStore is refused)
     --help                  Show this help
 ";
 
@@ -62,12 +66,19 @@ fn main() {
             "--queue-depth" => config.queue_depth = parse_arg("--queue-depth", args.next()),
             "--max-frame-mb" => {
                 let mb: u32 = parse_arg("--max-frame-mb", args.next());
-                config.max_frame_len = mb.saturating_mul(1024 * 1024);
+                config.limits.max_frame_len = mb.saturating_mul(1024 * 1024);
             }
             "--max-jobs" => config.max_jobs = parse_arg("--max-jobs", args.next()),
             "--rejoin-grace-ms" => {
                 config.rejoin_grace =
                     Duration::from_millis(parse_arg("--rejoin-grace-ms", args.next()))
+            }
+            "--store-dir" => {
+                let dir: String = parse_arg("--store-dir", args.next());
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    fail(&format!("cannot create store dir {dir}: {e}"));
+                }
+                config.store_dir = Some(dir.into());
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"SPHD"
-//! 4       2     protocol version (little-endian u16, currently 2)
+//! 4       2     protocol version (little-endian u16, currently 3)
 //! 6       1     frame type (see [`FrameType`])
 //! 7       1     reserved (must be 0)
 //! 8       4     payload length in bytes (little-endian u32)
@@ -26,51 +26,34 @@
 //! trailing bytes. The server treats any of these as fatal for the
 //! *connection* (an [`Frame::Error`] is sent best-effort, then the socket
 //! closes); the server itself keeps serving.
+//!
+//! Every decode-time cap — the frame cap, the config knobs, the batch
+//! counts, the store-name bound — lives in one configurable
+//! [`Limits`] value threaded into
+//! [`decode_payload`] and [`read_frame`]; the `MAX_*` constants
+//! re-exported here are its documented defaults (see [`crate::limits`]).
 
+use crate::limits::Limits;
 use spechd_cluster::Linkage;
 use spechd_core::{SpecHdConfig, StreamConfig};
 use spechd_ms::{MsError, Peak, Precursor, Spectrum};
 use std::io::{Read, Write};
 
+pub use crate::limits::{
+    DEFAULT_MAX_FRAME_LEN, MAX_INCREMENTAL_BATCH, MAX_LIBRARY_BATCH, MAX_QUERY_BATCH,
+    MAX_SEARCH_WINDOW_DA, MAX_STORE_NAME_LEN, MAX_TOP_K, MAX_WATERMARK, MAX_WORKERS,
+};
+
 /// Frame magic: `b"SPHD"`.
 pub const MAGIC: [u8; 4] = *b"SPHD";
-/// Current protocol version. Version 2 added `client_id` to
+/// Current protocol version. Version 3 added the store-session frames
+/// ([`Frame::OpenStore`] … [`Frame::StoreAck`]) and
+/// [`ErrorCode::StoreBusy`]; version 2 added `client_id` to
 /// [`Frame::OpenJob`] and `seq` to [`Frame::Submit`]/[`Frame::SubmitAck`]
 /// — the identities that make reconnect-and-resume idempotent.
-pub const VERSION: u16 = 2;
+pub const VERSION: u16 = 3;
 /// Header size in bytes (magic + version + type + reserved + length).
 pub const HEADER_LEN: usize = 12;
-/// Default cap on a frame's payload length: 32 MiB. At ~16 bytes per
-/// peak this is roughly 40k spectra of 50 peaks in one `Submit` — far
-/// above any sane batch, far below an OOM.
-pub const DEFAULT_MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
-/// Cap on [`JobConfig::workers`] accepted over the wire (0 = all cores
-/// available on the server is still allowed). A worker count is a
-/// thread count: without this cap a single well-formed `OpenJob` frame
-/// could demand billions of pipeline threads.
-pub const MAX_WORKERS: u32 = 64;
-/// Cap on [`JobConfig::watermark`] accepted over the wire, in spectra
-/// per open shard. 0 — the core pipeline's "flush only at shard close"
-/// mode — is also rejected: over the network it would let a client make
-/// every shard buffer grow without bound.
-pub const MAX_WATERMARK: u32 = 1 << 20;
-/// Cap on library entries per [`Frame::LoadLibrary`] frame. Like
-/// [`MAX_WORKERS`] / [`MAX_WATERMARK`], this is checked at decode time
-/// *before* any allocation: a hostile count prefix is rejected without
-/// reserving a single entry. Larger libraries ship as multiple frames.
-pub const MAX_LIBRARY_BATCH: u32 = 65_536;
-/// Cap on queries per [`Frame::SearchQuery`] frame, checked at decode
-/// time before allocation. Each query fans out into a windowed scan of
-/// the library, so this also bounds the work one frame can demand.
-pub const MAX_QUERY_BATCH: u32 = 4096;
-/// Cap on [`Frame::SearchQuery::top_k`]: hits kept (and sent back) per
-/// query. `top_k = 0` is also rejected — it would make a search a no-op.
-pub const MAX_TOP_K: u32 = 1024;
-/// Cap on [`Frame::SearchQuery::window_da`] in Dalton. Open-modification
-/// searches use windows of a few hundred Dalton; 10⁴ already admits any
-/// practical library slice, and capping it keeps a hostile `inf`/huge
-/// window from being meaningful.
-pub const MAX_SEARCH_WINDOW_DA: f64 = 10_000.0;
 
 /// Frame type discriminants as they appear on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +73,20 @@ pub enum FrameType {
     /// Client→server: search a batch of query hypervectors against the
     /// job's library (seals the library on first use).
     SearchQuery = 0x06,
+    /// Client→server: open (or resume) an exclusive session on a named
+    /// persistent cluster store.
+    OpenStore = 0x07,
+    /// Client→server: fold an installment of spectra into the session's
+    /// store via the incremental pipeline.
+    SubmitIncremental = 0x08,
+    /// Client→server: durably save the session's store to disk.
+    PersistStore = 0x09,
+    /// Client→server: request a [`Frame::StoreAck`] snapshot of the
+    /// session's store.
+    StoreStats = 0x0A,
+    /// Client→server: run the medoid refresh / compaction pass on the
+    /// session's store (admin; outside the stable-label contract).
+    RefreshStore = 0x0B,
     /// Server→client: a `Submit` was ingested; carries the batch's base
     /// stream index.
     SubmitAck = 0x10,
@@ -106,6 +103,12 @@ pub enum FrameType {
     /// Server→client: search-job statistics snapshot (the `LoadLibrary`
     /// ack, and the terminator of every `SearchQuery`'s hit frames).
     SearchStats = 0x15,
+    /// Server→client: one `SubmitIncremental` was folded in; carries the
+    /// installment's kept indices and stable labels.
+    IncrementalAck = 0x16,
+    /// Server→client: a store snapshot — the ack of `OpenStore`,
+    /// `PersistStore`, `StoreStats` and `RefreshStore`.
+    StoreAck = 0x17,
     /// Server→client: an error. Fatal errors are followed by a close.
     Error = 0x1F,
 }
@@ -119,12 +122,19 @@ impl FrameType {
             0x04 => Self::CloseJob,
             0x05 => Self::LoadLibrary,
             0x06 => Self::SearchQuery,
+            0x07 => Self::OpenStore,
+            0x08 => Self::SubmitIncremental,
+            0x09 => Self::PersistStore,
+            0x0A => Self::StoreStats,
+            0x0B => Self::RefreshStore,
             0x10 => Self::SubmitAck,
             0x11 => Self::Assignment,
             0x12 => Self::Consensus,
             0x13 => Self::JobStats,
             0x14 => Self::SearchHit,
             0x15 => Self::SearchStats,
+            0x16 => Self::IncrementalAck,
+            0x17 => Self::StoreAck,
             0x1F => Self::Error,
             _ => return None,
         })
@@ -167,6 +177,12 @@ pub enum ErrorCode {
     /// The server is saturated (job registry full) and sheds this
     /// request; the client should back off and retry.
     Busy = 0x40,
+    /// The named store has a live (or grace-period) session held by
+    /// another client, or a transient server-side condition kept the
+    /// store operation from completing; exclusive write sessions mean
+    /// the same request is expected to succeed once the holder detaches,
+    /// so the client should back off and retry.
+    StoreBusy = 0x41,
 }
 
 impl ErrorCode {
@@ -180,6 +196,7 @@ impl ErrorCode {
             0x06 => Self::Oversized,
             0x07 => Self::ServerShutdown,
             0x40 => Self::Busy,
+            0x41 => Self::StoreBusy,
             _ => return None,
         })
     }
@@ -379,6 +396,79 @@ pub struct SearchStatsFrame {
     pub hits: u64,
 }
 
+/// The acknowledgement of one [`Frame::SubmitIncremental`], carried by
+/// [`Frame::IncrementalAck`]: which spectra of the installment survived
+/// preprocessing, the stable label each one received, and the
+/// installment's work counters. Labels of earlier installments are never
+/// disturbed (outside an explicit [`Frame::RefreshStore`]), so a client
+/// reconstructs the full assignment by concatenating ack slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncrementalAckFrame {
+    /// The store this installment was folded into.
+    pub name: String,
+    /// The acknowledged installment's sequence number, echoing
+    /// [`Frame::SubmitIncremental::seq`] (also on re-acks of
+    /// duplicates).
+    pub seq: u64,
+    /// First global spectrum id assigned to this installment; its kept
+    /// spectra own ids `base_id .. base_id + kept.len()`.
+    pub base_id: u64,
+    /// For each kept spectrum (in global-id order), its index in the
+    /// installment's submitted batch.
+    pub kept: Vec<u32>,
+    /// Dense global cluster label per kept spectrum, parallel to
+    /// `kept`. Stable: re-running earlier installments yields the same
+    /// prefix verbatim.
+    pub labels: Vec<u64>,
+    /// Kept spectra absorbed into an existing cluster.
+    pub absorbed: u64,
+    /// Kept spectra no existing cluster accepted (reclustered among
+    /// themselves).
+    pub residual: u64,
+    /// Clusters appended by this installment.
+    pub new_clusters: u64,
+    /// Spectra the store has absorbed across all installments, after
+    /// this one.
+    pub total_spectra: u64,
+    /// Clusters the store holds after this installment.
+    pub total_clusters: u64,
+}
+
+/// The store snapshot carried by [`Frame::StoreAck`]: the ack of
+/// [`Frame::OpenStore`], [`Frame::PersistStore`], [`Frame::StoreStats`]
+/// and [`Frame::RefreshStore`]. `persisted`/`refreshed`/`merged` refer
+/// to the acknowledged operation; everything else is current state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreAckFrame {
+    /// The store this snapshot describes.
+    pub name: String,
+    /// Hypervector dimensionality the store is bound to.
+    pub dim: u32,
+    /// Config fingerprint the store is bound to; an `OpenStore` whose
+    /// config fingerprints differently is a
+    /// [`ErrorCode::ConfigMismatch`].
+    pub fingerprint: u64,
+    /// Spectra absorbed across the store's lifetime.
+    pub spectra: u64,
+    /// Precursor buckets in the store.
+    pub buckets: u64,
+    /// Clusters in the store.
+    pub clusters: u64,
+    /// Non-zero if the store keeps per-member rows (required for
+    /// `RefreshStore`).
+    pub keeps_member_rows: u8,
+    /// Non-zero if the in-memory store has changes not yet persisted.
+    pub dirty: u8,
+    /// Non-zero if this ack confirms a completed `PersistStore`.
+    pub persisted: u8,
+    /// Clusters whose medoid changed in the acknowledged refresh
+    /// (0 unless this acks a `RefreshStore`).
+    pub refreshed: u64,
+    /// Clusters removed by merging in the acknowledged refresh
+    /// (0 unless this acks a `RefreshStore`).
+    pub merged: u64,
+}
+
 /// A decoded protocol frame. See the [module docs](self) for the wire
 /// layout and [`FrameType`] for direction and intent.
 #[derive(Debug, Clone, PartialEq)]
@@ -456,6 +546,62 @@ pub enum Frame {
         /// The queries to score.
         queries: Vec<QueryWire>,
     },
+    /// Open (or resume) an exclusive session on a named persistent
+    /// cluster store; acked with a [`Frame::StoreAck`] snapshot.
+    ///
+    /// One client holds a store's write session at a time: a second
+    /// client gets [`ErrorCode::StoreBusy`] (retryable) until the holder
+    /// detaches and its rejoin grace expires. The same `client_id`
+    /// re-opening resumes the session — the server re-acks the duplicate
+    /// installment `seq` instead of re-ingesting it, which is what makes
+    /// reconnect-resume idempotent on the incremental path too.
+    ///
+    /// Store names are file names on the server (`<store_dir>/<name>.shpk`),
+    /// so they are capped in length and restricted to `[A-Za-z0-9_-]` at
+    /// decode time.
+    OpenStore {
+        /// The store's name.
+        name: String,
+        /// Caller-chosen identity, stable across reconnects.
+        client_id: u64,
+        /// The engine configuration the store is (or will be) bound to.
+        /// Opening an existing store with a config that fingerprints
+        /// differently is an [`ErrorCode::ConfigMismatch`].
+        config: JobConfig,
+    },
+    /// Fold an installment of spectra into the session's store via the
+    /// incremental pipeline; acked with a [`Frame::IncrementalAck`].
+    SubmitIncremental {
+        /// Must match the connection's open store session.
+        name: String,
+        /// Per-session installment sequence number, starting at 0. A
+        /// re-sent installment (after a lost ack) carries the same
+        /// `seq`; the server folds each `seq` in once and re-acks
+        /// duplicates.
+        seq: u64,
+        /// The installment's spectra, at most
+        /// [`MAX_INCREMENTAL_BATCH`] per frame.
+        spectra: Vec<Spectrum>,
+    },
+    /// Durably save the session's store to disk (the crash-safe
+    /// tmp→fsync→rename path); acked with a [`Frame::StoreAck`].
+    PersistStore {
+        /// Must match the connection's open store session.
+        name: String,
+    },
+    /// Request a [`Frame::StoreAck`] snapshot of the session's store.
+    StoreStats {
+        /// Must match the connection's open store session.
+        name: String,
+    },
+    /// Run the medoid refresh / compaction pass on the session's store;
+    /// acked with a [`Frame::StoreAck`] carrying the refresh counters.
+    /// This is the one operation **outside** the stable-label contract:
+    /// medoids may move and clusters may merge (labels compact).
+    RefreshStore {
+        /// Must match the connection's open store session.
+        name: String,
+    },
     /// Acknowledges one `Submit`: its spectra occupy stream indices
     /// `[base, base + count)`.
     SubmitAck {
@@ -518,6 +664,13 @@ pub enum Frame {
     /// treat the first `SearchStats` after sending a batch as "all hits
     /// for that batch have arrived".
     SearchStats(SearchStatsFrame),
+    /// The ack of one [`Frame::SubmitIncremental`]: kept indices, stable
+    /// labels, and installment counters.
+    IncrementalAck(IncrementalAckFrame),
+    /// A store snapshot: the ack of [`Frame::OpenStore`],
+    /// [`Frame::PersistStore`], [`Frame::StoreStats`] and
+    /// [`Frame::RefreshStore`].
+    StoreAck(StoreAckFrame),
     /// An error report. [`ErrorCode::Malformed`], [`ErrorCode::Oversized`]
     /// and [`ErrorCode::IdleTimeout`] are followed by a connection close.
     Error {
@@ -537,12 +690,19 @@ impl Frame {
             Frame::CloseJob { .. } => FrameType::CloseJob,
             Frame::LoadLibrary { .. } => FrameType::LoadLibrary,
             Frame::SearchQuery { .. } => FrameType::SearchQuery,
+            Frame::OpenStore { .. } => FrameType::OpenStore,
+            Frame::SubmitIncremental { .. } => FrameType::SubmitIncremental,
+            Frame::PersistStore { .. } => FrameType::PersistStore,
+            Frame::StoreStats { .. } => FrameType::StoreStats,
+            Frame::RefreshStore { .. } => FrameType::RefreshStore,
             Frame::SubmitAck { .. } => FrameType::SubmitAck,
             Frame::Assignment { .. } => FrameType::Assignment,
             Frame::Consensus { .. } => FrameType::Consensus,
             Frame::JobStats(_) => FrameType::JobStats,
             Frame::SearchHit { .. } => FrameType::SearchHit,
             Frame::SearchStats(_) => FrameType::SearchStats,
+            Frame::IncrementalAck(_) => FrameType::IncrementalAck,
+            Frame::StoreAck(_) => FrameType::StoreAck,
             Frame::Error { .. } => FrameType::Error,
         }
     }
@@ -680,6 +840,17 @@ impl Enc {
             self.u64(w);
         }
     }
+    /// The [`JobConfig`] field block shared by `OpenJob` and
+    /// `OpenStore`: dim, resolution, threshold, linkage, watermark,
+    /// workers — in v1 field order.
+    fn job_config(&mut self, config: &JobConfig) {
+        self.u32(config.dim);
+        self.f64(config.resolution);
+        self.f64(config.threshold_fraction);
+        self.u8(linkage_to_wire(config.linkage));
+        self.u32(config.watermark);
+        self.u32(config.workers);
+    }
 }
 
 /// Encodes a frame's payload bytes (no header).
@@ -692,12 +863,7 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             config,
         } => {
             e.u64(*job_id);
-            e.u32(config.dim);
-            e.f64(config.resolution);
-            e.f64(config.threshold_fraction);
-            e.u8(linkage_to_wire(config.linkage));
-            e.u32(config.watermark);
-            e.u32(config.workers);
+            e.job_config(config);
             // v2 addition, kept at the tail so the config field offsets
             // match v1 (and the offset-based decode tests).
             e.u64(*client_id);
@@ -749,6 +915,28 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
                 e.f64(q.mass);
                 e.words(&q.words);
             }
+        }
+        Frame::OpenStore {
+            name,
+            client_id,
+            config,
+        } => {
+            e.str(name);
+            e.u64(*client_id);
+            e.job_config(config);
+        }
+        Frame::SubmitIncremental { name, seq, spectra } => {
+            e.str(name);
+            e.u64(*seq);
+            e.u32(spectra.len() as u32);
+            for s in spectra {
+                e.spectrum(s);
+            }
+        }
+        Frame::PersistStore { name }
+        | Frame::StoreStats { name }
+        | Frame::RefreshStore { name } => {
+            e.str(name);
         }
         Frame::SubmitAck {
             job_id,
@@ -830,6 +1018,36 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             e.u8(s.sealed);
             e.u64(s.queries);
             e.u64(s.hits);
+        }
+        Frame::IncrementalAck(a) => {
+            e.str(&a.name);
+            e.u64(a.seq);
+            e.u64(a.base_id);
+            e.u32(a.kept.len() as u32);
+            for &k in &a.kept {
+                e.u32(k);
+            }
+            for &l in &a.labels {
+                e.u64(l);
+            }
+            e.u64(a.absorbed);
+            e.u64(a.residual);
+            e.u64(a.new_clusters);
+            e.u64(a.total_spectra);
+            e.u64(a.total_clusters);
+        }
+        Frame::StoreAck(s) => {
+            e.str(&s.name);
+            e.u32(s.dim);
+            e.u64(s.fingerprint);
+            e.u64(s.spectra);
+            e.u64(s.buckets);
+            e.u64(s.clusters);
+            e.u8(s.keeps_member_rows);
+            e.u8(s.dirty);
+            e.u8(s.persisted);
+            e.u64(s.refreshed);
+            e.u64(s.merged);
         }
         Frame::Error { code, message } => {
             e.u8(*code as u8);
@@ -987,6 +1205,45 @@ impl<'a> Dec<'a> {
         }
         Ok(s)
     }
+    /// The [`JobConfig`] field block shared by `OpenJob` and
+    /// `OpenStore`, with its full validation: dim bounds, finite
+    /// positive resolution, threshold in `[0, 1]`, and the worker /
+    /// watermark caps from `limits`.
+    fn job_config(&mut self, limits: &Limits) -> Result<JobConfig, WireError> {
+        let config = JobConfig {
+            dim: self.u32()?,
+            resolution: self.f64()?,
+            threshold_fraction: self.f64()?,
+            linkage: linkage_from_wire(self.u8()?)?,
+            watermark: self.u32()?,
+            workers: self.u32()?,
+        };
+        check_dim(config.dim)?;
+        if !config.resolution.is_finite()
+            || config.resolution <= 0.0
+            || !(0.0..=1.0).contains(&config.threshold_fraction)
+        {
+            return Err(WireError::malformed("invalid job config values"));
+        }
+        if config.workers > limits.max_workers {
+            return Err(WireError::malformed(format!(
+                "workers {} exceeds cap {}",
+                config.workers, limits.max_workers
+            )));
+        }
+        if config.watermark == 0 || config.watermark > limits.max_watermark {
+            return Err(WireError::malformed(format!(
+                "watermark {} outside [1, {}]",
+                config.watermark, limits.max_watermark
+            )));
+        }
+        Ok(config)
+    }
+    fn store_name(&mut self, limits: &Limits) -> Result<String, WireError> {
+        let name = self.str()?;
+        check_store_name(&name, limits)?;
+        Ok(name)
+    }
     fn finish(self) -> Result<(), WireError> {
         if self.pos != self.buf.len() {
             return Err(WireError::malformed(format!(
@@ -1023,39 +1280,19 @@ pub fn parse_header(
 }
 
 /// Decodes a frame's payload, given its type from the header. Rejects
-/// truncated payloads and trailing bytes.
-pub fn decode_payload(frame_type: FrameType, payload: &[u8]) -> Result<Frame, WireError> {
+/// truncated payloads, trailing bytes, and any value beyond the caps in
+/// `limits` — this is the single enforcement point for every
+/// decode-time cap (see [`crate::limits`]).
+pub fn decode_payload(
+    frame_type: FrameType,
+    payload: &[u8],
+    limits: &Limits,
+) -> Result<Frame, WireError> {
     let mut d = Dec::new(payload);
     let frame = match frame_type {
         FrameType::OpenJob => {
             let job_id = d.u64()?;
-            let config = JobConfig {
-                dim: d.u32()?,
-                resolution: d.f64()?,
-                threshold_fraction: d.f64()?,
-                linkage: linkage_from_wire(d.u8()?)?,
-                watermark: d.u32()?,
-                workers: d.u32()?,
-            };
-            check_dim(config.dim)?;
-            if !config.resolution.is_finite()
-                || config.resolution <= 0.0
-                || !(0.0..=1.0).contains(&config.threshold_fraction)
-            {
-                return Err(WireError::malformed("invalid job config values"));
-            }
-            if config.workers > MAX_WORKERS {
-                return Err(WireError::malformed(format!(
-                    "workers {} exceeds cap {MAX_WORKERS}",
-                    config.workers
-                )));
-            }
-            if config.watermark == 0 || config.watermark > MAX_WATERMARK {
-                return Err(WireError::malformed(format!(
-                    "watermark {} outside [1, {MAX_WATERMARK}]",
-                    config.watermark
-                )));
-            }
+            let config = d.job_config(limits)?;
             let client_id = d.u64()?;
             Frame::OpenJob {
                 job_id,
@@ -1085,7 +1322,7 @@ pub fn decode_payload(frame_type: FrameType, payload: &[u8]) -> Result<Frame, Wi
             check_dim(dim)?;
             let stride_bytes = (dim as usize).div_ceil(64) * 8;
             // min entry: mass + charge + decoy flag + empty id + words
-            let n = d.capped_count(MAX_LIBRARY_BATCH, 14 + stride_bytes, "library entry")?;
+            let n = d.capped_count(limits.max_library_batch, 14 + stride_bytes, "library entry")?;
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
                 entries.push(LibraryEntryWire {
@@ -1107,19 +1344,21 @@ pub fn decode_payload(frame_type: FrameType, payload: &[u8]) -> Result<Frame, Wi
             let dim = d.u32()?;
             check_dim(dim)?;
             let window_da = d.finite_f64("search window")?;
-            if !(0.0..=MAX_SEARCH_WINDOW_DA).contains(&window_da) {
+            if !(0.0..=limits.max_search_window_da).contains(&window_da) {
                 return Err(WireError::malformed(format!(
-                    "search window {window_da} outside [0, {MAX_SEARCH_WINDOW_DA}]"
+                    "search window {window_da} outside [0, {}]",
+                    limits.max_search_window_da
                 )));
             }
             let top_k = d.u32()?;
-            if top_k == 0 || top_k > MAX_TOP_K {
+            if top_k == 0 || top_k > limits.max_top_k {
                 return Err(WireError::malformed(format!(
-                    "top_k {top_k} outside [1, {MAX_TOP_K}]"
+                    "top_k {top_k} outside [1, {}]",
+                    limits.max_top_k
                 )));
             }
             let stride_bytes = (dim as usize).div_ceil(64) * 8;
-            let n = d.capped_count(MAX_QUERY_BATCH, 8 + stride_bytes, "query")?;
+            let n = d.capped_count(limits.max_query_batch, 8 + stride_bytes, "query")?;
             let mut queries = Vec::with_capacity(n);
             for _ in 0..n {
                 queries.push(QueryWire {
@@ -1135,6 +1374,36 @@ pub fn decode_payload(frame_type: FrameType, payload: &[u8]) -> Result<Frame, Wi
                 queries,
             }
         }
+        FrameType::OpenStore => {
+            let name = d.store_name(limits)?;
+            let client_id = d.u64()?;
+            let config = d.job_config(limits)?;
+            Frame::OpenStore {
+                name,
+                client_id,
+                config,
+            }
+        }
+        FrameType::SubmitIncremental => {
+            let name = d.store_name(limits)?;
+            let seq = d.u64()?;
+            // min spectrum: empty title + fixed fields, as in `Submit`.
+            let n = d.capped_count(limits.max_incremental_batch, 18, "incremental spectrum")?;
+            let mut spectra = Vec::with_capacity(n);
+            for _ in 0..n {
+                spectra.push(d.spectrum()?);
+            }
+            Frame::SubmitIncremental { name, seq, spectra }
+        }
+        FrameType::PersistStore => Frame::PersistStore {
+            name: d.store_name(limits)?,
+        },
+        FrameType::StoreStats => Frame::StoreStats {
+            name: d.store_name(limits)?,
+        },
+        FrameType::RefreshStore => Frame::RefreshStore {
+            name: d.store_name(limits)?,
+        },
         FrameType::SubmitAck => Frame::SubmitAck {
             job_id: d.u64()?,
             seq: d.u64()?,
@@ -1221,6 +1490,46 @@ pub fn decode_payload(frame_type: FrameType, payload: &[u8]) -> Result<Frame, Wi
             queries: d.u64()?,
             hits: d.u64()?,
         }),
+        FrameType::IncrementalAck => {
+            let name = d.store_name(limits)?;
+            let seq = d.u64()?;
+            let base_id = d.u64()?;
+            // 4 bytes kept index + 8 bytes label per element.
+            let n = d.capped_count(limits.max_incremental_batch, 12, "incremental label")?;
+            let mut kept = Vec::with_capacity(n);
+            for _ in 0..n {
+                kept.push(d.u32()?);
+            }
+            let mut labels = Vec::with_capacity(n);
+            for _ in 0..n {
+                labels.push(d.u64()?);
+            }
+            Frame::IncrementalAck(IncrementalAckFrame {
+                name,
+                seq,
+                base_id,
+                kept,
+                labels,
+                absorbed: d.u64()?,
+                residual: d.u64()?,
+                new_clusters: d.u64()?,
+                total_spectra: d.u64()?,
+                total_clusters: d.u64()?,
+            })
+        }
+        FrameType::StoreAck => Frame::StoreAck(StoreAckFrame {
+            name: d.store_name(limits)?,
+            dim: d.u32()?,
+            fingerprint: d.u64()?,
+            spectra: d.u64()?,
+            buckets: d.u64()?,
+            clusters: d.u64()?,
+            keeps_member_rows: d.u8()?,
+            dirty: d.u8()?,
+            persisted: d.u8()?,
+            refreshed: d.u64()?,
+            merged: d.u64()?,
+        }),
         FrameType::Error => {
             let code_byte = d.u8()?;
             let code = ErrorCode::from_wire(code_byte)
@@ -1244,15 +1553,40 @@ fn check_dim(dim: u32) -> Result<(), WireError> {
     Ok(())
 }
 
+/// Validates a store name: non-empty, at most
+/// [`Limits::max_store_name_len`] bytes, and drawn from `[A-Za-z0-9_-]`.
+/// Store names become server-side file names (`<store_dir>/<name>.shpk`),
+/// so the alphabet admits no separators, no dots, no traversal. Public
+/// so clients can fail fast before a frame ever leaves the machine.
+pub fn check_store_name(name: &str, limits: &Limits) -> Result<(), WireError> {
+    if name.is_empty() {
+        return Err(WireError::malformed("store name is empty"));
+    }
+    if name.len() > limits.max_store_name_len as usize {
+        return Err(WireError::malformed(format!(
+            "store name length {} exceeds cap {}",
+            name.len(),
+            limits.max_store_name_len
+        )));
+    }
+    if !name
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+    {
+        return Err(WireError::malformed("store name must match [A-Za-z0-9_-]"));
+    }
+    Ok(())
+}
+
 /// Writes one frame to `w` (no flush — callers batch then flush).
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
     w.write_all(&encode_frame(frame))
 }
 
-/// Reads one frame from a blocking reader. Returns [`WireError::Closed`]
-/// on a clean EOF at a frame boundary; an EOF mid-frame is
-/// [`WireError::Truncated`].
-pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Frame, WireError> {
+/// Reads one frame from a blocking reader, enforcing every cap in
+/// `limits`. Returns [`WireError::Closed`] on a clean EOF at a frame
+/// boundary; an EOF mid-frame is [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read, limits: &Limits) -> Result<Frame, WireError> {
     let mut header = [0u8; HEADER_LEN];
     // First byte separately: EOF here is a clean close, EOF later is a
     // truncated frame.
@@ -1263,11 +1597,11 @@ pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Frame, WireError> {
     }
     r.read_exact(&mut header[1..])
         .map_err(|e| truncated(e, "header"))?;
-    let (frame_type, len) = parse_header(&header, max_len)?;
+    let (frame_type, len) = parse_header(&header, limits.max_frame_len)?;
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)
         .map_err(|e| truncated(e, "payload"))?;
-    decode_payload(frame_type, &payload)
+    decode_payload(frame_type, &payload, limits)
 }
 
 fn truncated(e: std::io::Error, what: &str) -> WireError {
@@ -1281,6 +1615,22 @@ fn truncated(e: std::io::Error, what: &str) -> WireError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Shadows the real `decode_payload` with the default [`Limits`],
+    /// so the suite reads as the common case; the cap-threading itself
+    /// is covered by `crate::limits`' single-table test.
+    fn decode_payload(frame_type: FrameType, payload: &[u8]) -> Result<Frame, WireError> {
+        super::decode_payload(frame_type, payload, &Limits::default())
+    }
+
+    /// Shadows the real `read_frame`, taking just the frame cap.
+    fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Frame, WireError> {
+        let limits = Limits {
+            max_frame_len: max_len,
+            ..Limits::default()
+        };
+        super::read_frame(r, &limits)
+    }
 
     fn spectrum(title: &str, mz: f64, charge: u8, rt: Option<f64>) -> Spectrum {
         let peaks = vec![Peak::new(200.25, 1.5), Peak::new(450.75, 3.25)];
@@ -1349,6 +1699,67 @@ mod tests {
                     words: vec![0xFFFF_0000_FFFF_0000, 1],
                 }],
             },
+            Frame::OpenStore {
+                name: "repo-2026_q3".into(),
+                client_id: 0xC11E_0002,
+                config: JobConfig::default(),
+            },
+            Frame::SubmitIncremental {
+                name: "repo-2026_q3".into(),
+                seq: 4,
+                spectra: vec![spectrum("scan=9", 712.5, 2, Some(30.25))],
+            },
+            Frame::SubmitIncremental {
+                name: "repo-2026_q3".into(),
+                seq: 5,
+                spectra: Vec::new(),
+            },
+            Frame::PersistStore {
+                name: "repo-2026_q3".into(),
+            },
+            Frame::StoreStats {
+                name: "repo-2026_q3".into(),
+            },
+            Frame::RefreshStore {
+                name: "repo-2026_q3".into(),
+            },
+            Frame::IncrementalAck(IncrementalAckFrame {
+                name: "repo-2026_q3".into(),
+                seq: 4,
+                base_id: 1000,
+                kept: vec![0, 2, 3],
+                labels: vec![17, 17, 410],
+                absorbed: 2,
+                residual: 1,
+                new_clusters: 1,
+                total_spectra: 1003,
+                total_clusters: 411,
+            }),
+            Frame::IncrementalAck(IncrementalAckFrame {
+                name: "repo-2026_q3".into(),
+                seq: 5,
+                base_id: 1003,
+                kept: Vec::new(),
+                labels: Vec::new(),
+                absorbed: 0,
+                residual: 0,
+                new_clusters: 0,
+                total_spectra: 1003,
+                total_clusters: 411,
+            }),
+            Frame::StoreAck(StoreAckFrame {
+                name: "repo-2026_q3".into(),
+                dim: 4096,
+                fingerprint: 0xFEED_F00D_CAFE,
+                spectra: 1003,
+                buckets: 120,
+                clusters: 409,
+                keeps_member_rows: 1,
+                dirty: 1,
+                persisted: 0,
+                refreshed: 3,
+                merged: 2,
+            }),
             Frame::SubmitAck {
                 job_id: 7,
                 seq: 3,
@@ -1423,6 +1834,10 @@ mod tests {
             Frame::Error {
                 code: ErrorCode::Busy,
                 message: "job registry is full; retry after backoff".into(),
+            },
+            Frame::Error {
+                code: ErrorCode::StoreBusy,
+                message: "store is held by client 3; retry after backoff".into(),
             },
         ]
     }
@@ -1530,9 +1945,10 @@ mod tests {
             assert!(!code.is_retryable(), "{code:?} is in the fatal range");
         }
         assert!(ErrorCode::Busy.is_retryable());
+        assert!(ErrorCode::StoreBusy.is_retryable());
         // Unknown codes — even ones inside the retryable range — are
         // rejected at decode, never misclassified or silently retried.
-        for byte in [0u8, 8, 0x3F, 0x41, 0xFF] {
+        for byte in [0u8, 8, 0x3F, 0x42, 0xFF] {
             let mut e = Enc::new();
             e.u8(byte);
             e.str("mystery");
@@ -1856,5 +2272,115 @@ mod tests {
             decode_payload(FrameType::SearchQuery, &q.buf),
             Err(WireError::Malformed(_))
         ));
+    }
+
+    /// Store names become server-side file names, so the decode path —
+    /// on every store frame, both directions — must refuse anything
+    /// outside `[A-Za-z0-9_-]` within the length cap.
+    #[test]
+    fn hostile_store_names_are_rejected_at_decode() {
+        let store_frames = |name: &str| {
+            vec![
+                Frame::OpenStore {
+                    name: name.into(),
+                    client_id: 7,
+                    config: JobConfig::default(),
+                },
+                Frame::SubmitIncremental {
+                    name: name.into(),
+                    seq: 0,
+                    spectra: Vec::new(),
+                },
+                Frame::PersistStore { name: name.into() },
+                Frame::StoreStats { name: name.into() },
+                Frame::RefreshStore { name: name.into() },
+                Frame::IncrementalAck(IncrementalAckFrame {
+                    name: name.into(),
+                    seq: 0,
+                    base_id: 0,
+                    kept: Vec::new(),
+                    labels: Vec::new(),
+                    absorbed: 0,
+                    residual: 0,
+                    new_clusters: 0,
+                    total_spectra: 0,
+                    total_clusters: 0,
+                }),
+                Frame::StoreAck(StoreAckFrame {
+                    name: name.into(),
+                    dim: 64,
+                    fingerprint: 0,
+                    spectra: 0,
+                    buckets: 0,
+                    clusters: 0,
+                    keeps_member_rows: 0,
+                    dirty: 0,
+                    persisted: 0,
+                    refreshed: 0,
+                    merged: 0,
+                }),
+            ]
+        };
+        for name in [
+            "",
+            "../escape",
+            "a/b",
+            "a\\b",
+            "dot.shpk",
+            "space name",
+            "nul\0",
+            "ünïcode",
+            &"x".repeat(MAX_STORE_NAME_LEN as usize + 1),
+        ] {
+            for frame in store_frames(name) {
+                let frame_type = frame.frame_type();
+                assert!(
+                    matches!(
+                        decode_payload(frame_type, &encode_payload(&frame)),
+                        Err(WireError::Malformed(_))
+                    ),
+                    "store name {name:?} must be rejected in {frame_type:?}"
+                );
+            }
+        }
+        // The full legal alphabet at exactly the cap decodes.
+        let max_name = format!("AZaz09_-{}", "x".repeat(MAX_STORE_NAME_LEN as usize - 8));
+        for frame in store_frames(&max_name) {
+            let frame_type = frame.frame_type();
+            assert_eq!(
+                decode_payload(frame_type, &encode_payload(&frame)).unwrap(),
+                frame,
+                "boundary store name must decode in {frame_type:?}"
+            );
+        }
+    }
+
+    /// A hostile count prefix in `SubmitIncremental` (installments) or
+    /// `IncrementalAck` (labels) is rejected by the cap alone, before
+    /// any allocation.
+    #[test]
+    fn hostile_incremental_batches_are_rejected_at_decode() {
+        let mut s = Enc::new();
+        s.str("store");
+        s.u64(0); // seq
+        s.u32(MAX_INCREMENTAL_BATCH + 1);
+        match decode_payload(FrameType::SubmitIncremental, &s.buf) {
+            Err(WireError::Malformed(msg)) => {
+                assert!(msg.contains("exceeds cap"), "cap checked first: {msg}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+
+        let mut a = Enc::new();
+        a.str("store");
+        a.u64(0); // seq
+        a.u64(0); // base_id
+        a.u32(u32::MAX); // label count
+        match decode_payload(FrameType::IncrementalAck, &a.buf) {
+            Err(WireError::Malformed(msg)) => {
+                assert!(msg.contains("exceeds cap"), "cap checked first: {msg}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
     }
 }

@@ -27,13 +27,16 @@
 //! connection stays up.
 
 use crate::job::{JobHandle, JobRegistry};
+use crate::limits::Limits;
 use crate::protocol::{
-    decode_payload, parse_header, write_frame, ErrorCode, Frame, WireError, DEFAULT_MAX_FRAME_LEN,
+    decode_payload, parse_header, write_frame, ErrorCode, Frame, StoreAckFrame, WireError,
     HEADER_LEN,
 };
 use crate::search::{SearchHandle, SearchRegistry};
+use crate::store::{StoreRegistry, StoreSessionHandle};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -42,9 +45,10 @@ use std::time::{Duration, Instant};
 /// Tunables of a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Cap on a single frame's payload length; larger length prefixes
-    /// are rejected before any allocation and close the connection.
-    pub max_frame_len: u32,
+    /// Every decode-time cap the server enforces — frame length,
+    /// per-batch counts, config ranges, store-name length — in one
+    /// [`Limits`] table applied uniformly by the frame reader.
+    pub limits: Limits,
     /// How long a connection with no open (unfinished) job may sit
     /// without sending a frame before the server closes it. Connections
     /// waiting on a live job's results are exempt.
@@ -76,13 +80,23 @@ pub struct ServerConfig {
     /// resume (missed result frames are replayed, submit sequencing
     /// continues). Zero restores disconnect-is-close. Also the linger a
     /// finished job (and an emptied search job) stays joinable for.
+    /// Store sessions use the same window: a disconnected holder's
+    /// exclusive slot stays resumable this long before the store frees.
     pub rejoin_grace: Duration,
+    /// Directory of `<name>.shpk` cluster-store backing files for
+    /// `OpenStore`/`PersistStore` sessions. `None` (the default) keeps
+    /// stores memory-only and refuses `PersistStore`.
+    pub store_dir: Option<PathBuf>,
+    /// Load-shedding bound on resident cluster stores; an `OpenStore`
+    /// that would create one more is refused with the retryable
+    /// [`ErrorCode::StoreBusy`].
+    pub max_stores: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
-            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            limits: Limits::default(),
             idle_timeout: Duration::from_secs(60),
             queue_depth: 1024,
             outbound_queue_depth: 4096,
@@ -90,6 +104,8 @@ impl Default for ServerConfig {
             frame_deadline: Duration::from_secs(10),
             max_jobs: 1024,
             rejoin_grace: Duration::from_secs(2),
+            store_dir: None,
+            max_stores: 1024,
         }
     }
 }
@@ -100,6 +116,7 @@ pub struct Server {
     config: ServerConfig,
     registry: Arc<JobRegistry>,
     search_registry: Arc<SearchRegistry>,
+    store_registry: Arc<StoreRegistry>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -113,11 +130,17 @@ impl Server {
             config.rejoin_grace,
         ));
         let search_registry = Arc::new(SearchRegistry::with_linger(config.rejoin_grace));
+        let store_registry = Arc::new(StoreRegistry::new(
+            config.store_dir.clone(),
+            config.rejoin_grace,
+            config.max_stores,
+        ));
         Ok(Self {
             listener,
             config,
             registry,
             search_registry,
+            store_registry,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -151,13 +174,21 @@ impl Server {
             let config = self.config.clone();
             let registry = Arc::clone(&self.registry);
             let search_registry = Arc::clone(&self.search_registry);
+            let store_registry = Arc::clone(&self.store_registry);
             let shutdown = Arc::clone(&self.shutdown);
             connections.retain(|c| !c.is_finished());
             connections.push(
                 std::thread::Builder::new()
                     .name("spechd-conn".into())
                     .spawn(move || {
-                        handle_connection(stream, config, registry, search_registry, shutdown)
+                        handle_connection(
+                            stream,
+                            config,
+                            registry,
+                            search_registry,
+                            store_registry,
+                            shutdown,
+                        )
                     })
                     .expect("spawn connection thread"),
             );
@@ -235,6 +266,7 @@ fn handle_connection(
     config: ServerConfig,
     registry: Arc<JobRegistry>,
     search_registry: Arc<SearchRegistry>,
+    store_registry: Arc<StoreRegistry>,
     shutdown: Arc<AtomicBool>,
 ) {
     let _ = stream.set_nodelay(true);
@@ -255,19 +287,23 @@ fn handle_connection(
     let mut reader = FrameReader::new(stream, &config);
     let mut handle: Option<JobHandle> = None;
     let mut search: Option<SearchHandle> = None;
+    let mut store: Option<StoreSessionHandle> = None;
     loop {
-        // Idle exemption stays clustering-only: a search job never
-        // pushes unsolicited frames, so a connection merely *holding*
-        // one open is idle if it stops sending — the timeout reclaims
-        // it (and the handle's drop leaves the job).
+        // Idle exemption stays clustering-only: search and store
+        // sessions never push unsolicited frames, so a connection
+        // merely *holding* one open is idle if it stops sending — the
+        // timeout reclaims it (and the handle's drop leaves the job /
+        // detaches the store session into its rejoin grace).
         let engaged = handle.as_ref().is_some_and(JobHandle::is_active);
         match reader.next_frame(&shutdown, engaged) {
             ReadEvent::Frame(frame) => dispatch(
                 frame,
                 &mut handle,
                 &mut search,
+                &mut store,
                 &registry,
                 &search_registry,
+                &store_registry,
                 &out_tx,
             ),
             ReadEvent::Hangup(parting) => {
@@ -280,11 +316,12 @@ fn handle_connection(
     }
     // Dropping the handles ends this connection's job participations;
     // if it was a job's last participant the clustering stream ends
-    // (pipeline finalizes) / the search job is removed. Dropping
-    // `out_tx` lets the writer exit once the job's subscription (if
-    // any) is gone too.
+    // (pipeline finalizes) / the search job is removed / the store
+    // session detaches into its rejoin grace. Dropping `out_tx` lets
+    // the writer exit once the job's subscription (if any) is gone too.
     drop(handle);
     drop(search);
+    drop(store);
     drop(out_tx);
     let _ = writer.join();
 }
@@ -294,7 +331,7 @@ fn handle_connection(
 /// deadline for the rest of each frame.
 struct FrameReader {
     stream: TcpStream,
-    max_frame_len: u32,
+    limits: Limits,
     idle_timeout: Duration,
     poll_interval: Duration,
     frame_deadline: Duration,
@@ -305,7 +342,7 @@ impl FrameReader {
     fn new(stream: TcpStream, config: &ServerConfig) -> Self {
         Self {
             stream,
-            max_frame_len: config.max_frame_len,
+            limits: config.limits.clone(),
             idle_timeout: config.idle_timeout,
             poll_interval: config.poll_interval,
             frame_deadline: config.frame_deadline,
@@ -361,7 +398,7 @@ impl FrameReader {
         if let Err(e) = self.stream.read_exact(&mut header[1..]) {
             return hangup_for(truncation(e, "header"));
         }
-        let (frame_type, len) = match parse_header(&header, self.max_frame_len) {
+        let (frame_type, len) = match parse_header(&header, self.limits.max_frame_len) {
             Ok(parsed) => parsed,
             Err(e) => return hangup_for(e),
         };
@@ -369,7 +406,7 @@ impl FrameReader {
         if let Err(e) = self.stream.read_exact(&mut payload) {
             return hangup_for(truncation(e, "payload"));
         }
-        match decode_payload(frame_type, &payload) {
+        match decode_payload(frame_type, &payload, &self.limits) {
             Ok(frame) => {
                 self.last_activity = Instant::now();
                 ReadEvent::Frame(frame)
@@ -426,12 +463,15 @@ fn ensure_search<'a>(
     Ok(search.as_ref().expect("search handle just ensured"))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     frame: Frame,
     handle: &mut Option<JobHandle>,
     search: &mut Option<SearchHandle>,
+    store: &mut Option<StoreSessionHandle>,
     registry: &Arc<JobRegistry>,
     search_registry: &Arc<SearchRegistry>,
+    store_registry: &Arc<StoreRegistry>,
     out_tx: &mpsc::SyncSender<Frame>,
 ) {
     let reply = |frame: Frame| {
@@ -535,15 +575,87 @@ fn dispatch(
                 message: e.message,
             }),
         },
+        Frame::OpenStore {
+            name,
+            client_id,
+            config,
+        } => {
+            let job_error = |e: crate::job::JobError| {
+                reply(Frame::Error {
+                    code: e.code,
+                    message: e.message,
+                });
+            };
+            if let Some(h) = store {
+                // Idempotent re-open of the held session (same store,
+                // same participant) is a stats snapshot; anything else
+                // would need a second session on one connection.
+                if h.name() == name && h.client_id() == client_id {
+                    match h.stats() {
+                        Ok(ack) => reply(Frame::StoreAck(ack)),
+                        Err(e) => job_error(e),
+                    }
+                } else {
+                    state_error("connection already has an open store session".into());
+                }
+                return;
+            }
+            match store_registry.open(&name, client_id, &config) {
+                Ok(h) => match h.stats() {
+                    Ok(ack) => {
+                        reply(Frame::StoreAck(ack));
+                        *store = Some(h);
+                    }
+                    Err(e) => job_error(e),
+                },
+                Err(e) => job_error(e),
+            }
+        }
+        Frame::SubmitIncremental { name, seq, spectra } => match store {
+            Some(h) if h.name() == name => match h.submit_incremental(seq, spectra) {
+                Ok(ack) => reply(Frame::IncrementalAck(ack)),
+                Err(e) => reply(Frame::Error {
+                    code: e.code,
+                    message: e.message,
+                }),
+            },
+            _ => state_error(format!("store {name} is not open on this connection")),
+        },
+        Frame::PersistStore { name } => match store {
+            Some(h) if h.name() == name => reply(store_ack_or_error(h.persist())),
+            _ => state_error(format!("store {name} is not open on this connection")),
+        },
+        Frame::StoreStats { name } => match store {
+            Some(h) if h.name() == name => reply(store_ack_or_error(h.stats())),
+            _ => state_error(format!("store {name} is not open on this connection")),
+        },
+        Frame::RefreshStore { name } => match store {
+            Some(h) if h.name() == name => reply(store_ack_or_error(h.refresh())),
+            _ => state_error(format!("store {name} is not open on this connection")),
+        },
         Frame::SubmitAck { .. }
         | Frame::Assignment { .. }
         | Frame::Consensus { .. }
         | Frame::JobStats(_)
         | Frame::SearchHit { .. }
         | Frame::SearchStats(_)
+        | Frame::IncrementalAck(_)
+        | Frame::StoreAck(_)
         | Frame::Error { .. } => {
             state_error("server-to-client frame sent by client".into());
         }
+    }
+}
+
+/// Folds a store-session admin result into the single frame that goes
+/// back to the client.
+fn store_ack_or_error(result: Result<StoreAckFrame, crate::job::JobError>) -> Frame {
+    match result {
+        Ok(ack) => Frame::StoreAck(ack),
+        Err(e) => Frame::Error {
+            code: e.code,
+            message: e.message,
+        },
     }
 }
 

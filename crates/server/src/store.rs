@@ -1,0 +1,635 @@
+//! Store sessions: exclusive, resumable write sessions over persistent
+//! incremental cluster stores.
+//!
+//! A *store* is a named server-side [`ClusterStore`] plus the
+//! [`SpecHd`] engine its config describes. Unlike jobs — shared streams
+//! any number of participants append to — a store admits **one writer
+//! at a time**: `OpenStore` binds the connection to the store's single
+//! session slot, and a second client asking for the same store is shed
+//! with the retryable [`ErrorCode::StoreBusy`] until the holder
+//! disconnects (plus the rejoin grace). Exclusivity is what makes the
+//! served incremental path bit-identical to a library
+//! [`run_incremental`](SpecHd::run_incremental) loop: installments
+//! apply in exactly the order one client sent them, with no
+//! interleaving to re-order absorption.
+//!
+//! ## Resume
+//!
+//! The session slot mirrors the job slot's reconnect contract:
+//! installments are sequence-numbered, a duplicate `seq` is re-acked
+//! from the recorded ack instead of re-ingested, and a disconnected
+//! holder's slot survives the registry's rejoin grace for the same
+//! `client_id` to reconnect (re-`OpenStore`) and resume. A rejoin while
+//! the old connection still reads as attached *steals* the slot
+//! (newest connection wins, epoch bump), so a half-dead socket never
+//! wedges a store.
+//!
+//! ## Persistence
+//!
+//! Stores live in memory between sessions. When the server is given a
+//! store directory, `OpenStore` first tries
+//! [`ClusterStore::load_or_recover`] on `<dir>/<name>.shpk` (the
+//! crash-safe read side of the PR 9 durability path), and
+//! `PersistStore` saves through [`ClusterStore::save`] (the atomic
+//! tmp → fsync → backup-rotate → rename write side). Without a store
+//! directory the store is memory-only and `PersistStore` is refused.
+//!
+//! Config binding is strict: the store's engine is built once from the
+//! `OpenStore` config, a later `OpenStore` with a different config is
+//! refused with [`ErrorCode::ConfigMismatch`], and a store loaded from
+//! disk must carry the matching config fingerprint
+//! ([`ClusterStore::ensure_compatible`]).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use spechd_core::{ClusterStore, SpecHd, SpecHdError, StoreError};
+use spechd_ms::{Spectrum, SpectrumDataset};
+
+use crate::job::JobError;
+use crate::protocol::{ErrorCode, IncrementalAckFrame, JobConfig, StoreAckFrame};
+
+/// Maps a store-layer failure to the wire error code a client should
+/// see: config/fingerprint disagreements are [`ErrorCode::ConfigMismatch`],
+/// I/O trouble is the retryable [`ErrorCode::StoreBusy`] (the file may
+/// be readable or writable a moment later), and structural corruption
+/// is fatal [`ErrorCode::ProtocolState`].
+fn store_error_code(e: &StoreError) -> ErrorCode {
+    match e {
+        StoreError::DimMismatch { .. } | StoreError::ConfigMismatch { .. } => {
+            ErrorCode::ConfigMismatch
+        }
+        StoreError::Io { .. } => ErrorCode::StoreBusy,
+        _ => ErrorCode::ProtocolState,
+    }
+}
+
+fn store_error(e: &SpecHdError) -> JobError {
+    let code = match e {
+        SpecHdError::Store(s) => store_error_code(s),
+        SpecHdError::Config(_) => ErrorCode::ConfigMismatch,
+    };
+    JobError {
+        code,
+        message: format!("store: {e}"),
+    }
+}
+
+fn state_error(message: impl Into<String>) -> JobError {
+    JobError {
+        code: ErrorCode::ProtocolState,
+        message: message.into(),
+    }
+}
+
+/// The single write session a store admits at a time.
+struct SessionSlot {
+    /// Owner of the slot; survives the TCP connection.
+    client_id: u64,
+    /// A live connection currently holds this slot.
+    attached: bool,
+    /// Bumped on every rejoin; lets a pending grace timer and zombie
+    /// handles recognize they have been superseded.
+    epoch: u64,
+    /// The next installment sequence number this session will ingest.
+    next_seq: u64,
+    /// The last acknowledged installment, for duplicate re-acks.
+    last_ack: Option<IncrementalAckFrame>,
+}
+
+/// Mutable state of one store: the archive, its engine, and the session.
+struct StoreState {
+    store: ClusterStore,
+    engine: SpecHd,
+    config: JobConfig,
+    /// Absorptions or refreshes since the last successful persist.
+    dirty: bool,
+    session: Option<SessionSlot>,
+}
+
+/// One named store resident in the registry.
+struct StoreEntry {
+    name: String,
+    /// Backing file, when the server has a store directory.
+    path: Option<PathBuf>,
+    rejoin_grace: Duration,
+    state: Mutex<StoreState>,
+}
+
+impl StoreEntry {
+    fn lock(&self) -> std::sync::MutexGuard<'_, StoreState> {
+        self.state.lock().expect("store state poisoned")
+    }
+}
+
+/// Owns every store resident on this server, by name.
+///
+/// Stores are created on first `OpenStore` (loading the backing file
+/// when one exists) and stay resident until the server stops — the
+/// in-memory archive *is* the continuation state that makes a later
+/// session's labels extend the earlier session's verbatim.
+pub struct StoreRegistry {
+    stores: Mutex<HashMap<String, Arc<StoreEntry>>>,
+    /// Directory of `<name>.shpk` backing files; `None` = memory-only.
+    dir: Option<PathBuf>,
+    rejoin_grace: Duration,
+    max_stores: usize,
+}
+
+impl StoreRegistry {
+    /// Creates an empty registry. `dir` is the backing directory for
+    /// `<name>.shpk` files (`None` disables persistence), a
+    /// disconnected session survives `rejoin_grace` for the same
+    /// `client_id` to resume, and at most `max_stores` stores may be
+    /// resident (one more is shed with retryable
+    /// [`ErrorCode::StoreBusy`]).
+    pub fn new(dir: Option<PathBuf>, rejoin_grace: Duration, max_stores: usize) -> Self {
+        Self {
+            stores: Mutex::new(HashMap::new()),
+            dir,
+            rejoin_grace,
+            max_stores: max_stores.max(1),
+        }
+    }
+
+    /// Number of resident stores.
+    pub fn len(&self) -> usize {
+        self.stores.lock().expect("store registry poisoned").len()
+    }
+
+    /// Whether no store is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Opens `name` for `client_id`, creating or loading the store on
+    /// first open, and claims its exclusive session slot.
+    ///
+    /// * A store held by a *different* client is refused with the
+    ///   retryable [`ErrorCode::StoreBusy`].
+    /// * The *same* client rejoining (reconnect inside the grace, or a
+    ///   slot-steal while the old connection reads attached) resumes
+    ///   its session: sequence numbering and the duplicate-ack record
+    ///   carry over.
+    /// * A config differing from the one the store was opened (or
+    ///   persisted) with is refused with
+    ///   [`ErrorCode::ConfigMismatch`].
+    pub fn open(
+        &self,
+        name: &str,
+        client_id: u64,
+        config: &JobConfig,
+    ) -> Result<StoreSessionHandle, JobError> {
+        let entry = self.entry(name, config)?;
+        let mut state = entry.lock();
+        if state.config != *config {
+            return Err(JobError {
+                code: ErrorCode::ConfigMismatch,
+                message: format!("store {name} is bound to a different clustering config"),
+            });
+        }
+        let epoch = match &mut state.session {
+            Some(slot) if slot.client_id != client_id => {
+                return Err(JobError {
+                    code: ErrorCode::StoreBusy,
+                    message: format!("store {name} has an active write session for another client"),
+                });
+            }
+            Some(slot) => {
+                // Same participant back (resume or slot steal): the
+                // epoch bump turns the zombie handle's detach into a
+                // no-op and cancels any pending grace timer.
+                slot.attached = true;
+                slot.epoch += 1;
+                slot.epoch
+            }
+            None => {
+                state.session = Some(SessionSlot {
+                    client_id,
+                    attached: true,
+                    epoch: 0,
+                    next_seq: 0,
+                    last_ack: None,
+                });
+                0
+            }
+        };
+        drop(state);
+        Ok(StoreSessionHandle {
+            entry,
+            client_id,
+            epoch,
+        })
+    }
+
+    /// Looks up or creates the named entry (engine build + optional
+    /// backing-file load happen here, exactly once per store).
+    fn entry(&self, name: &str, config: &JobConfig) -> Result<Arc<StoreEntry>, JobError> {
+        let mut stores = self.stores.lock().expect("store registry poisoned");
+        if let Some(entry) = stores.get(name) {
+            return Ok(Arc::clone(entry));
+        }
+        if stores.len() >= self.max_stores {
+            return Err(JobError {
+                code: ErrorCode::StoreBusy,
+                message: format!("server store cap {} reached", self.max_stores),
+            });
+        }
+        let engine = SpecHd::try_new(config.pipeline_config())
+            .map_err(|e| store_error(&SpecHdError::Config(e)))?;
+        let path = self
+            .dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{name}.shpk")));
+        let store = match path.as_deref() {
+            Some(p) => load_or_create(&engine, p)?,
+            None => engine
+                .new_store_keeping_rows()
+                .map_err(|e| store_error(&e))?,
+        };
+        let entry = Arc::new(StoreEntry {
+            name: name.to_string(),
+            path,
+            rejoin_grace: self.rejoin_grace,
+            state: Mutex::new(StoreState {
+                store,
+                engine,
+                config: config.clone(),
+                dirty: false,
+                session: None,
+            }),
+        });
+        stores.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+}
+
+/// Loads the backing file (with crash recovery) when any replica of it
+/// exists, otherwise creates a fresh row-keeping store. A loaded store
+/// must match the engine's dim and config fingerprint.
+fn load_or_create(engine: &SpecHd, path: &Path) -> Result<ClusterStore, JobError> {
+    match ClusterStore::load_or_recover(path) {
+        Ok((store, _report)) => {
+            // Probe store: the engine's dim/fingerprint via public API.
+            let probe = engine.new_store().map_err(|e| store_error(&e))?;
+            store
+                .ensure_compatible(probe.dim(), probe.fingerprint())
+                .map_err(|e| store_error(&SpecHdError::Store(e)))?;
+            Ok(store)
+        }
+        // A clean not-found (no primary, pending, or backup replica)
+        // means the store has simply never been persisted: start fresh.
+        Err(StoreError::Io { ref source, .. }) if source.kind() == std::io::ErrorKind::NotFound => {
+            engine.new_store_keeping_rows().map_err(|e| store_error(&e))
+        }
+        Err(e) => Err(store_error(&SpecHdError::Store(e))),
+    }
+}
+
+/// One connection's claim on a store's write session.
+///
+/// Dropping the handle (connection gone) *detaches* the session rather
+/// than ending it: the slot survives the rejoin grace for the same
+/// client to reconnect and resume, after which the store is free for
+/// any client.
+pub struct StoreSessionHandle {
+    entry: Arc<StoreEntry>,
+    client_id: u64,
+    epoch: u64,
+}
+
+impl std::fmt::Debug for StoreSessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreSessionHandle")
+            .field("name", &self.entry.name)
+            .field("client_id", &self.client_id)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+impl StoreSessionHandle {
+    /// The store's name.
+    pub fn name(&self) -> &str {
+        &self.entry.name
+    }
+
+    /// The session owner's client id.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// Locks the state iff this handle still owns the session.
+    fn owned(&self) -> Result<std::sync::MutexGuard<'_, StoreState>, JobError> {
+        let state = self.entry.lock();
+        let owns = state
+            .session
+            .as_ref()
+            .is_some_and(|s| s.client_id == self.client_id && s.epoch == self.epoch);
+        if owns {
+            Ok(state)
+        } else {
+            Err(state_error(format!(
+                "store session for {} was superseded",
+                self.entry.name
+            )))
+        }
+    }
+
+    /// Ingests one sequence-numbered installment through the store's
+    /// engine. A duplicate of the last acknowledged `seq` is re-acked
+    /// verbatim without re-ingesting (resume idempotency); any other
+    /// out-of-order `seq` is a fatal protocol error.
+    pub fn submit_incremental(
+        &self,
+        seq: u64,
+        spectra: Vec<Spectrum>,
+    ) -> Result<IncrementalAckFrame, JobError> {
+        let mut guard = self.owned()?;
+        let state = &mut *guard;
+        let slot = state.session.as_mut().expect("owned session");
+        if let Some(ack) = &slot.last_ack {
+            if ack.seq == seq {
+                return Ok(ack.clone());
+            }
+        }
+        if seq != slot.next_seq {
+            return Err(state_error(format!(
+                "out-of-order installment seq {seq} (expected {})",
+                slot.next_seq
+            )));
+        }
+        let dataset = SpectrumDataset::from_spectra(spectra);
+        let outcome = state
+            .engine
+            .run_incremental(&mut state.store, &dataset)
+            .map_err(|e| store_error(&e))?;
+        let stats = outcome.stats();
+        let ack = IncrementalAckFrame {
+            name: self.entry.name.clone(),
+            seq,
+            base_id: outcome.base_id(),
+            kept: outcome.kept().iter().map(|&i| i as u32).collect(),
+            labels: outcome
+                .installment_labels()
+                .iter()
+                .map(|&l| l as u64)
+                .collect(),
+            absorbed: stats.absorbed as u64,
+            residual: stats.residual as u64,
+            new_clusters: stats.new_clusters as u64,
+            total_spectra: state.store.next_spectrum_id(),
+            total_clusters: state.store.num_clusters() as u64,
+        };
+        state.dirty = true;
+        let slot = state.session.as_mut().expect("owned session");
+        slot.last_ack = Some(ack.clone());
+        slot.next_seq = seq + 1;
+        Ok(ack)
+    }
+
+    /// Saves the store to its backing file through the atomic
+    /// durability path. Refused (fatal) when the server has no store
+    /// directory; a failed save is retryable
+    /// ([`ErrorCode::StoreBusy`]) and leaves any previous replica
+    /// intact.
+    pub fn persist(&self) -> Result<StoreAckFrame, JobError> {
+        let mut guard = self.owned()?;
+        let state = &mut *guard;
+        let Some(path) = self.entry.path.as_deref() else {
+            return Err(state_error(format!(
+                "store {} cannot persist: server has no store directory",
+                self.entry.name
+            )));
+        };
+        state.store.save(path).map_err(|e| JobError {
+            code: ErrorCode::StoreBusy,
+            message: format!("store {} save failed: {e}", self.entry.name),
+        })?;
+        state.dirty = false;
+        Ok(self.ack(state, 1, 0, 0))
+    }
+
+    /// A point-in-time snapshot of the store's shape and session state.
+    pub fn stats(&self) -> Result<StoreAckFrame, JobError> {
+        let guard = self.owned()?;
+        Ok(self.ack(&guard, 0, 0, 0))
+    }
+
+    /// Runs the medoid refresh / compaction pass
+    /// ([`SpecHd::refresh_store`]) on the store. Sits outside the
+    /// stable-label contract: labels may merge. Refused (fatal) on a
+    /// store loaded without member rows.
+    pub fn refresh(&self) -> Result<StoreAckFrame, JobError> {
+        let mut guard = self.owned()?;
+        let state = &mut *guard;
+        let report = state
+            .engine
+            .refresh_store(&mut state.store)
+            .map_err(|e| store_error(&e))?;
+        if report.refreshed > 0 || report.merged > 0 {
+            state.dirty = true;
+        }
+        Ok(self.ack(state, 0, report.refreshed, report.merged))
+    }
+
+    fn ack(&self, state: &StoreState, persisted: u8, refreshed: u64, merged: u64) -> StoreAckFrame {
+        StoreAckFrame {
+            name: self.entry.name.clone(),
+            dim: state.store.dim() as u32,
+            fingerprint: state.store.fingerprint(),
+            spectra: state.store.next_spectrum_id(),
+            buckets: state.store.num_buckets() as u64,
+            clusters: state.store.num_clusters() as u64,
+            keeps_member_rows: u8::from(state.store.keeps_member_rows()),
+            dirty: u8::from(state.dirty),
+            persisted,
+            refreshed,
+            merged,
+        }
+    }
+
+    /// Releases the slot: immediately when the grace is zero, otherwise
+    /// after a grace timer that a rejoin (epoch bump) supersedes.
+    fn detach(&self) {
+        let mut state = self.entry.lock();
+        let Some(slot) = state.session.as_mut() else {
+            return;
+        };
+        if slot.client_id != self.client_id || slot.epoch != self.epoch {
+            // Stolen by a newer connection; nothing left to release.
+            return;
+        }
+        slot.attached = false;
+        if self.entry.rejoin_grace.is_zero() {
+            state.session = None;
+            return;
+        }
+        let epoch = slot.epoch;
+        let client_id = self.client_id;
+        drop(state);
+        let entry = Arc::clone(&self.entry);
+        // Detached grace timer; superseded by a rejoin (epoch bump).
+        let _ = std::thread::Builder::new()
+            .name(format!("spechd-store-{}-grace", entry.name))
+            .spawn(move || {
+                std::thread::sleep(entry.rejoin_grace);
+                let mut state = entry.lock();
+                let expired = state
+                    .session
+                    .as_ref()
+                    .is_some_and(|s| s.client_id == client_id && s.epoch == epoch && !s.attached);
+                if expired {
+                    state.session = None;
+                }
+            });
+    }
+}
+
+impl Drop for StoreSessionHandle {
+    fn drop(&mut self) {
+        self.detach();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechd_ms::synth::{SyntheticConfig, SyntheticGenerator};
+
+    fn spectra(n: usize, seed: u64) -> Vec<Spectrum> {
+        let dataset = SyntheticGenerator::new(SyntheticConfig {
+            num_spectra: n,
+            num_peptides: (n / 3).max(2),
+            seed,
+            ..SyntheticConfig::default()
+        })
+        .generate();
+        dataset.spectra().to_vec()
+    }
+
+    fn registry(dir: Option<PathBuf>) -> StoreRegistry {
+        StoreRegistry::new(dir, Duration::ZERO, 8)
+    }
+
+    #[test]
+    fn exclusive_session_busy_then_free_after_drop() {
+        let reg = registry(None);
+        let config = JobConfig::default();
+        let h1 = reg.open("a", 1, &config).expect("first open");
+        let busy = reg.open("a", 2, &config).expect_err("second client");
+        assert_eq!(busy.code, ErrorCode::StoreBusy);
+        assert!(busy.code.is_retryable());
+        drop(h1);
+        // Zero grace: the drop freed the slot immediately.
+        reg.open("a", 2, &config).expect("open after release");
+    }
+
+    #[test]
+    fn same_client_rejoin_resumes_sequence_and_reack() {
+        let reg = registry(None);
+        let config = JobConfig::default();
+        let h1 = reg.open("a", 7, &config).expect("open");
+        let ack0 = h1.submit_incremental(0, spectra(12, 1)).expect("seq 0");
+        // Steal: same client re-opens while h1 still reads attached.
+        let h2 = reg.open("a", 7, &config).expect("rejoin");
+        // The zombie handle is superseded.
+        let err = h1.submit_incremental(1, vec![]).expect_err("zombie");
+        assert_eq!(err.code, ErrorCode::ProtocolState);
+        // The duplicate seq is re-acked verbatim, not re-ingested.
+        let replay = h2.submit_incremental(0, vec![]).expect("dup re-ack");
+        assert_eq!(replay, ack0);
+        // And the stream continues where it left off.
+        let ack1 = h2.submit_incremental(1, spectra(8, 2)).expect("seq 1");
+        assert_eq!(ack1.base_id, ack0.total_spectra);
+        // Zombie drop must not free the live session.
+        drop(h1);
+        h2.stats().expect("session still live after zombie drop");
+    }
+
+    #[test]
+    fn out_of_order_seq_is_fatal() {
+        let reg = registry(None);
+        let h = reg.open("a", 1, &JobConfig::default()).expect("open");
+        let err = h.submit_incremental(3, spectra(4, 3)).expect_err("gap");
+        assert_eq!(err.code, ErrorCode::ProtocolState);
+        assert!(err.message.contains("out-of-order"));
+    }
+
+    #[test]
+    fn config_mismatch_is_refused() {
+        let reg = registry(None);
+        let config = JobConfig::default();
+        let _h = reg.open("a", 1, &config).expect("open");
+        drop(_h);
+        let other = JobConfig {
+            resolution: config.resolution * 2.0,
+            ..config
+        };
+        let err = reg.open("a", 1, &other).expect_err("other config");
+        assert_eq!(err.code, ErrorCode::ConfigMismatch);
+    }
+
+    #[test]
+    fn memory_only_store_refuses_persist() {
+        let reg = registry(None);
+        let h = reg.open("a", 1, &JobConfig::default()).expect("open");
+        let err = h.persist().expect_err("no store dir");
+        assert_eq!(err.code, ErrorCode::ProtocolState);
+        assert!(err.message.contains("store directory"));
+    }
+
+    #[test]
+    fn persist_then_reload_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "spechd-store-reg-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let config = JobConfig::default();
+        let ack = {
+            let reg = registry(Some(dir.clone()));
+            let h = reg.open("pers", 9, &config).expect("open");
+            h.submit_incremental(0, spectra(20, 4)).expect("ingest");
+            let ack = h.persist().expect("persist");
+            assert_eq!(ack.persisted, 1);
+            assert_eq!(ack.dirty, 0);
+            ack
+        };
+        // A fresh registry (server restart) loads the persisted file.
+        let reg = registry(Some(dir.clone()));
+        let h = reg.open("pers", 9, &config).expect("reopen");
+        let stats = h.stats().expect("stats");
+        assert_eq!(stats.spectra, ack.spectra);
+        assert_eq!(stats.clusters, ack.clusters);
+        assert_eq!(stats.fingerprint, ack.fingerprint);
+        assert_eq!(stats.keeps_member_rows, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn refresh_reports_counts_and_marks_dirty() {
+        let reg = registry(None);
+        let h = reg.open("a", 1, &JobConfig::default()).expect("open");
+        h.submit_incremental(0, spectra(30, 5)).expect("ingest");
+        let ack = h.refresh().expect("refresh");
+        // Counters are whatever the pass found; the frame carries them.
+        let stats = h.stats().expect("stats");
+        assert_eq!(stats.clusters + ack.merged, ack.clusters + ack.merged);
+    }
+
+    #[test]
+    fn store_cap_sheds_with_retryable_busy() {
+        let reg = StoreRegistry::new(None, Duration::ZERO, 1);
+        let config = JobConfig::default();
+        let _h = reg.open("a", 1, &config).expect("first store");
+        let err = reg.open("b", 2, &config).expect_err("cap");
+        assert_eq!(err.code, ErrorCode::StoreBusy);
+    }
+}

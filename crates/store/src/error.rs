@@ -92,6 +92,14 @@ pub enum StoreError {
         /// The requested local cluster index.
         cluster: u32,
     },
+    /// A member registration (or refresh) used the wrong row mode for
+    /// this store: [`crate::ClusterStore::absorb`] on a row-keeping
+    /// store, or [`crate::ClusterStore::absorb_with_row`] /
+    /// [`crate::ClusterStore::refresh`] on a row-less one.
+    MemberRowMode {
+        /// Whether the store keeps member hypervector rows.
+        keeps_rows: bool,
+    },
     /// A mutation used a spectrum id outside the reserved id space.
     InvalidSpectrumId {
         /// The offending id.
@@ -149,6 +157,16 @@ impl std::fmt::Display for StoreError {
             StoreError::UnknownBucket { key } => write!(f, "no bucket with key {key}"),
             StoreError::UnknownCluster { key, cluster } => {
                 write!(f, "bucket {key} has no cluster {cluster}")
+            }
+            StoreError::MemberRowMode { keeps_rows } => {
+                if *keeps_rows {
+                    write!(
+                        f,
+                        "row-keeping store requires absorb_with_row (absorb drops the member row)"
+                    )
+                } else {
+                    write!(f, "store does not keep member rows (see new_keeping_rows)")
+                }
             }
             StoreError::InvalidSpectrumId { id, next } => write!(
                 f,

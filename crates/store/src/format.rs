@@ -18,6 +18,11 @@ use std::collections::BTreeMap;
 pub(crate) const MAGIC: [u8; 4] = *b"SHPK";
 /// Current (and only) format version.
 pub(crate) const VERSION: u16 = 1;
+/// Header flag bit: every bucket section carries a member hypervector
+/// row per member record (a row-keeping store, see
+/// [`ClusterStore::new_keeping_rows`]). All other flag bits are
+/// reserved and must be zero.
+pub(crate) const FLAG_MEMBER_ROWS: u16 = 0x0001;
 
 const HEADER_LEN: usize = 36;
 const TABLE_ENTRY_LEN: usize = 24;
@@ -36,16 +41,25 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-fn section_len(cluster_count: usize, member_count: usize, stride: usize) -> usize {
-    cluster_count * CLUSTER_META_LEN + cluster_count * stride * 8 + member_count * MEMBER_LEN
+fn section_len(
+    cluster_count: usize,
+    member_count: usize,
+    stride: usize,
+    member_rows: bool,
+) -> usize {
+    let rows = if member_rows { member_count } else { 0 };
+    cluster_count * CLUSTER_META_LEN
+        + (cluster_count + rows) * stride * 8
+        + member_count * MEMBER_LEN
 }
 
 pub(crate) fn to_bytes(store: &ClusterStore) -> Vec<u8> {
     let stride = store.dim().div_ceil(64);
+    let keep_rows = store.keeps_member_rows();
     let buckets = store.buckets();
     let body_len: usize = buckets
         .values()
-        .map(|b| section_len(b.clusters().len(), b.members().len(), stride))
+        .map(|b| section_len(b.clusters().len(), b.members().len(), stride, keep_rows))
         .sum();
     let total = HEADER_LEN + buckets.len() * TABLE_ENTRY_LEN + body_len + FOOTER_LEN;
     let mut out = Vec::with_capacity(total);
@@ -53,7 +67,8 @@ pub(crate) fn to_bytes(store: &ClusterStore) -> Vec<u8> {
     // Header.
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
-    out.extend_from_slice(&0u16.to_le_bytes()); // flags, reserved
+    let flags = if keep_rows { FLAG_MEMBER_ROWS } else { 0 };
+    out.extend_from_slice(&flags.to_le_bytes());
     let dim = u32::try_from(store.dim()).expect("dim fits u32");
     out.extend_from_slice(&dim.to_le_bytes());
     out.extend_from_slice(
@@ -77,7 +92,12 @@ pub(crate) fn to_bytes(store: &ClusterStore) -> Vec<u8> {
         out.extend_from_slice(&clusters.to_le_bytes());
         out.extend_from_slice(&members.to_le_bytes());
         out.extend_from_slice(&offset.to_le_bytes());
-        offset += section_len(bucket.clusters().len(), bucket.members().len(), stride) as u64;
+        offset += section_len(
+            bucket.clusters().len(),
+            bucket.members().len(),
+            stride,
+            keep_rows,
+        ) as u64;
     }
 
     // Body.
@@ -93,6 +113,14 @@ pub(crate) fn to_bytes(store: &ClusterStore) -> Vec<u8> {
         for m in bucket.members() {
             out.extend_from_slice(&m.id.to_le_bytes());
             out.extend_from_slice(&m.cluster.to_le_bytes());
+        }
+        if keep_rows {
+            let rows = bucket
+                .member_rows()
+                .expect("row-keeping store bucket has member rows");
+            for word in rows.words() {
+                out.extend_from_slice(&word.to_le_bytes());
+            }
         }
     }
 
@@ -170,11 +198,12 @@ pub(crate) fn from_bytes(bytes: &[u8]) -> Result<ClusterStore, StoreError> {
         return Err(StoreError::UnsupportedVersion { found: version });
     }
     let flags = r.u16("header flags")?;
-    if flags != 0 {
+    if flags & !FLAG_MEMBER_ROWS != 0 {
         return Err(StoreError::Corrupt(format!(
             "reserved header flags must be zero, found {flags:#06x}"
         )));
     }
+    let keep_rows = flags & FLAG_MEMBER_ROWS != 0;
     let dim = r.u32("header dim")?;
     let stride = r.u32("header stride")?;
     if dim == 0 || (dim as usize).div_ceil(64) != stride as usize {
@@ -206,7 +235,7 @@ pub(crate) fn from_bytes(bytes: &[u8]) -> Result<ClusterStore, StoreError> {
                 "bucket {i} section offset {offset} is not sequential (expected {expected_offset})"
             )));
         }
-        let len = u64::try_from(section_len(cluster_count, member_count, stride))
+        let len = u64::try_from(section_len(cluster_count, member_count, stride, keep_rows))
             .expect("section length fits u64");
         expected_offset = expected_offset.checked_add(len).ok_or_else(|| {
             StoreError::Corrupt("section offsets overflow the 64-bit file space".into())
@@ -315,12 +344,23 @@ pub(crate) fn from_bytes(bytes: &[u8]) -> Result<ClusterStore, StoreError> {
                 )));
             }
         }
+        let member_rows = if keep_rows {
+            let row_bytes = r.take(entry.member_count * stride * 8, "member rows")?;
+            let words: Vec<u64> = row_bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            Some(HvPack::from_raw_parts(dim as usize, words)?)
+        } else {
+            None
+        };
         buckets.insert(
             entry.key,
             StoredBucket {
                 medoids,
                 clusters,
                 members,
+                member_rows,
             },
         );
     }
@@ -330,6 +370,7 @@ pub(crate) fn from_bytes(bytes: &[u8]) -> Result<ClusterStore, StoreError> {
         dim as usize,
         fingerprint,
         next_id,
+        keep_rows,
         buckets,
     ))
 }
@@ -351,6 +392,23 @@ mod tests {
         let row: Vec<u64> = BinaryHypervector::random(dim, &mut rng).words().to_vec();
         let c = store.add_cluster(9, &row, 2).unwrap();
         store.absorb(9, c, 2).unwrap();
+        store.to_bytes()
+    }
+
+    /// Same shape as [`sample_bytes`] but through a row-keeping store,
+    /// so the member-rows section and flag bit are exercised.
+    fn sample_bytes_with_rows(dim: usize) -> Vec<u8> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let mut store = ClusterStore::new_keeping_rows(dim, 0xABCD).unwrap();
+        store.reserve_ids(3).unwrap();
+        let rows: Vec<Vec<u64>> = (0..3)
+            .map(|_| BinaryHypervector::random(dim, &mut rng).words().to_vec())
+            .collect();
+        let c = store.add_cluster(5, &rows[0], 0).unwrap();
+        store.absorb_with_row(5, c, 0, &rows[0]).unwrap();
+        store.absorb_with_row(5, c, 1, &rows[1]).unwrap();
+        let c = store.add_cluster(9, &rows[2], 2).unwrap();
+        store.absorb_with_row(9, c, 2, &rows[2]).unwrap();
         store.to_bytes()
     }
 
@@ -531,20 +589,73 @@ mod tests {
         // Flipping any one bit either fails validation or (never) yields a
         // different store that round-trips to the same bytes. This is the
         // belt-and-braces sweep behind the targeted cases above.
-        let bytes = sample_bytes(65);
-        let original = from_bytes(&bytes).unwrap();
-        for i in 0..bytes.len() {
-            let mut mutated = bytes.clone();
-            mutated[i] ^= 1;
-            match from_bytes(&mutated) {
-                Err(_) => {}
-                Ok(store) => {
-                    panic!(
-                        "byte {i} flip silently accepted (stores {}equal)",
-                        if store == original { "" } else { "un" }
-                    );
+        for bytes in [sample_bytes(65), sample_bytes_with_rows(65)] {
+            let original = from_bytes(&bytes).unwrap();
+            for i in 0..bytes.len() {
+                let mut mutated = bytes.clone();
+                mutated[i] ^= 1;
+                match from_bytes(&mutated) {
+                    Err(_) => {}
+                    Ok(store) => {
+                        panic!(
+                            "byte {i} flip silently accepted (stores {}equal)",
+                            if store == original { "" } else { "un" }
+                        );
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn member_rows_flag_round_trips_and_preserves_rowless_bytes() {
+        let rowless = sample_bytes(100);
+        let rowed = sample_bytes_with_rows(100);
+        // The row-less encoding is byte-identical to pre-flag files:
+        // flags stay zero and no member-rows section is emitted.
+        assert_eq!(&rowless[6..8], &[0, 0]);
+        assert_eq!(&rowed[6..8], &FLAG_MEMBER_ROWS.to_le_bytes());
+        assert!(rowed.len() > rowless.len());
+        let store = from_bytes(&rowed).unwrap();
+        assert!(store.keeps_member_rows());
+        assert_eq!(store.to_bytes(), rowed, "re-save must be identical");
+        let b = store.bucket(5).unwrap();
+        assert_eq!(b.member_rows().unwrap().len(), b.members().len());
+        assert!(!from_bytes(&rowless).unwrap().keeps_member_rows());
+    }
+
+    #[test]
+    fn member_rows_flag_on_rowless_body_is_rejected() {
+        // Setting the flag without the section makes every bucket claim
+        // more bytes than the file holds; the second bucket's table
+        // offset no longer lines up, which is the first defect reported.
+        let mut bytes = sample_bytes(100);
+        bytes[6..8].copy_from_slice(&FLAG_MEMBER_ROWS.to_le_bytes());
+        reseal(&mut bytes);
+        let err = from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("not sequential"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_bits_stay_reserved() {
+        let mut bytes = sample_bytes_with_rows(100);
+        bytes[6..8].copy_from_slice(&(FLAG_MEMBER_ROWS | 0x0002).to_le_bytes());
+        reseal(&mut bytes);
+        let err = from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("reserved header flags"), "{err}");
+    }
+
+    #[test]
+    fn member_row_tail_bits_surface_as_pack_error() {
+        // Corrupt the very last member-row byte of the last bucket (a
+        // tail byte beyond dim 100 in the stride-2 layout).
+        let mut bytes = sample_bytes_with_rows(100);
+        let pos = bytes.len() - FOOTER_LEN - 1;
+        bytes[pos] = 0xFF;
+        reseal(&mut bytes);
+        assert!(matches!(
+            from_bytes(&bytes).unwrap_err(),
+            StoreError::Pack(spechd_hdc::PackError::NonZeroTail { .. })
+        ));
     }
 }

@@ -48,6 +48,8 @@
 //! │                  member_count u32 · reserved u32)            │
 //! │   medoid rows:   cluster_count × stride × 8 B  (HvPack rows) │
 //! │   members:       member_count × (id u64 · cluster u32)       │
+//! │   member rows:   member_count × stride × 8 B — only when     │
+//! │                  header flag bit 0 (member-rows) is set      │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ footer (8 B): FNV-1a 64 checksum of all preceding bytes      │
 //! └──────────────────────────────────────────────────────────────┘
@@ -61,6 +63,16 @@
 //! bucketing resolution, linkage, threshold) that produced the store:
 //! hypervectors are only comparable across sessions when every one of
 //! those knobs matches.
+//!
+//! Flag bit 0 marks a **row-keeping** store
+//! ([`ClusterStore::new_keeping_rows`]): every bucket section carries one
+//! hypervector row per member record, parallel to the membership list.
+//! Keeping the rows costs `O(spectra)` extra storage and buys
+//! [`ClusterStore::refresh`] — a medoid refresh / compaction pass that
+//! re-medoids drifted clusters and merges clusters whose refreshed
+//! medoids collide, without access to the original spectra. Row-less
+//! stores (flags = 0) serialize bit-identically to files written before
+//! the flag existed; all other flag bits remain reserved-must-be-zero.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,6 +86,6 @@ pub use error::StoreError;
 pub use io::{
     DiskIo, FaultIo, FaultKind, FaultPlan, MemIo, RecoveryReport, RecoverySource, StoreIo,
 };
-pub use store::{ClusterStore, StoredBucket, StoredCluster, StoredMember};
+pub use store::{ClusterStore, RefreshReport, StoredBucket, StoredCluster, StoredMember};
 
 pub use spechd_hdc::HvPack;

@@ -31,12 +31,14 @@ pub struct StoredMember {
 
 /// One precursor bucket's persisted state: the medoid hypervector rows
 /// (row `c` belongs to cluster `c`), cluster bookkeeping, and the
-/// per-spectrum memberships.
+/// per-spectrum memberships. Row-keeping stores additionally hold one
+/// hypervector row per member, parallel to the membership list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoredBucket {
     pub(crate) medoids: HvPack,
     pub(crate) clusters: Vec<StoredCluster>,
     pub(crate) members: Vec<StoredMember>,
+    pub(crate) member_rows: Option<HvPack>,
 }
 
 impl StoredBucket {
@@ -54,6 +56,23 @@ impl StoredBucket {
     pub fn members(&self) -> &[StoredMember] {
         &self.members
     }
+
+    /// Member hypervector rows (row `i` belongs to `members()[i]`), only
+    /// present in row-keeping stores
+    /// ([`ClusterStore::keeps_member_rows`]).
+    pub fn member_rows(&self) -> Option<&HvPack> {
+        self.member_rows.as_ref()
+    }
+}
+
+/// What a [`ClusterStore::refresh`] pass changed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefreshReport {
+    /// Clusters whose recomputed medoid differs from the stored one.
+    pub refreshed: u64,
+    /// Clusters garbage-collected because the refreshed medoids fell
+    /// within the merge threshold of a sibling in the same bucket.
+    pub merged: u64,
 }
 
 /// A persistent store of per-bucket medoid hypervectors and cluster
@@ -73,6 +92,7 @@ pub struct ClusterStore {
     dim: usize,
     fingerprint: u64,
     next_id: u64,
+    keep_rows: bool,
     buckets: BTreeMap<i64, StoredBucket>,
 }
 
@@ -88,8 +108,29 @@ impl ClusterStore {
             dim,
             fingerprint,
             next_id: 0,
+            keep_rows: false,
             buckets: BTreeMap::new(),
         })
+    }
+
+    /// Like [`ClusterStore::new`], but the store keeps every member's
+    /// hypervector row alongside its membership record. Row-keeping
+    /// stores cost `O(spectra)` extra rows on disk and in memory, and in
+    /// exchange support [`ClusterStore::refresh`] without access to the
+    /// original spectra — members are registered through
+    /// [`ClusterStore::absorb_with_row`] instead of
+    /// [`ClusterStore::absorb`].
+    pub fn new_keeping_rows(dim: usize, fingerprint: u64) -> Result<Self, StoreError> {
+        let mut store = Self::new(dim, fingerprint)?;
+        store.keep_rows = true;
+        Ok(store)
+    }
+
+    /// Whether this store keeps member hypervector rows (created via
+    /// [`ClusterStore::new_keeping_rows`], or loaded from a file whose
+    /// header carries the member-rows flag).
+    pub fn keeps_member_rows(&self) -> bool {
+        self.keep_rows
     }
 
     /// Hypervector dimensionality shared by every stored medoid row.
@@ -189,10 +230,12 @@ impl ClusterStore {
             });
         }
         let dim = self.dim;
+        let keep_rows = self.keep_rows;
         let bucket = self.buckets.entry(key).or_insert_with(|| StoredBucket {
             medoids: HvPack::new(dim),
             clusters: Vec::new(),
             members: Vec::new(),
+            member_rows: keep_rows.then(|| HvPack::new(dim)),
         });
         let local = u32::try_from(bucket.clusters.len())
             .map_err(|_| StoreError::Corrupt(format!("bucket {key} exceeds 2^32 clusters")))?;
@@ -205,8 +248,43 @@ impl ClusterStore {
     }
 
     /// Registers spectrum `id` as a member of cluster `cluster` in bucket
-    /// `key`, bumping that cluster's member count.
+    /// `key`, bumping that cluster's member count. Row-keeping stores
+    /// must use [`ClusterStore::absorb_with_row`] instead, so every
+    /// member has a row — mixing the two would desynchronize the
+    /// membership list from the row pack.
     pub fn absorb(&mut self, key: i64, cluster: u32, id: u64) -> Result<(), StoreError> {
+        if self.keep_rows {
+            return Err(StoreError::MemberRowMode { keeps_rows: true });
+        }
+        self.absorb_inner(key, cluster, id, None)
+    }
+
+    /// [`ClusterStore::absorb`] for row-keeping stores: registers the
+    /// member *and* its hypervector row (the same words the member was
+    /// encoded to — what [`ClusterStore::refresh`] later re-medoids
+    /// over). Fails with [`StoreError::MemberRowMode`] on a row-less
+    /// store and with [`StoreError::Pack`] if the row does not fit the
+    /// store's dimensionality.
+    pub fn absorb_with_row(
+        &mut self,
+        key: i64,
+        cluster: u32,
+        id: u64,
+        row_words: &[u64],
+    ) -> Result<(), StoreError> {
+        if !self.keep_rows {
+            return Err(StoreError::MemberRowMode { keeps_rows: false });
+        }
+        self.absorb_inner(key, cluster, id, Some(row_words))
+    }
+
+    fn absorb_inner(
+        &mut self,
+        key: i64,
+        cluster: u32,
+        id: u64,
+        row_words: Option<&[u64]>,
+    ) -> Result<(), StoreError> {
         if id >= self.next_id {
             return Err(StoreError::InvalidSpectrumId {
                 id,
@@ -221,11 +299,163 @@ impl ClusterStore {
             .clusters
             .get_mut(cluster as usize)
             .ok_or(StoreError::UnknownCluster { key, cluster })?;
+        if let Some(words) = row_words {
+            // Validate the row before any state changes so a malformed
+            // row leaves the bucket untouched.
+            bucket
+                .member_rows
+                .as_mut()
+                .expect("row-keeping store bucket has member rows")
+                .try_push_row_words(words)?;
+        }
         meta.members = meta.members.checked_add(1).ok_or_else(|| {
             StoreError::Corrupt(format!("cluster {key}/{cluster} count overflow"))
         })?;
         bucket.members.push(StoredMember { id, cluster });
         Ok(())
+    }
+
+    /// The maintenance pass: re-medoids every cluster over its kept
+    /// member rows and garbage-collects clusters that merge under the
+    /// refreshed medoids. **Explicitly outside the stable-label
+    /// contract** — unlike incremental absorption, a refresh may change
+    /// existing spectra's labels (that is its purpose: absorbed members
+    /// drift the true center away from the founding medoid).
+    ///
+    /// Per bucket, in ascending key order:
+    ///
+    /// 1. **Re-medoid**: each cluster's medoid becomes the member with
+    ///    the minimum total Hamming distance to the rest of the cluster
+    ///    (ties broken by the lowest spectrum id).
+    /// 2. **Merge**: clusters whose refreshed medoids are within
+    ///    `threshold_bits` of each other (connected components of the
+    ///    pairwise threshold graph) are merged; the combined cluster is
+    ///    re-medoided over its full membership.
+    /// 3. **Compact**: the bucket is rebuilt canonically — surviving
+    ///    clusters keep their relative order (by smallest original
+    ///    index), members keep absorption order, and orphaned medoid
+    ///    rows are dropped from the pack.
+    ///
+    /// Requires a row-keeping store ([`StoreError::MemberRowMode`]
+    /// otherwise). Deterministic: the same store and threshold always
+    /// produce the same refreshed store, and re-running on the result
+    /// re-medoids to a fixed point.
+    pub fn refresh(&mut self, threshold_bits: u32) -> Result<RefreshReport, StoreError> {
+        if !self.keep_rows {
+            return Err(StoreError::MemberRowMode { keeps_rows: false });
+        }
+        // Validate everything before mutating anything: refresh either
+        // completes in full or leaves the store untouched.
+        for (key, bucket) in &self.buckets {
+            for (c, meta) in bucket.clusters.iter().enumerate() {
+                if meta.members == 0 {
+                    return Err(StoreError::Corrupt(format!(
+                        "cluster {c} of bucket {key} has no members; \
+                         refresh requires a fully-registered store"
+                    )));
+                }
+            }
+        }
+        let mut report = RefreshReport::default();
+        for bucket in self.buckets.values_mut() {
+            let rows = bucket
+                .member_rows
+                .as_ref()
+                .expect("row-keeping store bucket has member rows");
+            let cluster_count = bucket.clusters.len();
+            let mut positions: Vec<Vec<usize>> = vec![Vec::new(); cluster_count];
+            for (pos, m) in bucket.members.iter().enumerate() {
+                positions[m.cluster as usize].push(pos);
+            }
+
+            // 1. Re-medoid each cluster over its member rows.
+            let medoid_pos: Vec<usize> = positions
+                .iter()
+                .map(|p| medoid_position(rows, &bucket.members, p))
+                .collect();
+            for (c, &pos) in medoid_pos.iter().enumerate() {
+                if bucket.members[pos].id != bucket.clusters[c].medoid_id {
+                    report.refreshed += 1;
+                }
+            }
+
+            // 2. Merge clusters whose refreshed medoids are within the
+            // threshold: connected components via union-find, root =
+            // smallest cluster index.
+            let mut root: Vec<usize> = (0..cluster_count).collect();
+            fn find(root: &mut [usize], mut i: usize) -> usize {
+                while root[i] != i {
+                    root[i] = root[root[i]];
+                    i = root[i];
+                }
+                i
+            }
+            for i in 0..cluster_count {
+                for j in (i + 1)..cluster_count {
+                    if rows.hamming(medoid_pos[i], medoid_pos[j]) <= threshold_bits {
+                        let (a, b) = (find(&mut root, i), find(&mut root, j));
+                        let (lo, hi) = (a.min(b), a.max(b));
+                        root[hi] = lo;
+                    }
+                }
+            }
+
+            // 3. Rebuild the bucket canonically. Groups are keyed by
+            // their smallest original cluster index, which keeps
+            // surviving clusters in their original relative order.
+            let mut group_of = vec![usize::MAX; cluster_count];
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            for c in 0..cluster_count {
+                let r = find(&mut root, c);
+                if group_of[r] == usize::MAX {
+                    group_of[r] = groups.len();
+                    groups.push(Vec::new());
+                }
+                group_of[c] = group_of[r];
+                groups[group_of[c]].push(c);
+            }
+            report.merged += (cluster_count - groups.len()) as u64;
+
+            let mut clusters = Vec::with_capacity(groups.len());
+            let mut medoids = HvPack::with_capacity(self.dim, groups.len());
+            for (g, members_of_group) in groups.iter().enumerate() {
+                let pos = if members_of_group.len() == 1 {
+                    medoid_pos[members_of_group[0]]
+                } else {
+                    // A merged cluster is re-medoided over its combined
+                    // membership, in member order.
+                    let combined: Vec<usize> = bucket
+                        .members
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| group_of[m.cluster as usize] == g)
+                        .map(|(p, _)| p)
+                        .collect();
+                    medoid_position(rows, &bucket.members, &combined)
+                };
+                let member_total: u32 = members_of_group
+                    .iter()
+                    .map(|&c| bucket.clusters[c].members)
+                    .sum();
+                clusters.push(StoredCluster {
+                    medoid_id: bucket.members[pos].id,
+                    members: member_total,
+                });
+                medoids.push_row_words(rows.row(pos));
+            }
+            let members: Vec<StoredMember> = bucket
+                .members
+                .iter()
+                .map(|m| StoredMember {
+                    id: m.id,
+                    cluster: group_of[m.cluster as usize] as u32,
+                })
+                .collect();
+            bucket.clusters = clusters;
+            bucket.medoids = medoids;
+            bucket.members = members;
+        }
+        Ok(report)
     }
 
     /// Replays every bucket through [`ShardLabelMerger`] in ascending key
@@ -406,15 +636,39 @@ impl ClusterStore {
         dim: usize,
         fingerprint: u64,
         next_id: u64,
+        keep_rows: bool,
         buckets: BTreeMap<i64, StoredBucket>,
     ) -> Self {
         Self {
             dim,
             fingerprint,
             next_id,
+            keep_rows,
             buckets,
         }
     }
+}
+
+/// The member (by position into `members`/`rows`) minimizing total
+/// Hamming distance to the rest of `positions`; ties break toward the
+/// lowest spectrum id, so the choice is deterministic regardless of
+/// absorption order.
+fn medoid_position(rows: &HvPack, members: &[StoredMember], positions: &[usize]) -> usize {
+    debug_assert!(!positions.is_empty(), "medoid of an empty cluster");
+    let mut best = positions[0];
+    let mut best_key = (u64::MAX, u64::MAX);
+    for &candidate in positions {
+        let total: u64 = positions
+            .iter()
+            .map(|&other| u64::from(rows.hamming(candidate, other)))
+            .sum();
+        let key = (total, members[candidate].id);
+        if key < best_key {
+            best_key = key;
+            best = candidate;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -546,5 +800,135 @@ mod tests {
         let (assignment, consensus) = reloaded.union_assignment().unwrap();
         assert!(assignment.is_empty());
         assert!(consensus.is_empty());
+    }
+
+    #[test]
+    fn absorb_mode_is_enforced_both_ways() {
+        let mut rowless = ClusterStore::new(64, 1).unwrap();
+        rowless.reserve_ids(1).unwrap();
+        let c = rowless.add_cluster(0, &[0b1], 0).unwrap();
+        assert!(matches!(
+            rowless.absorb_with_row(0, c, 0, &[0b1]),
+            Err(StoreError::MemberRowMode { keeps_rows: false })
+        ));
+        assert!(matches!(
+            rowless.refresh(4),
+            Err(StoreError::MemberRowMode { keeps_rows: false })
+        ));
+
+        let mut rowed = ClusterStore::new_keeping_rows(64, 1).unwrap();
+        assert!(rowed.keeps_member_rows());
+        rowed.reserve_ids(1).unwrap();
+        let c = rowed.add_cluster(0, &[0b1], 0).unwrap();
+        assert!(matches!(
+            rowed.absorb(0, c, 0),
+            Err(StoreError::MemberRowMode { keeps_rows: true })
+        ));
+        // A malformed row is rejected before any bucket state changes.
+        assert!(matches!(
+            rowed.absorb_with_row(0, c, 0, &[0, 0]),
+            Err(StoreError::Pack(_))
+        ));
+        assert!(rowed.bucket(0).unwrap().members().is_empty());
+        rowed.absorb_with_row(0, c, 0, &[0b1]).unwrap();
+        assert_eq!(rowed.bucket(0).unwrap().member_rows().unwrap().len(), 1);
+    }
+
+    /// A drifted cluster: founded on id 0's row, then absorbed members
+    /// that move the true center. Refresh re-medoids to the member with
+    /// the minimum total Hamming distance.
+    #[test]
+    fn refresh_re_medoids_a_drifted_cluster() {
+        let mut store = ClusterStore::new_keeping_rows(64, 7).unwrap();
+        store.reserve_ids(3).unwrap();
+        // Pairwise distances: d(0,1)=8, d(0,2)=7, d(1,2)=1.
+        // Totals: id0 = 15, id1 = 9, id2 = 8 → new medoid is id 2.
+        let rows: [&[u64]; 3] = [&[0x00], &[0xFF], &[0xFE]];
+        let c = store.add_cluster(3, rows[0], 0).unwrap();
+        for (id, row) in rows.iter().enumerate() {
+            store.absorb_with_row(3, c, id as u64, row).unwrap();
+        }
+        let report = store.refresh(0).unwrap();
+        assert_eq!(
+            report,
+            RefreshReport {
+                refreshed: 1,
+                merged: 0
+            }
+        );
+        let bucket = store.bucket(3).unwrap();
+        assert_eq!(bucket.clusters()[0].medoid_id, 2);
+        assert_eq!(bucket.medoids().row(0), &[0xFE]);
+        assert_eq!(bucket.clusters()[0].members, 3);
+        // Refresh is a fixed point on an unchanged store.
+        let again = store.refresh(0).unwrap();
+        assert_eq!(again, RefreshReport::default());
+    }
+
+    #[test]
+    fn refresh_merges_colliding_clusters_and_compacts_the_bucket() {
+        let mut store = ClusterStore::new_keeping_rows(64, 7).unwrap();
+        store.reserve_ids(4).unwrap();
+        // Three clusters; 0 and 2 sit within threshold 2 of each other
+        // (d = 1) while cluster 1 is far from both.
+        let c0 = store.add_cluster(5, &[0b0011], 0).unwrap();
+        let c1 = store.add_cluster(5, &[u64::MAX], 1).unwrap();
+        let c2 = store.add_cluster(5, &[0b0001], 2).unwrap();
+        store.absorb_with_row(5, c0, 0, &[0b0011]).unwrap();
+        store.absorb_with_row(5, c1, 1, &[u64::MAX]).unwrap();
+        store.absorb_with_row(5, c2, 2, &[0b0001]).unwrap();
+        store.absorb_with_row(5, c2, 3, &[0b0001]).unwrap();
+        let report = store.refresh(2).unwrap();
+        assert_eq!(report.merged, 1);
+        let bucket = store.bucket(5).unwrap();
+        assert_eq!(bucket.clusters().len(), 2);
+        assert_eq!(bucket.medoids().len(), 2, "orphaned medoid rows GC'd");
+        // The merged cluster keeps slot 0 (smallest original index) and
+        // re-medoids over its combined membership: id 2's row ties with
+        // id 3's, so the lowest id wins; total distances favor 0b0001.
+        assert_eq!(bucket.clusters()[0].medoid_id, 2);
+        assert_eq!(bucket.clusters()[0].members, 3);
+        assert_eq!(bucket.clusters()[1].medoid_id, 1);
+        let remapped: Vec<u32> = bucket.members().iter().map(|m| m.cluster).collect();
+        assert_eq!(remapped, vec![0, 1, 0, 0]);
+        // The compacted store round-trips bit-identically.
+        let bytes = store.to_bytes();
+        let reloaded = ClusterStore::from_bytes(&bytes).unwrap();
+        assert_eq!(reloaded, store);
+        assert_eq!(reloaded.to_bytes(), bytes);
+        // Labels stay dense and coherent after compaction.
+        let (assignment, consensus) = store.union_assignment().unwrap();
+        assert_eq!(assignment.labels(), &[0, 1, 0, 0]);
+        assert_eq!(consensus, vec![2, 1]);
+    }
+
+    #[test]
+    fn refresh_rejects_half_registered_stores_untouched() {
+        let mut store = ClusterStore::new_keeping_rows(64, 7).unwrap();
+        store.reserve_ids(2).unwrap();
+        let c = store.add_cluster(1, &[0b1], 0).unwrap();
+        store.absorb_with_row(1, c, 0, &[0b1]).unwrap();
+        // A founded-but-memberless cluster in a later bucket.
+        store.add_cluster(2, &[0b10], 1).unwrap();
+        let before = store.clone();
+        assert!(matches!(store.refresh(0), Err(StoreError::Corrupt(_))));
+        assert_eq!(store, before, "failed refresh must not mutate");
+    }
+
+    #[test]
+    fn row_keeping_round_trip_all_dims() {
+        for dim in [63, 64, 65, 100] {
+            let mut store = ClusterStore::new_keeping_rows(dim, 0xF00D).unwrap();
+            store.reserve_ids(2).unwrap();
+            let r0 = row(dim, 1);
+            let r1 = row(dim, 2);
+            let c = store.add_cluster(10, &r0, 0).unwrap();
+            store.absorb_with_row(10, c, 0, &r0).unwrap();
+            store.absorb_with_row(10, c, 1, &r1).unwrap();
+            let bytes = store.to_bytes();
+            let reloaded = ClusterStore::from_bytes(&bytes).unwrap();
+            assert_eq!(reloaded, store, "dim {dim}");
+            assert_eq!(reloaded.to_bytes(), bytes, "dim {dim}");
+        }
     }
 }

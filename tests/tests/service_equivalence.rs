@@ -11,10 +11,10 @@
 
 use spechd_core::SpecHd;
 use spechd_ms::{Spectrum, SpectrumDataset};
-use spechd_server::protocol::{encode_frame, read_frame, DEFAULT_MAX_FRAME_LEN};
+use spechd_server::protocol::{encode_frame, read_frame};
 use spechd_server::{
-    ClientError, ErrorCode, Frame, JobClient, JobConfig, RunningServer, Server, ServerConfig,
-    ServiceOutcome, SubmitReceipt,
+    ClientError, ErrorCode, Frame, JobClient, JobConfig, Limits, RunningServer, Server,
+    ServerConfig, ServiceOutcome, SubmitReceipt,
 };
 use spechd_tests::{assert_service_equivalent, synthetic_dataset};
 use std::io::{Read, Write};
@@ -176,7 +176,7 @@ fn malformed_frame_kills_connection_not_server() {
     rogue
         .write_all(b"GET / HTTP/1.1\r\n\r\n")
         .expect("write junk");
-    match read_frame(&mut rogue, DEFAULT_MAX_FRAME_LEN) {
+    match read_frame(&mut rogue, &Limits::default()) {
         Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
         other => panic!("expected Malformed error frame, got {other:?}"),
     }
@@ -203,7 +203,10 @@ fn malformed_frame_kills_connection_not_server() {
 #[test]
 fn oversized_length_prefix_rejected_with_error_frame() {
     let config = ServerConfig {
-        max_frame_len: 1024,
+        limits: Limits {
+            max_frame_len: 1024,
+            ..Limits::default()
+        },
         ..ServerConfig::default()
     };
     let server = start_server(config);
@@ -211,7 +214,7 @@ fn oversized_length_prefix_rejected_with_error_frame() {
     let mut bytes = encode_frame(&Frame::Flush { job_id: 1 });
     bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
     rogue.write_all(&bytes[..12]).expect("write header");
-    match read_frame(&mut rogue, DEFAULT_MAX_FRAME_LEN) {
+    match read_frame(&mut rogue, &Limits::default()) {
         Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::Oversized),
         other => panic!("expected Oversized error frame, got {other:?}"),
     }
@@ -237,7 +240,7 @@ fn state_errors_do_not_kill_the_connection() {
             spectra: Vec::new(),
         }))
         .expect("write premature submit");
-    match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+    match read_frame(&mut stream, &Limits::default()) {
         Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::ProtocolState),
         other => panic!("expected ProtocolState error, got {other:?}"),
     }
@@ -250,7 +253,7 @@ fn state_errors_do_not_kill_the_connection() {
             config: JobConfig::default(),
         }))
         .expect("write open");
-    match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+    match read_frame(&mut stream, &Limits::default()) {
         Ok(Frame::JobStats(stats)) => assert_eq!(stats.job_id, 9),
         other => panic!("expected JobStats ack, got {other:?}"),
     }
@@ -258,14 +261,14 @@ fn state_errors_do_not_kill_the_connection() {
     stream
         .write_all(&encode_frame(&Frame::Flush { job_id: 10 }))
         .expect("write wrong-job flush");
-    match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+    match read_frame(&mut stream, &Limits::default()) {
         Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::ProtocolState),
         other => panic!("expected ProtocolState error, got {other:?}"),
     }
     stream
         .write_all(&encode_frame(&Frame::Flush { job_id: 9 }))
         .expect("write good flush");
-    match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+    match read_frame(&mut stream, &Limits::default()) {
         Ok(Frame::JobStats(stats)) => assert_eq!(stats.job_id, 9),
         other => panic!("expected JobStats ack, got {other:?}"),
     }
@@ -290,7 +293,7 @@ fn connection_can_run_sequential_jobs() {
                 config: JobConfig::default(),
             }))
             .expect("write open");
-        match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+        match read_frame(&mut stream, &Limits::default()) {
             Ok(Frame::JobStats(stats)) => assert_eq!(stats.job_id, job),
             other => panic!("expected open ack for job tag {tag}, got {other:?}"),
         }
@@ -298,7 +301,7 @@ fn connection_can_run_sequential_jobs() {
             .write_all(&encode_frame(&Frame::CloseJob { job_id: job }))
             .expect("write close");
         loop {
-            match read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN) {
+            match read_frame(&mut stream, &Limits::default()) {
                 Ok(Frame::JobStats(stats)) if stats.done == 1 => break,
                 Ok(_) => {}
                 other => panic!("waiting for job tag {tag} to finish, got {other:?}"),
@@ -378,7 +381,7 @@ fn idle_connections_are_reaped_busy_ones_are_not() {
 
     // Idle: never opens a job.
     let mut idle = TcpStream::connect(server.addr()).expect("idle connect");
-    match read_frame(&mut idle, DEFAULT_MAX_FRAME_LEN) {
+    match read_frame(&mut idle, &Limits::default()) {
         Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::IdleTimeout),
         other => panic!("expected IdleTimeout error, got {other:?}"),
     }
@@ -421,7 +424,7 @@ fn shutdown_notifies_parked_connections_and_stops_accepting() {
     // Shut down while the connection is parked between frames; join of
     // the accept loop and pipelines happens inside shutdown().
     server.shutdown();
-    match read_frame(&mut parked, DEFAULT_MAX_FRAME_LEN) {
+    match read_frame(&mut parked, &Limits::default()) {
         Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::ServerShutdown),
         // The socket may already be closed by the time we read.
         Err(_) => {}
